@@ -1,0 +1,70 @@
+/**
+ * Fig. 2b: T_boot,eff breakdown on A100 80GB and RTX 4090 as the
+ * decomposition number D varies (hoisting, Cheddar).
+ */
+
+#include <cstdio>
+
+#include "anaheim/framework.h"
+#include "bench_util.h"
+#include "trace/builders.h"
+
+using namespace anaheim;
+
+namespace {
+
+void
+sweep(const AnaheimConfig &base, const char *gpuName)
+{
+    std::printf("\n-- %s --\n", gpuName);
+    std::printf("%-4s %6s %6s | %10s %10s %10s %10s | %12s\n", "D", "L",
+                "alpha", "EW ms", "NTT ms", "BConv ms", "Aut ms",
+                "T_boot,eff");
+    for (size_t d : {2u, 3u, 4u, 6u}) {
+        const TraceParams params = TraceParams::forDnum(d);
+        // The RTX 4090's 24GB cannot hold the D=6 evk working set
+        // (§VII-B reports OoM).
+        const double evkWorkingSetGb =
+            40.0 * 2.0 * d * params.extended() * limbBytes(params.n) / 1e9;
+        // ~40 resident rotation/relin keys plus plaintexts, ciphertexts
+        // and framework overhead exhaust 24GB once the keys alone pass
+        // ~8GB — the D=6 OoM of §VII-B.
+        if (base.dram.capacityBytes < 30e9 && evkWorkingSetGb > 8.0) {
+            std::printf("%-4zu %6zu %6zu | %43s | %12s\n", d, params.level,
+                        params.alpha, "", "OoM");
+            continue;
+        }
+        AnaheimConfig config = base;
+        config.pimEnabled = false;
+        const OpSequence boot =
+            buildBootstrap(params, 3.5, TraceLtAlgorithm::Hoisting);
+        const auto result = AnaheimFramework(config).execute(boot);
+        const double leff = bootstrapLevelsEff(params, 3.5);
+        auto ms = [&](const char *cat) {
+            const auto it = result.timeNsByCategory.find(cat);
+            return it == result.timeNsByCategory.end() ? 0.0
+                                                       : it->second * 1e-6;
+        };
+        std::printf("%-4zu %6zu %6zu | %10.2f %10.2f %10.2f %10.2f | "
+                    "%10.2fms\n",
+                    d, params.level, params.alpha, ms("ElementWise"),
+                    ms("(I)NTT"), ms("BConv"), ms("Automorphism"),
+                    result.totalNs * 1e-6 / leff);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Fig. 2b — T_boot,eff breakdown vs decomposition "
+                  "number D (hoisting, Cheddar, no PIM)");
+    sweep(AnaheimConfig::a100NearBank(), "A100 80GB");
+    sweep(AnaheimConfig::rtx4090NearBank(), "RTX 4090");
+    std::printf("\n");
+    bench::note("paper: element-wise ops reach 45-48%% of bootstrapping "
+                "on A100 and 68-69%% on RTX 4090 regardless of D; the "
+                "4090 goes OoM at D=6");
+    return 0;
+}

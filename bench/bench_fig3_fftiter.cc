@@ -1,0 +1,62 @@
+/**
+ * Fig. 3: T_boot,eff breakdown as fftIter varies — more/sparser DFT
+ * factors reduce per-boot element-wise work but cost levels (lower
+ * L_eff), degrading T_boot,eff beyond fftIter = 4.
+ */
+
+#include <cstdio>
+
+#include "anaheim/framework.h"
+#include "bench_util.h"
+#include "trace/builders.h"
+
+using namespace anaheim;
+
+namespace {
+
+void
+sweep(const AnaheimConfig &base, const char *gpuName)
+{
+    std::printf("\n-- %s --\n", gpuName);
+    std::printf("%-10s %8s | %10s %10s | %10s %12s\n", "fftIter", "L_eff",
+                "EW ms", "total ms", "EW share", "T_boot,eff");
+    const TraceParams params;
+    double best = 1e30;
+    double bestIter = 0.0;
+    for (double fftIter : {3.0, 3.5, 4.0, 5.0, 6.0}) {
+        AnaheimConfig config = base;
+        config.pimEnabled = false;
+        const OpSequence boot =
+            buildBootstrap(params, fftIter, TraceLtAlgorithm::Hoisting);
+        const auto result = AnaheimFramework(config).execute(boot);
+        const double leff = bootstrapLevelsEff(params, fftIter);
+        const double ew =
+            result.timeNsByCategory.count("ElementWise")
+                ? result.timeNsByCategory.at("ElementWise") * 1e-6
+                : 0.0;
+        const double tbe = result.totalNs * 1e-6 / leff;
+        std::printf("%-10.1f %8.1f | %10.2f %10.2f | %9.1f%% %10.2fms\n",
+                    fftIter, leff, ew, result.totalNs * 1e-6,
+                    100.0 * ew / (result.totalNs * 1e-6), tbe);
+        if (tbe < best) {
+            best = tbe;
+            bestIter = fftIter;
+        }
+    }
+    std::printf("   best T_boot,eff at fftIter = %.1f\n", bestIter);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Fig. 3 — T_boot,eff vs fftIter (hoisting, no PIM)");
+    sweep(AnaheimConfig::a100NearBank(), "A100 80GB");
+    sweep(AnaheimConfig::rtx4090NearBank(), "RTX 4090");
+    std::printf("\n");
+    bench::note("paper: the fftIter 3/4 mix is best; fftIter > 4 "
+                "degrades T_boot,eff because L_eff drops faster than "
+                "the element-wise share");
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * Fig. 8: execution-time, energy-efficiency and EDP improvements of
+ * Anaheim over the GPU baseline for the six workloads, on all three
+ * PIM configurations of Table III.
+ */
+
+#include <cstdio>
+
+#include "anaheim/framework.h"
+#include "anaheim/workloads.h"
+#include "bench_util.h"
+
+using namespace anaheim;
+
+int
+main()
+{
+    bench::header("Fig. 8 — workload speedup / energy / EDP gains from "
+                  "Anaheim");
+
+    const struct {
+        const char *name;
+        AnaheimConfig config;
+    } configs[] = {
+        {"A100 near-bank", AnaheimConfig::a100NearBank()},
+        {"A100 custom-HBM", AnaheimConfig::a100CustomHbm()},
+        {"RTX4090 near-bank", AnaheimConfig::rtx4090NearBank()},
+    };
+    const auto workloads = makeAllWorkloads();
+
+    for (const auto &cfg : configs) {
+        std::printf("\n-- %s --\n", cfg.name);
+        std::printf("%-16s %10s %10s | %8s %8s %8s\n", "Workload",
+                    "base ms", "PIM ms", "speedup", "energy", "EDP");
+        double minSpeed = 1e9, maxSpeed = 0, minEdp = 1e9, maxEdp = 0;
+        for (const auto &[info, seq] : workloads) {
+            const bool oom =
+                cfg.config.dram.capacityBytes < 30e9 &&
+                (std::string(info.name) == "ResNet20" ||
+                 std::string(info.name) == "ResNet18-AESPA");
+            if (oom) {
+                // §VII-B / Table V: both CNNs exceed the 4090's 24GB.
+                std::printf("%-16s %10s %10s | %8s %8s %8s\n", info.name,
+                            "-", "-", "OoM", "OoM", "OoM");
+                continue;
+            }
+            AnaheimConfig base = cfg.config;
+            base.pimEnabled = false;
+            const auto baseline = AnaheimFramework(base).execute(seq);
+            const auto pim = AnaheimFramework(cfg.config).execute(seq);
+            const double speedup = baseline.totalNs / pim.totalNs;
+            const double energy =
+                baseline.energyJoules() / pim.energyJoules();
+            const double edp = baseline.edp() / pim.edp();
+            std::printf("%-16s %10.2f %10.2f | %7.2fx %7.2fx %7.2fx\n",
+                        info.name, baseline.totalNs * 1e-6,
+                        pim.totalNs * 1e-6, speedup, energy, edp);
+            minSpeed = std::min(minSpeed, speedup);
+            maxSpeed = std::max(maxSpeed, speedup);
+            minEdp = std::min(minEdp, edp);
+            maxEdp = std::max(maxEdp, edp);
+        }
+        std::printf("   speedup range %.2f-%.2fx, EDP range %.2f-%.2fx\n",
+                    minSpeed, maxSpeed, minEdp, maxEdp);
+    }
+    std::printf("\n");
+    bench::note("paper: speedups 1.24-1.74x (A100 NB), 1.17-1.55x (A100 "
+                "cHBM), 1.06-1.49x (4090 NB); EDP 1.62-3.14x; HELR gains "
+                "least (ModSwitch-dominated, 196-slot bootstrap)");
+    return 0;
+}

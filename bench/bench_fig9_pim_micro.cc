@@ -1,0 +1,84 @@
+/**
+ * Fig. 9: microbenchmark of PIM instructions as the data-buffer entry
+ * count B varies from 4 to 64 — speedup and energy efficiency versus
+ * the GPU-side (external-DRAM) execution of the same op, for all three
+ * Anaheim configurations.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "pim/kernelmodel.h"
+
+using namespace anaheim;
+
+namespace {
+
+void
+sweep(const DramConfig &dram, const PimConfig &base, const char *name)
+{
+    std::printf("\n-- %s --\n", name);
+    const struct {
+        PimOpcode opcode;
+        size_t fanIn;
+        const char *label;
+    } instrs[] = {
+        {PimOpcode::Add, 1, "Add"},       {PimOpcode::Mult, 1, "Mult"},
+        {PimOpcode::Mac, 1, "MAC"},       {PimOpcode::PMult, 1, "PMult"},
+        {PimOpcode::CMac, 1, "CMAC"},     {PimOpcode::Tensor, 1, "Tensor"},
+        {PimOpcode::ModDownEp, 1, "ModDownEp"},
+        {PimOpcode::PAccum, 4, "PAccum<4>"},
+        {PimOpcode::CAccum, 8, "CAccum<8>"},
+    };
+    std::printf("%-10s", "Instr");
+    for (size_t b : {4u, 8u, 16u, 32u, 64u})
+        std::printf("   B=%-8zu", b);
+    std::printf("(speedup vs GPU DRAM path; '-' unsupported)\n");
+
+    for (const auto &instr : instrs) {
+        std::printf("%-10s", instr.label);
+        for (size_t b : {4u, 8u, 16u, 32u, 64u}) {
+            PimConfig config = base;
+            config.bufferEntries = b;
+            const PimKernelModel model(dram, config);
+            if (!pimInstrSupported(instr.opcode, instr.fanIn, b)) {
+                std::printf("   %-10s", "-");
+                continue;
+            }
+            const auto pim =
+                model.execute(instr.opcode, instr.fanIn, 54, 1 << 16);
+            const auto gpu =
+                model.baseline(instr.opcode, instr.fanIn, 54, 1 << 16);
+            std::printf("   %-9.2f", gpu.timeNs / pim.timeNs);
+        }
+        // Energy efficiency at the default B.
+        const PimKernelModel model(dram, base);
+        const auto pim =
+            model.execute(instr.opcode, instr.fanIn, 54, 1 << 16);
+        const auto gpu =
+            model.baseline(instr.opcode, instr.fanIn, 54, 1 << 16);
+        std::printf("  | energy %.2fx @B=%zu\n",
+                    gpu.energyPj / pim.energyPj, base.bufferEntries);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Fig. 9 — PIM instruction microbenchmark vs buffer "
+                  "entries B");
+    sweep(DramConfig::hbm2A100(), PimConfig::nearBankA100(),
+          "A100 near-bank (default B=16)");
+    sweep(DramConfig::hbm2A100(), PimConfig::customHbmA100(),
+          "A100 custom-HBM (default B=16)");
+    sweep(DramConfig::gddr6xRtx4090(), PimConfig::nearBankRtx4090(),
+          "RTX 4090 near-bank (default B=32)");
+    std::printf("\n");
+    bench::note("paper: 1.65-10.33x speedups and 2.63-17.39x energy "
+                "gains at the default B; PAccum/CAccum gain most "
+                "(7.26/3.98/3.63x and 10.33/4.31/6.20x); gains saturate "
+                "with B, fastest for custom-HBM");
+    return 0;
+}

@@ -1,0 +1,166 @@
+/**
+ * Google-benchmark microbenchmarks of the functional CKKS library —
+ * the substrate everything else is validated against. Measures the
+ * primitive costs (NTT, element-wise ops, keyswitching, rotation,
+ * encode) at test-scale parameters on the host CPU.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "ckks/encryptor.h"
+#include "ckks/evaluator.h"
+#include "common/rng.h"
+#include "math/ntt.h"
+#include "math/primes.h"
+#include "pim/functional.h"
+
+using namespace anaheim;
+
+namespace {
+
+struct Fixture {
+    Fixture()
+        : context(CkksParams::testParams(1 << 12, 8, 2)),
+          encoder(context), keygen(context, 41), encryptor(context, 43),
+          evaluator(context, encoder), relin(keygen.makeRelinKey()),
+          keys(keygen.makeGaloisKeys({1, 8}))
+    {
+        Rng rng(47);
+        std::vector<std::complex<double>> msg(encoder.slots());
+        for (auto &v : msg)
+            v = {rng.uniformReal() - 0.5, rng.uniformReal() - 0.5};
+        ct = encryptor.encrypt(encoder.encode(msg, context.maxLevel()),
+                               keygen.secretKey());
+        pt = encoder.encode(msg, context.maxLevel());
+    }
+
+    CkksContext context;
+    CkksEncoder encoder;
+    KeyGenerator keygen;
+    CkksEncryptor encryptor;
+    CkksEvaluator evaluator;
+    EvalKey relin;
+    GaloisKeys keys;
+    Ciphertext ct;
+    Plaintext pt;
+};
+
+Fixture &
+fixture()
+{
+    static Fixture instance;
+    return instance;
+}
+
+void
+BM_NttForward(benchmark::State &state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    const uint64_t q = generateNttPrimes(n, 50, 1)[0];
+    const NttTable table(q, n);
+    Rng rng(3);
+    auto data = sampleUniform(rng, n, q);
+    for (auto _ : state) {
+        table.forward(data.data());
+        benchmark::DoNotOptimize(data.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_NttForward)->Arg(1 << 10)->Arg(1 << 12)->Arg(1 << 14);
+
+void
+BM_HAdd(benchmark::State &state)
+{
+    auto &f = fixture();
+    for (auto _ : state) {
+        auto out = f.evaluator.add(f.ct, f.ct);
+        benchmark::DoNotOptimize(out.b.limb(0).data());
+    }
+}
+BENCHMARK(BM_HAdd);
+
+void
+BM_PMult(benchmark::State &state)
+{
+    auto &f = fixture();
+    for (auto _ : state) {
+        auto out = f.evaluator.mulPlain(f.ct, f.pt);
+        benchmark::DoNotOptimize(out.b.limb(0).data());
+    }
+}
+BENCHMARK(BM_PMult);
+
+void
+BM_HMult(benchmark::State &state)
+{
+    auto &f = fixture();
+    for (auto _ : state) {
+        auto out = f.evaluator.multiply(f.ct, f.ct, f.relin);
+        benchmark::DoNotOptimize(out.b.limb(0).data());
+    }
+}
+BENCHMARK(BM_HMult);
+
+void
+BM_HRot(benchmark::State &state)
+{
+    auto &f = fixture();
+    for (auto _ : state) {
+        auto out = f.evaluator.rotate(f.ct, 1, f.keys);
+        benchmark::DoNotOptimize(out.b.limb(0).data());
+    }
+}
+BENCHMARK(BM_HRot);
+
+void
+BM_HoistedRotations(benchmark::State &state)
+{
+    auto &f = fixture();
+    const std::vector<int> rotations = {1, 8};
+    for (auto _ : state) {
+        auto out = f.evaluator.rotateHoisted(f.ct, rotations, f.keys);
+        benchmark::DoNotOptimize(out.front().b.limb(0).data());
+    }
+}
+BENCHMARK(BM_HoistedRotations);
+
+void
+BM_Encode(benchmark::State &state)
+{
+    auto &f = fixture();
+    std::vector<std::complex<double>> msg(f.encoder.slots(), {0.5, 0.1});
+    for (auto _ : state) {
+        auto out = f.encoder.encode(msg, f.context.maxLevel());
+        benchmark::DoNotOptimize(out.poly.limb(0).data());
+    }
+}
+BENCHMARK(BM_Encode);
+
+void
+BM_PimFunctionalPAccum(benchmark::State &state)
+{
+    const uint64_t q = generateNttPrimes(1024, 28, 1)[0];
+    const PimFunctionalUnit unit(q);
+    Rng rng(31);
+    std::vector<PimVector> a(4), b(4), p(4);
+    for (int k = 0; k < 4; ++k) {
+        a[k].resize(4096);
+        b[k].resize(4096);
+        p[k].resize(4096);
+        for (size_t i = 0; i < 4096; ++i) {
+            a[k][i] = static_cast<uint32_t>(rng.uniform(q));
+            b[k][i] = static_cast<uint32_t>(rng.uniform(q));
+            p[k][i] = static_cast<uint32_t>(rng.uniform(q));
+        }
+    }
+    for (auto _ : state) {
+        auto out = unit.pAccum(a, b, p);
+        benchmark::DoNotOptimize(out.first.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 4096 * 8);
+}
+BENCHMARK(BM_PimFunctionalPAccum);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Shared table-printing helpers for the figure-regeneration benches.
+ * Every bench prints the same rows/series the paper reports, with the
+ * paper's published values alongside where available so shape fidelity
+ * is auditable (EXPERIMENTS.md records the comparison).
+ */
+
+#ifndef ANAHEIM_BENCH_UTIL_H
+#define ANAHEIM_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+
+namespace anaheim::bench {
+
+inline void
+header(const std::string &title)
+{
+    std::printf("\n==================================================="
+                "===========================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("====================================================="
+                "=========================\n");
+}
+
+inline void
+note(const std::string &text)
+{
+    std::printf("  %s\n", text.c_str());
+}
+
+} // namespace anaheim::bench
+
+#endif // ANAHEIM_BENCH_UTIL_H

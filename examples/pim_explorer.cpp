@@ -1,0 +1,91 @@
+/**
+ * PIM explorer: drive the Anaheim architecture model interactively —
+ * run any workload on any of the three Table III configurations and
+ * print the resulting schedule summary, DRAM traffic and energy, plus
+ * a per-instruction microbenchmark for a chosen buffer size.
+ *
+ *   ./pim_explorer [workload] [config] [B]
+ *     workload: boot | helr | sort | rnn | resnet20 | resnet18 (boot)
+ *     config:   a100 | chbm | rtx4090                          (a100)
+ *     B:        PIM data-buffer entries                        (default)
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "anaheim/framework.h"
+#include "anaheim/workloads.h"
+#include "common/units.h"
+
+using namespace anaheim;
+
+int
+main(int argc, char **argv)
+{
+    const std::string workload = argc > 1 ? argv[1] : "boot";
+    const std::string configName = argc > 2 ? argv[2] : "a100";
+    const int bufferEntries = argc > 3 ? std::atoi(argv[3]) : 0;
+
+    AnaheimConfig config =
+        configName == "chbm"      ? AnaheimConfig::a100CustomHbm()
+        : configName == "rtx4090" ? AnaheimConfig::rtx4090NearBank()
+                                  : AnaheimConfig::a100NearBank();
+    if (bufferEntries > 0)
+        config.pim.bufferEntries = static_cast<size_t>(bufferEntries);
+
+    OpSequence seq;
+    if (workload == "helr")
+        seq = makeHelrWorkload();
+    else if (workload == "sort")
+        seq = makeSortWorkload();
+    else if (workload == "rnn")
+        seq = makeRnnWorkload();
+    else if (workload == "resnet20")
+        seq = makeResNet20Workload();
+    else if (workload == "resnet18")
+        seq = makeResNet18AespaWorkload();
+    else
+        seq = makeBootWorkload();
+
+    std::printf("workload %s on %s (PIM B=%zu, %s layout)\n",
+                seq.name.c_str(), config.gpu.name.c_str(),
+                config.pim.bufferEntries,
+                config.pim.columnPartition ? "column-partitioned"
+                                           : "contiguous");
+    std::printf("trace: %zu kernels, %.1f G int-ops, %s logical bytes\n",
+                seq.ops.size(), seq.totalIntOps() / 1e9,
+                formatBytes(seq.totalBytes()).c_str());
+
+    AnaheimConfig baseline = config;
+    baseline.pimEnabled = false;
+    const auto base = AnaheimFramework(baseline).execute(seq);
+    const auto pim = AnaheimFramework(config).execute(seq);
+
+    auto report = [](const char *label, const RunResult &result) {
+        std::printf("\n%s: %s, %s, EDP %.3e Js\n", label,
+                    formatSeconds(result.totalSeconds()).c_str(),
+                    formatJoules(result.energyJoules()).c_str(),
+                    result.edp());
+        for (const auto &[category, ns] : result.timeNsByCategory) {
+            std::printf("  %-14s %10s (%4.1f%%)\n", category.c_str(),
+                        formatSeconds(ns * 1e-9).c_str(),
+                        100.0 * ns / result.totalNs);
+        }
+        std::printf("  GPU DRAM traffic %s\n",
+                    formatBytes(result.gpuDramBytes).c_str());
+        if (result.pimInternalBytes > 0) {
+            std::printf("  PIM internal traffic %s\n",
+                        formatBytes(result.pimInternalBytes).c_str());
+        }
+    };
+    report("GPU baseline", base);
+    report("Anaheim", pim);
+
+    std::printf("\nAnaheim vs baseline: %.2fx speedup, %.2fx energy, "
+                "%.2fx EDP\n",
+                base.totalNs / pim.totalNs,
+                base.energyJoules() / pim.energyJoules(),
+                base.edp() / pim.edp());
+    return 0;
+}

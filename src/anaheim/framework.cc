@@ -1,0 +1,173 @@
+#include "framework.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.h"
+#include "trace/validate.h"
+
+namespace anaheim {
+
+AnaheimConfig
+AnaheimConfig::a100NearBank()
+{
+    AnaheimConfig config;
+    config.gpu = GpuConfig::a100_80gb();
+    config.library = LibraryProfile::cheddar();
+    config.dram = DramConfig::hbm2A100();
+    config.pim = PimConfig::nearBankA100();
+    return config;
+}
+
+AnaheimConfig
+AnaheimConfig::a100CustomHbm()
+{
+    AnaheimConfig config = a100NearBank();
+    config.pim = PimConfig::customHbmA100();
+    return config;
+}
+
+AnaheimConfig
+AnaheimConfig::rtx4090NearBank()
+{
+    AnaheimConfig config;
+    config.gpu = GpuConfig::rtx4090();
+    config.library = LibraryProfile::cheddar();
+    config.dram = DramConfig::gddr6xRtx4090();
+    config.pim = PimConfig::nearBankRtx4090();
+    return config;
+}
+
+AnaheimFramework::AnaheimFramework(const AnaheimConfig &config)
+    : config_(config), gpu_(config.gpu, config.library),
+      pim_(config.dram, config.pim)
+{
+}
+
+PimOpcode
+AnaheimFramework::opcodeFor(KernelType type)
+{
+    switch (type) {
+      case KernelType::EwMove: return PimOpcode::Move;
+      case KernelType::EwAdd: return PimOpcode::Add;
+      case KernelType::EwSub: return PimOpcode::Sub;
+      case KernelType::EwMult: return PimOpcode::Mult;
+      case KernelType::EwMac: return PimOpcode::Mac;
+      case KernelType::EwPMult: return PimOpcode::PMult;
+      case KernelType::EwPMac: return PimOpcode::PMac;
+      case KernelType::EwCAdd: return PimOpcode::CAdd;
+      case KernelType::EwCMult: return PimOpcode::CMult;
+      case KernelType::EwCMac: return PimOpcode::CMac;
+      case KernelType::EwTensor: return PimOpcode::Tensor;
+      case KernelType::EwTensorSq: return PimOpcode::TensorSq;
+      case KernelType::EwModDownEp: return PimOpcode::ModDownEp;
+      case KernelType::EwPAccum: return PimOpcode::PAccum;
+      case KernelType::EwCAccum: return PimOpcode::CAccum;
+      default:
+        ANAHEIM_PANIC("kernel ", kernelTypeName(type),
+                      " is not PIM-offloadable");
+    }
+}
+
+RunResult
+AnaheimFramework::execute(const OpSequence &seq) const
+{
+    checkTrace(seq);
+    RunResult result;
+    double clock = 0.0;
+    bool prevWasPim = false;
+
+    // Fusion analysis: op i consumes its predecessor's intermediates
+    // from cache when both run on the GPU in the same phase. ModSwitch
+    // chains (INTT -> BConv -> NTT) fuse unconditionally as in
+    // Cheddar/100x [38]; element-wise chains need the ExtraFuse flag
+    // (the +ExtraFuse arm of Fig. 10).
+    std::vector<bool> onPimFlags(seq.ops.size());
+    for (size_t i = 0; i < seq.ops.size(); ++i) {
+        const KernelOp &op = seq.ops[i];
+        onPimFlags[i] = config_.pimEnabled && op.pimEligible &&
+                        pimInstrSupported(opcodeFor(op.type), op.fanIn,
+                                          config_.pim.bufferEntries);
+    }
+    auto fusesWithPrev = [&](size_t i) {
+        if (i == 0 || onPimFlags[i] || onPimFlags[i - 1])
+            return false;
+        const KernelOp &op = seq.ops[i];
+        const KernelOp &prev = seq.ops[i - 1];
+        if (prev.phase != op.phase)
+            return false;
+        bool readsIntermediate = false;
+        for (const auto &operand : op.reads)
+            readsIntermediate |= operand.kind == OperandKind::Intermediate;
+        if (!readsIntermediate)
+            return false;
+        const bool elementWiseChain =
+            kernelClass(op.type) == KernelClass::ElementWise &&
+            kernelClass(prev.type) == KernelClass::ElementWise;
+        return elementWiseChain ? config_.fusion.extraFuse : true;
+    };
+
+    for (size_t i = 0; i < seq.ops.size(); ++i) {
+        const KernelOp &op = seq.ops[i];
+        const bool onPim = onPimFlags[i];
+
+        if (onPim) {
+            const PimExecStats stats = pim_.execute(
+                opcodeFor(op.type), op.fanIn, op.limbs, op.n);
+            ANAHEIM_ASSERT(stats.supported, "unsupported PIM instruction");
+            // GPU<->PIM transition overhead (§V-C) applies once per PIM
+            // kernel; consecutive PIM instructions share one kernel.
+            const double transitionNs = prevWasPim ? 0.0 : 2.0e3;
+            prevWasPim = true;
+            GanttEntry entry;
+            entry.phase = op.phase;
+            entry.device = "PIM";
+            entry.cls = kernelClass(op.type);
+            entry.startNs = clock;
+            clock += stats.timeNs + transitionNs;
+            entry.endNs = clock;
+            result.timeline.push_back(entry);
+            result.timeNsByCategory["PIM"] += stats.timeNs + transitionNs;
+            result.energyPj += stats.energyPj;
+            result.pimInternalBytes +=
+                stats.chunksMoved * config_.dram.chunkBytes;
+            continue;
+        }
+
+        const bool fused = fusesWithPrev(i);
+        const bool writesCached =
+            i + 1 < seq.ops.size() && fusesWithPrev(i + 1);
+
+        // Coherence write-backs (§V-C): a GPU kernel whose outputs feed
+        // a PIM kernel must push them out of the L2 first.
+        double writeBack = 0.0;
+        if (config_.pimEnabled && i + 1 < seq.ops.size() &&
+            onPimFlags[i + 1]) {
+            for (const auto &operand : op.writes) {
+                if (operand.kind == OperandKind::Intermediate)
+                    writeBack += operand.limbs * limbBytes(op.n);
+            }
+        }
+
+        prevWasPim = false;
+        const GpuKernelStats stats =
+            gpu_.run(op, fused, writeBack, writesCached);
+        GanttEntry entry;
+        entry.phase = op.phase;
+        entry.device = "GPU";
+        entry.cls = kernelClass(op.type);
+        entry.startNs = clock;
+        clock += stats.timeNs;
+        entry.endNs = clock;
+        result.timeline.push_back(entry);
+        result.timeNsByCategory[kernelClassName(kernelClass(op.type))] +=
+            stats.timeNs;
+        result.energyPj += stats.energyPj;
+        result.gpuDramBytes += stats.traffic.total();
+    }
+
+    result.totalNs = clock;
+    return result;
+}
+
+} // namespace anaheim

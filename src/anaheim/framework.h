@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The Anaheim execution framework (§V): takes a kernel trace, decides
+ * which kernels run on the GPU and which are offloaded to PIM, inserts
+ * the coherence write-backs of §V-C, and plays the schedule out on a
+ * single stream (GPU and PIM kernels never overlap, §V-C "no
+ * pipelining") against the GPU roofline and the PIM/DRAM simulator.
+ */
+
+#ifndef ANAHEIM_ANAHEIM_FRAMEWORK_H
+#define ANAHEIM_ANAHEIM_FRAMEWORK_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gpu/gpumodel.h"
+#include "pim/kernelmodel.h"
+#include "trace/kernel.h"
+
+namespace anaheim {
+
+struct FusionFlags {
+    /** PAccum/CAccum formation — applied by the trace builders. */
+    bool basicFuse = true;
+    /** GPU-side producer-consumer fusion of element-wise chains
+     *  (ModDown fusion of [38] and friends). */
+    bool extraFuse = true;
+    /** Automorphism fused into accumulation — applied by builders. */
+    bool autFuse = true;
+};
+
+struct AnaheimConfig {
+    GpuConfig gpu;
+    LibraryProfile library;
+    DramConfig dram;
+    PimConfig pim;
+    bool pimEnabled = true;
+    FusionFlags fusion;
+
+    /** A100 80GB with near-bank PIM (Table III column 1). */
+    static AnaheimConfig a100NearBank();
+    /** A100 80GB with custom-HBM PIM (column 2). */
+    static AnaheimConfig a100CustomHbm();
+    /** RTX 4090 with near-bank PIM (column 3). */
+    static AnaheimConfig rtx4090NearBank();
+};
+
+struct GanttEntry {
+    std::string phase;
+    std::string device; ///< "GPU" or "PIM"
+    KernelClass cls;
+    double startNs = 0.0;
+    double endNs = 0.0;
+};
+
+struct RunResult {
+    double totalNs = 0.0;
+    double energyPj = 0.0;
+    /** Seconds by paper breakdown category (ElementWise / (I)NTT /
+     *  BConv / Automorphism), PIM time listed under "PIM". */
+    std::map<std::string, double> timeNsByCategory;
+    double gpuDramBytes = 0.0;
+    double pimInternalBytes = 0.0;
+    std::vector<GanttEntry> timeline;
+
+    double totalSeconds() const { return totalNs * 1e-9; }
+    double energyJoules() const { return energyPj * 1e-12; }
+    double edp() const { return totalSeconds() * energyJoules(); }
+};
+
+class AnaheimFramework
+{
+  public:
+    explicit AnaheimFramework(const AnaheimConfig &config);
+
+    const AnaheimConfig &config() const { return config_; }
+
+    /** Execute a trace and return time/energy/traffic. */
+    RunResult execute(const OpSequence &seq) const;
+
+  private:
+    /** Map an element-wise kernel type onto its PIM opcode. */
+    static PimOpcode opcodeFor(KernelType type);
+
+    AnaheimConfig config_;
+    GpuModel gpu_;
+    PimKernelModel pim_;
+};
+
+} // namespace anaheim
+
+#endif // ANAHEIM_ANAHEIM_FRAMEWORK_H

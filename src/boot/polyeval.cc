@@ -1,0 +1,57 @@
+#include "polyeval.h"
+
+#include "common/logging.h"
+
+namespace anaheim {
+
+std::vector<double>
+monomialToChebyshev(const std::vector<double> &coeffs)
+{
+    ANAHEIM_ASSERT(!coeffs.empty(), "empty polynomial");
+    // Represent each power x^k in the Chebyshev basis via
+    // x * T_n = (T_{n+1} + T_{|n-1|}) / 2 and accumulate.
+    const size_t degree = coeffs.size() - 1;
+    std::vector<double> result(coeffs.size(), 0.0);
+    // chebOfPower holds the Chebyshev expansion of x^k.
+    std::vector<double> chebOfPower(coeffs.size(), 0.0);
+    chebOfPower[0] = 1.0; // x^0 = T_0
+    result[0] += coeffs[0];
+    for (size_t k = 1; k <= degree; ++k) {
+        std::vector<double> next(coeffs.size(), 0.0);
+        for (size_t n = 0; n < coeffs.size(); ++n) {
+            const double c = chebOfPower[n];
+            if (c == 0.0)
+                continue;
+            if (n == 0) {
+                // x * T_0 = T_1.
+                next[1] += c;
+            } else {
+                if (n + 1 < next.size())
+                    next[n + 1] += 0.5 * c;
+                next[n - 1] += 0.5 * c;
+            }
+        }
+        chebOfPower = std::move(next);
+        for (size_t n = 0; n < result.size(); ++n)
+            result[n] += coeffs[k] * chebOfPower[n];
+    }
+    return result;
+}
+
+Ciphertext
+PolynomialEvaluator::evaluate(const Ciphertext &x,
+                              const std::vector<double> &monomialCoeffs)
+    const
+{
+    return chebyshev_.evaluate(x, monomialToChebyshev(monomialCoeffs));
+}
+
+Ciphertext
+PolynomialEvaluator::evaluateFunction(
+    const Ciphertext &x, const std::function<double(double)> &f,
+    size_t degree) const
+{
+    return chebyshev_.evaluate(x, chebyshevFit(f, degree));
+}
+
+} // namespace anaheim

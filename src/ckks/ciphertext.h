@@ -1,0 +1,36 @@
+/**
+ * @file
+ * CKKS data objects: Plaintext (encoded, unencrypted) and Ciphertext
+ * (a pair (b, a) in R_Q^2, §II-A). Both carry their active level (number
+ * of Q limbs) and the exact scaling factor currently attached to the
+ * underlying message.
+ */
+
+#ifndef ANAHEIM_CKKS_CIPHERTEXT_H
+#define ANAHEIM_CKKS_CIPHERTEXT_H
+
+#include "poly/polynomial.h"
+
+namespace anaheim {
+
+struct Plaintext {
+    Polynomial poly;
+    /** Number of active Q limbs. */
+    size_t level = 0;
+    /** Exact scale Delta currently multiplying the message. */
+    double scale = 0.0;
+};
+
+struct Ciphertext {
+    /** Decrypts as b + a * s. */
+    Polynomial b;
+    Polynomial a;
+    size_t level = 0;
+    double scale = 0.0;
+
+    size_t degree() const { return b.degree(); }
+};
+
+} // namespace anaheim
+
+#endif // ANAHEIM_CKKS_CIPHERTEXT_H

@@ -1,0 +1,86 @@
+#include "context.h"
+
+#include "common/logging.h"
+#include "math/modarith.h"
+#include "math/primes.h"
+
+namespace anaheim {
+
+CkksContext::CkksContext(const CkksParams &params) : params_(params)
+{
+    params_.validate();
+    const size_t n = params_.n;
+
+    // Prime chain: q0 at firstModulusBits, the rest near 2^logScale, and
+    // alpha special primes at firstModulusBits (largest available, the
+    // standard choice to minimize ModDown noise).
+    const auto q0 = generateNttPrimes(n, params_.firstModulusBits, 1);
+    auto scalePrimes =
+        generateNttPrimes(n, params_.logScale, params_.levels - 1, q0);
+    std::vector<uint64_t> qPrimes = q0;
+    qPrimes.insert(qPrimes.end(), scalePrimes.begin(), scalePrimes.end());
+
+    std::vector<uint64_t> skip = qPrimes;
+    const auto pPrimes =
+        generateNttPrimes(n, params_.firstModulusBits, params_.alpha, skip);
+
+    qBasis_ = RnsBasis(qPrimes, n);
+    pBasis_ = RnsBasis(pPrimes, n);
+    qpBasis_ = qBasis_.concat(pBasis_);
+
+    pModQ_.resize(qPrimes.size());
+    pInvModQ_.resize(qPrimes.size());
+    for (size_t i = 0; i < qPrimes.size(); ++i) {
+        const uint64_t qi = qPrimes[i];
+        uint64_t pMod = 1;
+        for (uint64_t p : pPrimes)
+            pMod = mulMod(pMod, p % qi, qi);
+        pModQ_[i] = pMod;
+        pInvModQ_[i] = invMod(pMod, qi);
+    }
+}
+
+RnsBasis
+CkksContext::levelBasis(size_t level) const
+{
+    ANAHEIM_ASSERT(level >= 1 && level <= params_.levels,
+                   "level out of range: ", level);
+    return qBasis_.slice(0, level);
+}
+
+RnsBasis
+CkksContext::extendedBasis(size_t level) const
+{
+    return levelBasis(level).concat(pBasis_);
+}
+
+std::pair<size_t, size_t>
+CkksContext::digitRange(size_t j) const
+{
+    const size_t begin = j * params_.alpha;
+    const size_t end = std::min(begin + params_.alpha, params_.levels);
+    ANAHEIM_ASSERT(begin < end, "digit index out of range: ", j);
+    return {begin, end};
+}
+
+size_t
+CkksContext::digitsAtLevel(size_t level) const
+{
+    return (level + params_.alpha - 1) / params_.alpha;
+}
+
+const BasisConverter &
+CkksContext::converter(const RnsBasis &source, const RnsBasis &target) const
+{
+    auto key = std::make_pair(source.primes(), target.primes());
+    auto it = converterCache_.find(key);
+    if (it == converterCache_.end()) {
+        it = converterCache_
+                 .emplace(std::move(key),
+                          std::make_unique<BasisConverter>(source, target))
+                 .first;
+    }
+    return *it->second;
+}
+
+} // namespace anaheim

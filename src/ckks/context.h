@@ -1,0 +1,79 @@
+/**
+ * @file
+ * CkksContext: the shared, immutable environment for one parameter set —
+ * the Q and P prime chains with their NTT tables, the hybrid-keyswitching
+ * digit partition, and a cache of basis converters.
+ */
+
+#ifndef ANAHEIM_CKKS_CONTEXT_H
+#define ANAHEIM_CKKS_CONTEXT_H
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "params.h"
+#include "rns/basis.h"
+#include "rns/bconv.h"
+
+namespace anaheim {
+
+class CkksContext
+{
+  public:
+    explicit CkksContext(const CkksParams &params);
+
+    const CkksParams &params() const { return params_; }
+    size_t degree() const { return params_.n; }
+    size_t maxLevel() const { return params_.levels; }
+    size_t alpha() const { return params_.alpha; }
+    size_t dnum() const { return params_.dnum(); }
+
+    /** Full ciphertext basis Q (L primes, q0 first). */
+    const RnsBasis &qBasis() const { return qBasis_; }
+    /** Special-prime basis P (alpha primes). */
+    const RnsBasis &pBasis() const { return pBasis_; }
+    /** Concatenated basis Q || P used by evaluation keys. */
+    const RnsBasis &qpBasis() const { return qpBasis_; }
+
+    /** Basis of a ciphertext with `level` active limbs: slice(Q, level).*/
+    RnsBasis levelBasis(size_t level) const;
+
+    /** Extended basis Q_level || P used during keyswitching. */
+    RnsBasis extendedBasis(size_t level) const;
+
+    /** Prime indices [begin, end) of hybrid-keyswitching digit j. */
+    std::pair<size_t, size_t> digitRange(size_t j) const;
+
+    /** Number of digits that cover a ciphertext at `level` limbs. */
+    size_t digitsAtLevel(size_t level) const;
+
+    /** P mod q_i for each Q prime (gadget factor of the matching digit). */
+    const std::vector<uint64_t> &pModQ() const { return pModQ_; }
+    /** P^-1 mod q_i for each Q prime (ModDown scaling). */
+    const std::vector<uint64_t> &pInvModQ() const { return pInvModQ_; }
+
+    /**
+     * Cached converter between arbitrary sub-bases of this context.
+     * Construction precomputes the qHat matrices; the cache keys on the
+     * exact prime lists.
+     */
+    const BasisConverter &converter(const RnsBasis &source,
+                                    const RnsBasis &target) const;
+
+  private:
+    CkksParams params_;
+    RnsBasis qBasis_;
+    RnsBasis pBasis_;
+    RnsBasis qpBasis_;
+    std::vector<uint64_t> pModQ_;
+    std::vector<uint64_t> pInvModQ_;
+    mutable std::map<
+        std::pair<std::vector<uint64_t>, std::vector<uint64_t>>,
+        std::unique_ptr<BasisConverter>>
+        converterCache_;
+};
+
+} // namespace anaheim
+
+#endif // ANAHEIM_CKKS_CONTEXT_H

@@ -1,0 +1,212 @@
+#include "encoder.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "math/modarith.h"
+
+namespace anaheim {
+
+namespace {
+
+/** Bit-reversal permutation on a complex vector of power-of-two size. */
+void
+bitReversePermute(std::vector<std::complex<double>> &vals)
+{
+    const size_t n = vals.size();
+    for (size_t i = 1, j = 0; i < n; ++i) {
+        size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1)
+            j ^= bit;
+        j ^= bit;
+        if (i < j)
+            std::swap(vals[i], vals[j]);
+    }
+}
+
+/**
+ * Centered value of an RNS residue vector, reconstructed exactly.
+ *
+ * Decoded CKKS values (message * scale + noise) are always far below
+ * the product of the first two primes, so an exact __int128 CRT over a
+ * prefix of limbs whose product stays below 2^126 recovers the centered
+ * integer with no rounding at all. Using more limbs would only confirm
+ * the high digits are zero.
+ */
+long double
+centeredValue(const std::vector<uint64_t> &residues, const RnsBasis &basis)
+{
+    // Greedily take limbs while the modulus product fits 126 bits.
+    unsigned __int128 modulus = 1;
+    size_t used = 0;
+    while (used < residues.size()) {
+        const uint64_t q = basis.prime(used);
+        if (modulus > (static_cast<unsigned __int128>(1) << 126) / q)
+            break;
+        modulus *= q;
+        ++used;
+    }
+    // Garner reconstruction over the prefix, exact in __int128.
+    unsigned __int128 value = 0;
+    unsigned __int128 product = 1;
+    for (size_t i = 0; i < used; ++i) {
+        const uint64_t qi = basis.prime(i);
+        const uint64_t current = static_cast<uint64_t>(value % qi);
+        const uint64_t inv = invMod(static_cast<uint64_t>(product % qi), qi);
+        const uint64_t digit =
+            mulMod(subMod(residues[i], current, qi), inv, qi);
+        value += product * digit;
+        product *= qi;
+    }
+    const bool negative = value > modulus / 2;
+    const unsigned __int128 magnitude = negative ? modulus - value : value;
+    long double result = 0.0L;
+    long double base = 1.0L;
+    // Convert the 128-bit magnitude in 32-bit chunks.
+    unsigned __int128 rest = magnitude;
+    while (rest > 0) {
+        result += base * static_cast<long double>(
+                             static_cast<uint32_t>(rest & 0xffffffffu));
+        base *= 4294967296.0L;
+        rest >>= 32;
+    }
+    return negative ? -result : result;
+}
+
+} // namespace
+
+CkksEncoder::CkksEncoder(const CkksContext &context)
+    : context_(context), slots_(context.degree() / 2)
+{
+    const size_t m = 2 * context.degree();
+    rotGroup_.resize(slots_);
+    size_t fivePow = 1;
+    for (size_t j = 0; j < slots_; ++j) {
+        rotGroup_[j] = fivePow;
+        fivePow = fivePow * 5 % m;
+    }
+    ksiPows_.resize(m + 1);
+    for (size_t k = 0; k <= m; ++k) {
+        const double angle = 2.0 * M_PI * k / static_cast<double>(m);
+        ksiPows_[k] = {std::cos(angle), std::sin(angle)};
+    }
+}
+
+void
+CkksEncoder::embedForward(std::vector<std::complex<double>> &vals) const
+{
+    // Special FFT (HEAAN formulation): vals[j] <- sum_i vals[i] *
+    // zeta^{5^j * i} with zeta the primitive 2N-th root of unity.
+    const size_t n = vals.size();
+    const size_t m = 2 * context_.degree();
+    ANAHEIM_ASSERT(n == slots_, "embed size mismatch");
+    bitReversePermute(vals);
+    for (size_t len = 2; len <= n; len <<= 1) {
+        const size_t lenh = len >> 1;
+        const size_t lenq = len << 2;
+        for (size_t i = 0; i < n; i += len) {
+            for (size_t j = 0; j < lenh; ++j) {
+                const size_t idx = (rotGroup_[j] % lenq) * (m / lenq);
+                const auto u = vals[i + j];
+                const auto v = vals[i + j + lenh] * ksiPows_[idx];
+                vals[i + j] = u + v;
+                vals[i + j + lenh] = u - v;
+            }
+        }
+    }
+}
+
+void
+CkksEncoder::embedInverse(std::vector<std::complex<double>> &vals) const
+{
+    const size_t n = vals.size();
+    const size_t m = 2 * context_.degree();
+    ANAHEIM_ASSERT(n == slots_, "embed size mismatch");
+    for (size_t len = n; len >= 2; len >>= 1) {
+        const size_t lenh = len >> 1;
+        const size_t lenq = len << 2;
+        for (size_t i = 0; i < n; i += len) {
+            for (size_t j = 0; j < lenh; ++j) {
+                const size_t idx =
+                    (lenq - (rotGroup_[j] % lenq)) * (m / lenq);
+                const auto u = vals[i + j] + vals[i + j + lenh];
+                auto v = vals[i + j] - vals[i + j + lenh];
+                v *= ksiPows_[idx];
+                vals[i + j] = u;
+                vals[i + j + lenh] = v;
+            }
+        }
+    }
+    bitReversePermute(vals);
+    const double scale = 1.0 / static_cast<double>(n);
+    for (auto &v : vals)
+        v *= scale;
+}
+
+Plaintext
+CkksEncoder::encode(const std::vector<std::complex<double>> &message,
+                    size_t level, double scale) const
+{
+    return encodeAtBasis(message, context_.levelBasis(level), scale);
+}
+
+Plaintext
+CkksEncoder::encodeAtBasis(const std::vector<std::complex<double>> &message,
+                           const RnsBasis &basis, double scale) const
+{
+    ANAHEIM_ASSERT(message.size() <= slots_, "too many slots");
+    if (scale == 0.0)
+        scale = std::ldexp(1.0, context_.params().logScale);
+
+    std::vector<std::complex<double>> vals(slots_, {0.0, 0.0});
+    std::copy(message.begin(), message.end(), vals.begin());
+    embedInverse(vals);
+
+    std::vector<int64_t> coeffs(context_.degree());
+    for (size_t i = 0; i < slots_; ++i) {
+        coeffs[i] = llround(vals[i].real() * scale);
+        coeffs[i + slots_] = llround(vals[i].imag() * scale);
+    }
+    Plaintext pt;
+    pt.poly = polynomialFromSigned(basis, coeffs);
+    pt.poly.toEval();
+    pt.level = basis.size();
+    pt.scale = scale;
+    return pt;
+}
+
+Plaintext
+CkksEncoder::encodeReal(const std::vector<double> &message, size_t level,
+                        double scale) const
+{
+    std::vector<std::complex<double>> complexMsg(message.size());
+    for (size_t i = 0; i < message.size(); ++i)
+        complexMsg[i] = {message[i], 0.0};
+    return encode(complexMsg, level, scale);
+}
+
+std::vector<std::complex<double>>
+CkksEncoder::decode(const Plaintext &pt) const
+{
+    Polynomial poly = pt.poly;
+    poly.toCoeff();
+    const size_t l = poly.limbCount();
+    const RnsBasis basis = poly.basis();
+
+    std::vector<std::complex<double>> vals(slots_);
+    std::vector<uint64_t> residues(l);
+    for (size_t i = 0; i < slots_; ++i) {
+        for (size_t k = 0; k < l; ++k)
+            residues[k] = poly.limb(k)[i];
+        const long double re = centeredValue(residues, basis);
+        for (size_t k = 0; k < l; ++k)
+            residues[k] = poly.limb(k)[i + slots_];
+        const long double im = centeredValue(residues, basis);
+        vals[i] = {static_cast<double>(re / pt.scale),
+                   static_cast<double>(im / pt.scale)};
+    }
+    embedForward(vals);
+    return vals;
+}
+
+} // namespace anaheim

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * CKKS encoder: canonical embedding between complex messages u in
+ * C^{N/2} and plaintext polynomials (§II-A).
+ *
+ * Uses the special FFT over the 5^j orbit of 2N-th roots of unity, the
+ * same formulation HEAAN introduced, so slot j of a plaintext is the
+ * evaluation at zeta^{5^j}. Cyclic slot rotation by R then corresponds
+ * exactly to the Galois automorphism X -> X^{5^R}.
+ */
+
+#ifndef ANAHEIM_CKKS_ENCODER_H
+#define ANAHEIM_CKKS_ENCODER_H
+
+#include <complex>
+#include <vector>
+
+#include "ciphertext.h"
+#include "context.h"
+
+namespace anaheim {
+
+class CkksEncoder
+{
+  public:
+    explicit CkksEncoder(const CkksContext &context);
+
+    size_t slots() const { return slots_; }
+
+    /**
+     * Encode up to N/2 complex values (zero-padded) into a plaintext at
+     * the given level; default scale is 2^logScale from the parameters.
+     */
+    Plaintext encode(const std::vector<std::complex<double>> &message,
+                     size_t level, double scale = 0.0) const;
+
+    /** Encode a real vector. */
+    Plaintext encodeReal(const std::vector<double> &message, size_t level,
+                         double scale = 0.0) const;
+
+    /**
+     * Encode over an explicit basis (e.g. the extended basis Q_l || P
+     * that hoisted linear transforms PMULT in, §III-B). The returned
+     * plaintext's `level` is the basis size.
+     */
+    Plaintext encodeAtBasis(const std::vector<std::complex<double>> &message,
+                            const RnsBasis &basis,
+                            double scale = 0.0) const;
+
+    /** Decode a plaintext back into N/2 complex values. */
+    std::vector<std::complex<double>> decode(const Plaintext &pt) const;
+
+    /**
+     * Forward special FFT: coefficients-as-complex -> slot values.
+     * Exposed for the bootstrapping DFT-factor generator.
+     */
+    void embedForward(std::vector<std::complex<double>> &vals) const;
+
+    /** Inverse special FFT (including the 1/slots scaling). */
+    void embedInverse(std::vector<std::complex<double>> &vals) const;
+
+  private:
+    const CkksContext &context_;
+    size_t slots_;
+    /** rotGroup[j] = 5^j mod 2N. */
+    std::vector<size_t> rotGroup_;
+    /** ksiPows[k] = exp(2*pi*i*k / 2N). */
+    std::vector<std::complex<double>> ksiPows_;
+};
+
+} // namespace anaheim
+
+#endif // ANAHEIM_CKKS_ENCODER_H

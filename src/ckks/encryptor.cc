@@ -1,0 +1,78 @@
+#include "encryptor.h"
+
+#include "common/logging.h"
+
+namespace anaheim {
+
+Ciphertext
+CkksEncryptor::encrypt(const Plaintext &pt, const SecretKey &sk)
+{
+    const RnsBasis basis = pt.poly.basis();
+    ANAHEIM_ASSERT(pt.poly.domain() == Domain::Eval,
+                   "plaintext must be in Eval domain");
+    Ciphertext ct;
+    ct.level = pt.level;
+    ct.scale = pt.scale;
+
+    Polynomial a(basis, Domain::Eval);
+    for (size_t i = 0; i < basis.size(); ++i)
+        a.limb(i) = sampleUniform(rng_, basis.degree(), basis.prime(i));
+
+    const auto errs =
+        sampleError(rng_, basis.degree(), context_.params().sigma);
+    Polynomial e = polynomialFromSigned(basis, errs);
+    e.toEval();
+
+    // b = -a*s + m + e.
+    Polynomial as = a;
+    as.mulEq(sk.s.firstLimbs(basis.size()));
+    ct.b = pt.poly + e - as;
+    ct.a = std::move(a);
+    return ct;
+}
+
+Ciphertext
+CkksEncryptor::encrypt(const Plaintext &pt, const PublicKey &pk)
+{
+    const RnsBasis basis = pt.poly.basis();
+    const size_t level = pt.level;
+    Ciphertext ct;
+    ct.level = level;
+    ct.scale = pt.scale;
+
+    // v: small ternary mask; e0, e1: fresh errors.
+    const auto vCoeffs = sampleTernary(rng_, basis.degree());
+    std::vector<int64_t> wide(vCoeffs.begin(), vCoeffs.end());
+    Polynomial v = polynomialFromSigned(basis, wide);
+    v.toEval();
+
+    const double sigma = context_.params().sigma;
+    Polynomial e0 = polynomialFromSigned(
+        basis, sampleError(rng_, basis.degree(), sigma));
+    e0.toEval();
+    Polynomial e1 = polynomialFromSigned(
+        basis, sampleError(rng_, basis.degree(), sigma));
+    e1.toEval();
+
+    Polynomial pkb = pk.b.firstLimbs(level);
+    Polynomial pka = pk.a.firstLimbs(level);
+    pkb.mulEq(v);
+    pka.mulEq(v);
+    ct.b = pkb + e0 + pt.poly;
+    ct.a = pka + e1;
+    return ct;
+}
+
+Plaintext
+CkksDecryptor::decrypt(const Ciphertext &ct) const
+{
+    Plaintext pt;
+    pt.level = ct.level;
+    pt.scale = ct.scale;
+    Polynomial as = ct.a;
+    as.mulEq(secret_.s.firstLimbs(ct.level));
+    pt.poly = ct.b + as;
+    return pt;
+}
+
+} // namespace anaheim

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Encryption and decryption: [<u>] = (b, a) = (-a*s + <u> + e, a).
+ */
+
+#ifndef ANAHEIM_CKKS_ENCRYPTOR_H
+#define ANAHEIM_CKKS_ENCRYPTOR_H
+
+#include "ciphertext.h"
+#include "context.h"
+#include "encoder.h"
+#include "keys.h"
+
+namespace anaheim {
+
+class CkksEncryptor
+{
+  public:
+    CkksEncryptor(const CkksContext &context, uint64_t seed = 99)
+        : context_(context), rng_(seed)
+    {
+    }
+
+    /** Symmetric encryption under the secret key. */
+    Ciphertext encrypt(const Plaintext &pt, const SecretKey &sk);
+
+    /** Public-key encryption. */
+    Ciphertext encrypt(const Plaintext &pt, const PublicKey &pk);
+
+  private:
+    const CkksContext &context_;
+    Rng rng_;
+};
+
+class CkksDecryptor
+{
+  public:
+    CkksDecryptor(const CkksContext &context, const SecretKey &sk)
+        : context_(context), secret_(sk)
+    {
+    }
+
+    /** Recover the plaintext b + a*s (scale and level preserved). */
+    Plaintext decrypt(const Ciphertext &ct) const;
+
+  private:
+    const CkksContext &context_;
+    const SecretKey &secret_;
+};
+
+} // namespace anaheim
+
+#endif // ANAHEIM_CKKS_ENCRYPTOR_H

@@ -1,0 +1,128 @@
+#include "keyswitch.h"
+
+#include "common/logging.h"
+#include "math/modarith.h"
+
+namespace anaheim {
+
+std::vector<Polynomial>
+KeySwitcher::modUp(const Polynomial &a) const
+{
+    ANAHEIM_ASSERT(a.domain() == Domain::Eval, "ModUp expects Eval input");
+    const size_t level = a.limbCount();
+    const size_t digits = context_.digitsAtLevel(level);
+    const RnsBasis extBasis = context_.extendedBasis(level);
+
+    std::vector<Polynomial> result;
+    result.reserve(digits);
+    for (size_t j = 0; j < digits; ++j) {
+        const auto [begin, endFull] = context_.digitRange(j);
+        const size_t end = std::min(endFull, level);
+
+        // Digit residues in coefficient domain for the basis conversion.
+        RnsBasis digitBasis = context_.qBasis().slice(begin, end - begin);
+        std::vector<std::vector<uint64_t>> digitCoeff(end - begin);
+        for (size_t i = begin; i < end; ++i) {
+            digitCoeff[i - begin] = a.limb(i);
+            digitBasis.table(i - begin).inverse(digitCoeff[i - begin]);
+        }
+
+        // Convert to every extended prime outside the digit; the target
+        // basis is assembled from slices so NTT tables are shared.
+        RnsBasis before = extBasis.slice(0, begin);
+        RnsBasis after = extBasis.slice(end, extBasis.size() - end);
+        RnsBasis target = before.concat(after);
+        const BasisConverter &conv = context_.converter(digitBasis, target);
+        auto converted = conv.convert(digitCoeff);
+
+        // Assemble the extended polynomial: digit limbs are copied in
+        // Eval domain untouched; converted limbs are NTT'd into place.
+        Polynomial ext(extBasis, Domain::Eval);
+        size_t convIdx = 0;
+        for (size_t i = 0; i < extBasis.size(); ++i) {
+            if (i >= begin && i < end) {
+                ext.limb(i) = a.limb(i);
+            } else {
+                ext.limb(i) = std::move(converted[convIdx++]);
+                extBasis.table(i).forward(ext.limb(i));
+            }
+        }
+        result.push_back(std::move(ext));
+    }
+    return result;
+}
+
+Polynomial
+KeySwitcher::restrictToExtended(const Polynomial &keyPoly,
+                                size_t level) const
+{
+    const size_t fullLevels = context_.maxLevel();
+    const RnsBasis extBasis = context_.extendedBasis(level);
+    Polynomial out(extBasis, Domain::Eval);
+    for (size_t i = 0; i < level; ++i)
+        out.limb(i) = keyPoly.limb(i);
+    for (size_t i = 0; i < context_.alpha(); ++i)
+        out.limb(level + i) = keyPoly.limb(fullLevels + i);
+    return out;
+}
+
+std::pair<Polynomial, Polynomial>
+KeySwitcher::keyMult(const std::vector<Polynomial> &digits,
+                     const EvalKey &evk) const
+{
+    ANAHEIM_ASSERT(!digits.empty(), "no digits");
+    ANAHEIM_ASSERT(digits.size() <= evk.dnum(),
+                   "more digits than evk provides");
+    const size_t level = digits[0].limbCount() - context_.alpha();
+    const RnsBasis extBasis = context_.extendedBasis(level);
+
+    Polynomial d0(extBasis, Domain::Eval);
+    Polynomial d1(extBasis, Domain::Eval);
+    for (size_t j = 0; j < digits.size(); ++j) {
+        d0.macEq(digits[j], restrictToExtended(evk.b[j], level));
+        d1.macEq(digits[j], restrictToExtended(evk.a[j], level));
+    }
+    return {std::move(d0), std::move(d1)};
+}
+
+Polynomial
+KeySwitcher::modDown(const Polynomial &extended) const
+{
+    const size_t alpha = context_.alpha();
+    ANAHEIM_ASSERT(extended.limbCount() > alpha, "nothing to scale down");
+    const size_t level = extended.limbCount() - alpha;
+    const RnsBasis qBasis = context_.levelBasis(level);
+
+    // P-part residues in coefficient domain.
+    std::vector<std::vector<uint64_t>> pCoeff(alpha);
+    for (size_t i = 0; i < alpha; ++i) {
+        pCoeff[i] = extended.limb(level + i);
+        context_.pBasis().table(i).inverse(pCoeff[i]);
+    }
+    const BasisConverter &conv =
+        context_.converter(context_.pBasis(), qBasis);
+    auto converted = conv.convert(pCoeff);
+
+    Polynomial out(qBasis, Domain::Eval);
+    for (size_t i = 0; i < level; ++i) {
+        const uint64_t qi = qBasis.prime(i);
+        qBasis.table(i).forward(converted[i]);
+        const uint64_t pInv = context_.pInvModQ()[i];
+        const auto &src = extended.limb(i);
+        auto &dst = out.limb(i);
+        for (size_t c = 0; c < dst.size(); ++c) {
+            dst[c] = mulMod(subMod(src[c], converted[i][c], qi), pInv, qi);
+        }
+    }
+    return out;
+}
+
+std::pair<Polynomial, Polynomial>
+KeySwitcher::keySwitch(const Polynomial &a, const EvalKey &evk) const
+{
+    const auto digits = modUp(a);
+    auto [d0, d1] = keyMult(digits, evk);
+    return {modDown(d0), modDown(d1)};
+}
+
+} // namespace anaheim

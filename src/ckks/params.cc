@@ -1,0 +1,83 @@
+#include "params.h"
+
+#include "common/logging.h"
+
+namespace anaheim {
+
+void
+CkksParams::validate() const
+{
+    ANAHEIM_ASSERT((n & (n - 1)) == 0 && n >= 8, "N must be a power of two");
+    ANAHEIM_ASSERT(levels >= 1, "need at least one prime");
+    ANAHEIM_ASSERT(alpha >= 1 && alpha <= levels, "bad alpha");
+    ANAHEIM_ASSERT(logScale >= 20 && logScale <= 55, "bad logScale");
+    ANAHEIM_ASSERT(firstModulusBits > logScale,
+                   "first modulus must exceed the scale");
+    ANAHEIM_ASSERT(firstModulusBits <= 59, "prime width beyond 59 bits");
+}
+
+double
+CkksParams::maxLogPQ(size_t n)
+{
+    // Homomorphic-encryption-standard style bound, linear in N; anchored
+    // at the value the paper uses (log PQ < 1623 at N = 2^16) [19].
+    return 1623.0 * static_cast<double>(n) / 65536.0;
+}
+
+bool
+CkksParams::satisfies128BitSecurity() const
+{
+    const double logQ =
+        static_cast<double>(firstModulusBits) +
+        static_cast<double>(levels - 1) * logScale;
+    const double logP = static_cast<double>(alpha) * firstModulusBits;
+    return logQ + logP < maxLogPQ(n);
+}
+
+CkksParams
+CkksParams::testParams(size_t n, size_t levels, size_t alpha)
+{
+    CkksParams params;
+    params.n = n;
+    params.levels = levels;
+    params.alpha = alpha;
+    params.logScale = 40;
+    params.firstModulusBits = 52;
+    params.validate();
+    return params;
+}
+
+CkksParams
+CkksParams::paperParams()
+{
+    CkksParams params;
+    params.n = size_t{1} << 16;
+    params.levels = 54;
+    params.alpha = 14;
+    // The paper stores 28-bit primes and reaches Delta = 2^48..2^55 via
+    // double-prime scaling [1]; for modeling purposes the logical scale
+    // is what matters.
+    params.logScale = 48;
+    params.firstModulusBits = 55;
+    return params;
+}
+
+CkksParams
+CkksParams::bootstrapParams(size_t n)
+{
+    CkksParams params;
+    params.n = n;
+    params.levels = 17;
+    params.alpha = 3;
+    // The q0/Delta ratio (2^10) balances the scaled-sine linearization
+    // error against keyswitch-noise amplification through the sine's
+    // slope; the sparse secret (H_s = 2^5 / 2 in Table IV terms) bounds
+    // the modulus multiple K after ModRaise.
+    params.logScale = 48;
+    params.firstModulusBits = 58;
+    params.hammingWeight = 16;
+    params.validate();
+    return params;
+}
+
+} // namespace anaheim

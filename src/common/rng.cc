@@ -1,0 +1,122 @@
+#include "rng.h"
+
+#include <cmath>
+
+#include "logging.h"
+
+namespace anaheim {
+
+namespace {
+
+uint64_t
+splitmix64(uint64_t &x)
+{
+    uint64_t z = (x += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t s = seed;
+    for (auto &word : state_)
+        word = splitmix64(s);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::uniform(uint64_t bound)
+{
+    ANAHEIM_ASSERT(bound > 0, "uniform bound must be positive");
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        const uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+double
+Rng::uniformReal()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::gaussian()
+{
+    // Box–Muller; one sample per call keeps the generator stateless w.r.t.
+    // caching and easy to reason about for reproducibility.
+    double u1 = uniformReal();
+    while (u1 == 0.0)
+        u1 = uniformReal();
+    const double u2 = uniformReal();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * M_PI * u2);
+}
+
+std::vector<uint64_t>
+sampleUniform(Rng &rng, size_t n, uint64_t q)
+{
+    std::vector<uint64_t> out(n);
+    for (auto &coeff : out)
+        coeff = rng.uniform(q);
+    return out;
+}
+
+std::vector<int8_t>
+sampleTernary(Rng &rng, size_t n, size_t h)
+{
+    std::vector<int8_t> out(n, 0);
+    if (h == 0) {
+        for (auto &coeff : out) {
+            const uint64_t r = rng.uniform(4);
+            coeff = (r == 0) ? 1 : (r == 1) ? -1 : 0;
+        }
+        return out;
+    }
+    ANAHEIM_ASSERT(h <= n, "Hamming weight exceeds dimension");
+    size_t placed = 0;
+    while (placed < h) {
+        const size_t idx = rng.uniform(n);
+        if (out[idx] != 0)
+            continue;
+        out[idx] = (rng.uniform(2) == 0) ? 1 : -1;
+        ++placed;
+    }
+    return out;
+}
+
+std::vector<int64_t>
+sampleError(Rng &rng, size_t n, double sigma)
+{
+    std::vector<int64_t> out(n);
+    for (auto &coeff : out)
+        coeff = static_cast<int64_t>(std::lround(rng.gaussian() * sigma));
+    return out;
+}
+
+} // namespace anaheim

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation and the samplers CKKS
+ * key generation and encryption need: uniform-mod-q, centered binomial /
+ * discrete gaussian error, and ternary secret sampling.
+ */
+
+#ifndef ANAHEIM_COMMON_RNG_H
+#define ANAHEIM_COMMON_RNG_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace anaheim {
+
+/**
+ * xoshiro256** PRNG. Fast, high-quality, and deterministic given a seed,
+ * which keeps every test and benchmark in this repository reproducible.
+ */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 expansion of a single 64-bit seed. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit output. */
+    uint64_t next();
+
+    /** Uniform value in [0, bound) without modulo bias. */
+    uint64_t uniform(uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double uniformReal();
+
+    /** Standard-normal sample (Box–Muller). */
+    double gaussian();
+
+  private:
+    uint64_t state_[4];
+};
+
+/** Uniform polynomial coefficients in [0, q) for each of n slots. */
+std::vector<uint64_t> sampleUniform(Rng &rng, size_t n, uint64_t q);
+
+/**
+ * Ternary secret in {-1, 0, 1} with given Hamming weight h (number of
+ * nonzero entries); h == 0 selects the dense ternary distribution where
+ * each coefficient is -1/0/1 with probability 1/4, 1/2, 1/4.
+ */
+std::vector<int8_t> sampleTernary(Rng &rng, size_t n, size_t h = 0);
+
+/** Discrete gaussian error with standard deviation sigma (default 3.2). */
+std::vector<int64_t> sampleError(Rng &rng, size_t n, double sigma = 3.2);
+
+} // namespace anaheim
+
+#endif // ANAHEIM_COMMON_RNG_H

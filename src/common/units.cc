@@ -1,0 +1,73 @@
+#include "units.h"
+
+#include <cstdio>
+
+namespace anaheim {
+
+namespace {
+
+std::string
+formatScaled(double value, const char *const *suffixes, int count,
+             double base)
+{
+    int idx = 0;
+    while (value >= base && idx + 1 < count) {
+        value /= base;
+        ++idx;
+    }
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.2f%s", value, suffixes[idx]);
+    return buf;
+}
+
+} // namespace
+
+std::string
+formatBytes(double bytes)
+{
+    static const char *suffixes[] = {"B", "KB", "MB", "GB", "TB"};
+    return formatScaled(bytes, suffixes, 5, 1024.0);
+}
+
+std::string
+formatSeconds(double seconds)
+{
+    if (seconds < 1e-6) {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%.2fns", seconds * 1e9);
+        return buf;
+    }
+    if (seconds < 1e-3) {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%.2fus", seconds * 1e6);
+        return buf;
+    }
+    if (seconds < 1.0) {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%.2fms", seconds * 1e3);
+        return buf;
+    }
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.2fs", seconds);
+    return buf;
+}
+
+std::string
+formatJoules(double joules)
+{
+    if (joules < 1e-3) {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%.2fuJ", joules * 1e6);
+        return buf;
+    }
+    if (joules < 1.0) {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%.2fmJ", joules * 1e3);
+        return buf;
+    }
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.2fJ", joules);
+    return buf;
+}
+
+} // namespace anaheim

@@ -1,0 +1,92 @@
+#include "controller.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace anaheim {
+
+DramRequest
+mapAddress(const DramConfig &config, uint64_t byteAddress, bool isWrite)
+{
+    DramRequest request;
+    request.isWrite = isWrite;
+    const uint64_t chunk = byteAddress / config.chunkBytes;
+    request.column = chunk % config.chunksPerRow();
+    const uint64_t rowFlat = chunk / config.chunksPerRow();
+    request.bank = rowFlat % config.banksPerDie;
+    request.row = rowFlat / config.banksPerDie;
+    return request;
+}
+
+MemoryController::MemoryController(const DramConfig &config, size_t banks)
+    : config_(config)
+{
+    banks_.reserve(banks);
+    for (size_t i = 0; i < banks; ++i)
+        banks_.emplace_back(config.timing);
+}
+
+void
+MemoryController::enqueue(const DramRequest &request)
+{
+    ANAHEIM_ASSERT(request.bank < banks_.size(), "bank out of range");
+    queue_.push_back(request);
+}
+
+double
+MemoryController::drain()
+{
+    // FR-FCFS per bank: serve the oldest row-hit first; otherwise the
+    // oldest request. Banks proceed independently (bank-level
+    // parallelism); the result is the max over banks.
+    while (!queue_.empty()) {
+        size_t chosen = 0;
+        bool foundHit = false;
+        for (size_t i = 0; i < queue_.size(); ++i) {
+            auto &bank = banks_[queue_[i].bank];
+            if (bank.rowValid && bank.openRow == queue_[i].row) {
+                chosen = i;
+                foundHit = true;
+                break;
+            }
+        }
+        if (!foundHit)
+            chosen = 0;
+
+        const DramRequest request = queue_[chosen];
+        queue_.erase(queue_.begin() + chosen);
+        auto &bank = banks_[request.bank];
+        ++accesses_;
+        if (bank.rowValid && bank.openRow == request.row) {
+            ++hits_;
+        } else {
+            bank.engine.activateRow();
+            bank.rowValid = true;
+            bank.openRow = request.row;
+        }
+        bank.engine.issue(request.isWrite ? DramCommand::Wr
+                                          : DramCommand::Rd);
+    }
+
+    double maxNs = 0.0;
+    totals_ = CommandCounts{};
+    for (auto &bank : banks_) {
+        maxNs = std::max(maxNs, bank.engine.elapsedNs());
+        totals_.acts += bank.engine.counts().acts;
+        totals_.reads += bank.engine.counts().reads;
+        totals_.writes += bank.engine.counts().writes;
+        totals_.pres += bank.engine.counts().pres;
+    }
+    return maxNs;
+}
+
+double
+MemoryController::rowHitRate() const
+{
+    return accesses_ == 0
+               ? 0.0
+               : static_cast<double>(hits_) / static_cast<double>(accesses_);
+}
+
+} // namespace anaheim

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * A small FR-FCFS memory controller over multiple banks, used for
+ * regular (non-PIM) request streams and to validate the bank timing
+ * model: row hits are served before row misses, ties in FCFS order.
+ */
+
+#ifndef ANAHEIM_DRAM_CONTROLLER_H
+#define ANAHEIM_DRAM_CONTROLLER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "bank.h"
+#include "timing.h"
+
+namespace anaheim {
+
+struct DramRequest {
+    bool isWrite = false;
+    size_t bank = 0;
+    uint64_t row = 0;
+    uint64_t column = 0;
+};
+
+/** Decompose a flat byte address into bank/row/column for a die using
+ *  row-interleaved mapping (consecutive rows rotate across banks). */
+DramRequest mapAddress(const DramConfig &config, uint64_t byteAddress,
+                       bool isWrite);
+
+class MemoryController
+{
+  public:
+    MemoryController(const DramConfig &config, size_t banks);
+
+    /** Enqueue a request. */
+    void enqueue(const DramRequest &request);
+
+    /** Drain the queue with FR-FCFS scheduling; returns total ns. */
+    double drain();
+
+    const CommandCounts &counts() const { return totals_; }
+    double rowHitRate() const;
+
+  private:
+    struct BankState {
+        BankEngine engine;
+        bool rowValid = false;
+        uint64_t openRow = 0;
+        explicit BankState(const DramTiming &timing) : engine(timing) {}
+    };
+
+    DramConfig config_;
+    std::vector<BankState> banks_;
+    std::vector<DramRequest> queue_;
+    CommandCounts totals_;
+    uint64_t hits_ = 0;
+    uint64_t accesses_ = 0;
+};
+
+} // namespace anaheim
+
+#endif // ANAHEIM_DRAM_CONTROLLER_H

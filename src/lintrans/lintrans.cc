@@ -1,0 +1,273 @@
+#include "lintrans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/logging.h"
+
+namespace anaheim {
+
+namespace {
+
+using Complex = std::complex<double>;
+
+/** Cyclically pre-rotate a diagonal vector by -shift (diag >>> shift),
+ *  the plaintext preprocessing of §V-B. */
+std::vector<Complex>
+preRotate(const std::vector<Complex> &diag, size_t shift)
+{
+    const size_t n = diag.size();
+    std::vector<Complex> out(n);
+    for (size_t j = 0; j < n; ++j)
+        out[j] = diag[(j + n - shift % n) % n];
+    return out;
+}
+
+} // namespace
+
+size_t
+LinearTransformer::bsgsBabyCount(const DiagMatrix &matrix)
+{
+    size_t maxDiag = 0;
+    for (const auto &[d, diag] : matrix.diagonals()) {
+        (void)diag;
+        maxDiag = std::max(maxDiag, d);
+    }
+    const auto span = static_cast<double>(maxDiag + 1);
+    size_t b = static_cast<size_t>(std::ceil(std::sqrt(span)));
+    return std::max<size_t>(b, 1);
+}
+
+std::vector<int>
+LinearTransformer::requiredRotations(const DiagMatrix &matrix,
+                                     LinTransAlgorithm algorithm)
+{
+    std::set<int> rotations;
+    switch (algorithm) {
+      case LinTransAlgorithm::Base:
+      case LinTransAlgorithm::Hoisting:
+        for (const auto &[d, diag] : matrix.diagonals()) {
+            (void)diag;
+            if (d != 0)
+                rotations.insert(static_cast<int>(d));
+        }
+        break;
+      case LinTransAlgorithm::MinKS:
+        if (matrix.diagonalCount() > 1 ||
+            !matrix.diagonals().count(0)) {
+            rotations.insert(1);
+        }
+        break;
+      case LinTransAlgorithm::BsgsHoisting: {
+        const size_t b = bsgsBabyCount(matrix);
+        for (const auto &[d, diag] : matrix.diagonals()) {
+            (void)diag;
+            if (d % b != 0)
+                rotations.insert(static_cast<int>(d % b));
+            if (d / b != 0)
+                rotations.insert(static_cast<int>(d / b * b));
+        }
+        break;
+      }
+    }
+    return {rotations.begin(), rotations.end()};
+}
+
+Ciphertext
+LinearTransformer::apply(const Ciphertext &ct, const DiagMatrix &matrix,
+                         const GaloisKeys &keys,
+                         LinTransAlgorithm algorithm) const
+{
+    ANAHEIM_ASSERT(matrix.slots() == encoder_.slots(),
+                   "matrix/ring slot mismatch");
+    ANAHEIM_ASSERT(matrix.diagonalCount() > 0, "empty linear transform");
+    switch (algorithm) {
+      case LinTransAlgorithm::Base:
+        return applyBase(ct, matrix, keys);
+      case LinTransAlgorithm::Hoisting:
+        return applyHoisting(ct, matrix, keys);
+      case LinTransAlgorithm::MinKS:
+        return applyMinKs(ct, matrix, keys);
+      case LinTransAlgorithm::BsgsHoisting:
+        return applyBsgs(ct, matrix, keys);
+    }
+    ANAHEIM_PANIC("unknown linear transform algorithm");
+}
+
+Ciphertext
+LinearTransformer::applyBase(const Ciphertext &ct, const DiagMatrix &matrix,
+                             const GaloisKeys &keys) const
+{
+    Ciphertext acc;
+    bool first = true;
+    for (const auto &[d, diag] : matrix.diagonals()) {
+        const Plaintext pt = encoder_.encode(diag, ct.level);
+        const Ciphertext rotated =
+            d == 0 ? ct
+                   : evaluator_.rotate(ct, static_cast<int>(d), keys);
+        Ciphertext term = evaluator_.mulPlain(rotated, pt);
+        if (first) {
+            acc = std::move(term);
+            first = false;
+        } else {
+            acc = evaluator_.add(acc, term);
+        }
+    }
+    return acc;
+}
+
+Ciphertext
+LinearTransformer::applyHoisting(const Ciphertext &ct,
+                                 const DiagMatrix &matrix,
+                                 const GaloisKeys &keys) const
+{
+    const KeySwitcher &sw = evaluator_.keySwitcher();
+    const size_t level = ct.level;
+    const RnsBasis extBasis = context_.extendedBasis(level);
+    const double ptScale = std::ldexp(1.0, context_.params().logScale);
+
+    // Hoisting: one ModUp of a, shared across every rotation (Fig. 1).
+    const auto digits = sw.modUp(ct.a);
+
+    Polynomial acc0Ext(extBasis, Domain::Eval);
+    Polynomial acc1Ext(extBasis, Domain::Eval);
+    Polynomial accB(ct.b.basis(), Domain::Eval);
+    Polynomial accA(ct.a.basis(), Domain::Eval);
+    bool extendedUsed = false;
+
+    for (const auto &[d, diag] : matrix.diagonals()) {
+        if (d == 0) {
+            // No keyswitch needed: PMULT directly in the base modulus.
+            const Plaintext pt = encoder_.encode(diag, level, ptScale);
+            accB.macEq(ct.b, pt.poly);
+            accA.macEq(ct.a, pt.poly);
+            continue;
+        }
+        const uint64_t k = KeyGenerator::rotationGaloisElt(
+            static_cast<int>(d), context_.degree());
+        const auto it = keys.find(k);
+        ANAHEIM_ASSERT(it != keys.end(), "missing rotation key for d=", d);
+
+        std::vector<Polynomial> rotated;
+        rotated.reserve(digits.size());
+        for (const auto &digit : digits)
+            rotated.push_back(digit.automorphism(k));
+        auto [e0, e1] = sw.keyMult(rotated, it->second);
+
+        // PMULT and accumulation in the extended modulus PQ, so that a
+        // single ModDown suffices for the whole transform (§III-B).
+        const Plaintext ptExt =
+            encoder_.encodeAtBasis(diag, extBasis, ptScale);
+        acc0Ext.macEq(e0, ptExt.poly);
+        acc1Ext.macEq(e1, ptExt.poly);
+        extendedUsed = true;
+
+        const Plaintext pt = encoder_.encode(diag, level, ptScale);
+        accB.macEq(ct.b.automorphism(k), pt.poly);
+    }
+
+    Ciphertext out;
+    out.level = level;
+    out.scale = ct.scale * ptScale;
+    if (extendedUsed) {
+        out.b = sw.modDown(acc0Ext) + accB;
+        out.a = sw.modDown(acc1Ext) + accA;
+    } else {
+        out.b = std::move(accB);
+        out.a = std::move(accA);
+    }
+    return out;
+}
+
+Ciphertext
+LinearTransformer::applyMinKs(const Ciphertext &ct, const DiagMatrix &matrix,
+                              const GaloisKeys &keys) const
+{
+    // MinKS: HROT([u], d) realized as d successive rotations by one, so
+    // a single evk_1 serves every diagonal (§III-B).
+    Ciphertext current = ct;
+    size_t position = 0;
+    Ciphertext acc;
+    bool first = true;
+    for (const auto &[d, diag] : matrix.diagonals()) {
+        while (position < d) {
+            current = evaluator_.rotate(current, 1, keys);
+            ++position;
+        }
+        const Plaintext pt = encoder_.encode(diag, current.level);
+        Ciphertext term = evaluator_.mulPlain(current, pt);
+        if (first) {
+            acc = std::move(term);
+            first = false;
+        } else {
+            acc = evaluator_.add(acc, term);
+        }
+    }
+    return acc;
+}
+
+Ciphertext
+LinearTransformer::applyBsgs(const Ciphertext &ct, const DiagMatrix &matrix,
+                             const GaloisKeys &keys) const
+{
+    const size_t b = bsgsBabyCount(matrix);
+    const double ptScale = std::ldexp(1.0, context_.params().logScale);
+
+    // Group diagonals by giant step g = d / b.
+    std::map<size_t, std::vector<std::pair<size_t, const std::vector<
+        Complex> *>>> giants;
+    std::set<int> babySteps;
+    for (const auto &[d, diag] : matrix.diagonals()) {
+        giants[d / b].emplace_back(d % b, &diag);
+        if (d % b != 0)
+            babySteps.insert(static_cast<int>(d % b));
+    }
+
+    // Baby rotations computed with hoisting (one shared ModUp).
+    std::map<size_t, Ciphertext> babies;
+    babies.emplace(0, ct);
+    if (!babySteps.empty()) {
+        const std::vector<int> rotations(babySteps.begin(),
+                                         babySteps.end());
+        auto rotated = evaluator_.rotateHoisted(ct, rotations, keys);
+        for (size_t i = 0; i < rotations.size(); ++i) {
+            babies.emplace(static_cast<size_t>(rotations[i]),
+                           std::move(rotated[i]));
+        }
+    }
+
+    Ciphertext acc;
+    bool first = true;
+    for (const auto &[g, terms] : giants) {
+        const size_t shift = g * b;
+        // Inner sum over baby steps, with diagonals pre-rotated by the
+        // giant shift (the p >> R preprocessing of §V-B).
+        Ciphertext inner;
+        bool innerFirst = true;
+        for (const auto &[baby, diag] : terms) {
+            const auto pre = preRotate(*diag, shift);
+            const Plaintext pt =
+                encoder_.encode(pre, babies.at(baby).level, ptScale);
+            Ciphertext term = evaluator_.mulPlain(babies.at(baby), pt);
+            if (innerFirst) {
+                inner = std::move(term);
+                innerFirst = false;
+            } else {
+                inner = evaluator_.add(inner, term);
+            }
+        }
+        if (shift != 0) {
+            inner = evaluator_.rotate(inner, static_cast<int>(shift), keys);
+        }
+        if (first) {
+            acc = std::move(inner);
+            first = false;
+        } else {
+            acc = evaluator_.add(acc, inner);
+        }
+    }
+    return acc;
+}
+
+} // namespace anaheim

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Scalar modular arithmetic over word-sized primes.
+ *
+ * The functional CKKS library works with 64-bit words and primes up to
+ * 2^59 (generic path via 128-bit products). The Anaheim PIM hardware model
+ * instead uses 28-bit primes with Montgomery reduction (see montgomery.h);
+ * both paths are cross-checked in the test suite.
+ */
+
+#ifndef ANAHEIM_MATH_MODARITH_H
+#define ANAHEIM_MATH_MODARITH_H
+
+#include <cstdint>
+
+namespace anaheim {
+
+/** a + b mod q, assuming a, b < q. */
+inline uint64_t
+addMod(uint64_t a, uint64_t b, uint64_t q)
+{
+    const uint64_t sum = a + b;
+    return sum >= q ? sum - q : sum;
+}
+
+/** a - b mod q, assuming a, b < q. */
+inline uint64_t
+subMod(uint64_t a, uint64_t b, uint64_t q)
+{
+    return a >= b ? a - b : a + q - b;
+}
+
+/** -a mod q, assuming a < q. */
+inline uint64_t
+negMod(uint64_t a, uint64_t q)
+{
+    return a == 0 ? 0 : q - a;
+}
+
+/** a * b mod q via a 128-bit product; valid for any q < 2^63. */
+inline uint64_t
+mulMod(uint64_t a, uint64_t b, uint64_t q)
+{
+    return static_cast<uint64_t>(
+        static_cast<unsigned __int128>(a) * b % q);
+}
+
+/** a * b + c mod q. */
+inline uint64_t
+macMod(uint64_t a, uint64_t b, uint64_t c, uint64_t q)
+{
+    return addMod(mulMod(a, b, q), c, q);
+}
+
+/** a^e mod q by square-and-multiply. */
+uint64_t powMod(uint64_t a, uint64_t e, uint64_t q);
+
+/** Multiplicative inverse of a mod q (q prime), via Fermat. */
+uint64_t invMod(uint64_t a, uint64_t q);
+
+/**
+ * Precomputed Barrett constant for fast reduction of 128-bit products
+ * modulo a fixed prime q < 2^62. Matches the shoup-style word reduction
+ * GPU FHE libraries use for element-wise kernels.
+ */
+class Barrett
+{
+  public:
+    Barrett() = default;
+    explicit Barrett(uint64_t q);
+
+    uint64_t modulus() const { return q_; }
+
+    /** Reduce a full 128-bit value modulo q. */
+    uint64_t reduce(unsigned __int128 x) const;
+
+    /** a * b mod q using the precomputed constant. */
+    uint64_t
+    mulMod(uint64_t a, uint64_t b) const
+    {
+        return reduce(static_cast<unsigned __int128>(a) * b);
+    }
+
+  private:
+    uint64_t q_ = 0;
+    /** floor(2^128 / q), stored as two 64-bit halves. */
+    uint64_t ratioHi_ = 0;
+    uint64_t ratioLo_ = 0;
+};
+
+/** Centered representative of a mod q in (-q/2, q/2]. */
+inline int64_t
+toCentered(uint64_t a, uint64_t q)
+{
+    return a > q / 2 ? static_cast<int64_t>(a) - static_cast<int64_t>(q)
+                     : static_cast<int64_t>(a);
+}
+
+/** Map a signed value into [0, q). */
+inline uint64_t
+fromSigned(int64_t a, uint64_t q)
+{
+    const int64_t r = a % static_cast<int64_t>(q);
+    return r < 0 ? static_cast<uint64_t>(r + static_cast<int64_t>(q))
+                 : static_cast<uint64_t>(r);
+}
+
+} // namespace anaheim
+
+#endif // ANAHEIM_MATH_MODARITH_H

@@ -1,0 +1,42 @@
+#include "montgomery.h"
+
+#include "common/logging.h"
+#include "modarith.h"
+
+namespace anaheim {
+
+Montgomery::Montgomery(uint64_t q)
+{
+    ANAHEIM_ASSERT(q > 2 && q < (1ULL << 28) && (q & 1),
+                   "Montgomery modulus must be an odd prime below 2^28");
+    q_ = static_cast<uint32_t>(q);
+    // Newton iteration for the inverse of q mod 2^32.
+    uint32_t inv = q_; // correct to 3 bits
+    for (int i = 0; i < 4; ++i)
+        inv *= 2 - q_ * inv;
+    qInvNeg_ = ~inv + 1; // -q^-1 mod 2^32
+    // R^2 mod q with R = 2^32.
+    const uint64_t r = (1ULL << 32) % q;
+    r2_ = static_cast<uint32_t>(anaheim::mulMod(r, r, q));
+}
+
+uint32_t
+Montgomery::toMont(uint64_t a) const
+{
+    ANAHEIM_ASSERT(a < q_, "value not reduced");
+    return mulMont(static_cast<uint32_t>(a), r2_);
+}
+
+uint64_t
+Montgomery::fromMont(uint32_t a) const
+{
+    return reduce(a);
+}
+
+uint64_t
+Montgomery::mulMod(uint64_t a, uint64_t b) const
+{
+    return fromMont(mulMont(toMont(a), toMont(b)));
+}
+
+} // namespace anaheim

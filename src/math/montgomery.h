@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Montgomery-form modular multiplication for small (< 2^28) NTT-friendly
+ * primes, with R = 2^32.
+ *
+ * This models the datapath of the Anaheim PIM MMAC unit (§VI-A): the unit
+ * keeps operands in 32-bit DRAM words, truncates them to 28 bits, and uses
+ * a Montgomery reduction circuit specialized for primes satisfying
+ * Q == 1 (mod 2N), the NTT-friendliness condition.
+ */
+
+#ifndef ANAHEIM_MATH_MONTGOMERY_H
+#define ANAHEIM_MATH_MONTGOMERY_H
+
+#include <cstdint>
+
+namespace anaheim {
+
+/**
+ * Montgomery multiplier for a fixed prime q < 2^28 with R = 2^32.
+ *
+ * All inputs/outputs of mulMont() are in Montgomery form (a * R mod q);
+ * toMont()/fromMont() convert. The reduce() primitive matches what a
+ * single-cycle hardware reduction stage would compute.
+ */
+class Montgomery
+{
+  public:
+    Montgomery() = default;
+    explicit Montgomery(uint64_t q);
+
+    uint64_t modulus() const { return q_; }
+
+    /** Map a < q into Montgomery form. */
+    uint32_t toMont(uint64_t a) const;
+
+    /** Map a Montgomery-form value back to the plain representative. */
+    uint64_t fromMont(uint32_t a) const;
+
+    /** Montgomery product: returns a*b*R^-1 mod q. */
+    uint32_t
+    mulMont(uint32_t a, uint32_t b) const
+    {
+        return reduce(static_cast<uint64_t>(a) * b);
+    }
+
+    /** Montgomery reduction of a 64-bit value t < q * 2^32. */
+    uint32_t
+    reduce(uint64_t t) const
+    {
+        const uint32_t m = static_cast<uint32_t>(t) * qInvNeg_;
+        const uint64_t u = (t + static_cast<uint64_t>(m) * q_) >> 32;
+        return u >= q_ ? static_cast<uint32_t>(u - q_)
+                       : static_cast<uint32_t>(u);
+    }
+
+    /** Plain-domain modular product computed through Montgomery form. */
+    uint64_t mulMod(uint64_t a, uint64_t b) const;
+
+  private:
+    uint32_t q_ = 0;
+    /** -q^-1 mod 2^32. */
+    uint32_t qInvNeg_ = 0;
+    /** R^2 mod q, used by toMont(). */
+    uint32_t r2_ = 0;
+};
+
+} // namespace anaheim
+
+#endif // ANAHEIM_MATH_MONTGOMERY_H

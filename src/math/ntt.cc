@@ -1,0 +1,151 @@
+#include "ntt.h"
+
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "modarith.h"
+#include "primes.h"
+
+namespace anaheim {
+
+namespace {
+
+unsigned
+log2Exact(size_t n)
+{
+    unsigned log = 0;
+    while ((size_t{1} << log) < n)
+        ++log;
+    ANAHEIM_ASSERT((size_t{1} << log) == n, "N must be a power of two");
+    return log;
+}
+
+size_t
+bitReverse(size_t value, unsigned bits)
+{
+    size_t result = 0;
+    for (unsigned i = 0; i < bits; ++i) {
+        result = (result << 1) | (value & 1);
+        value >>= 1;
+    }
+    return result;
+}
+
+} // namespace
+
+NttTable::NttTable(uint64_t q, size_t n)
+    : q_(q), n_(n), logN_(log2Exact(n))
+{
+    ANAHEIM_ASSERT((q - 1) % (2 * n) == 0, "q != 1 mod 2N");
+    const uint64_t psi = findPrimitiveRoot(q, n);
+    const uint64_t psiInv = invMod(psi, q);
+
+    fwdTwiddles_.resize(n);
+    invTwiddles_.resize(n);
+    uint64_t power = 1;
+    uint64_t powerInv = 1;
+    std::vector<uint64_t> fwd(n), inv(n);
+    for (size_t i = 0; i < n; ++i) {
+        fwd[i] = power;
+        inv[i] = powerInv;
+        power = mulMod(power, psi, q);
+        powerInv = mulMod(powerInv, psiInv, q);
+    }
+    for (size_t i = 0; i < n; ++i) {
+        fwdTwiddles_[i] = fwd[bitReverse(i, logN_)];
+        invTwiddles_[i] = inv[bitReverse(i, logN_)];
+    }
+    nInv_ = invMod(n, q);
+
+    // Determine which power of psi each output slot evaluates at, by
+    // transforming the monomial X and looking the results up in a
+    // psi-power table. Exact, and independent of algorithm details.
+    std::vector<uint64_t> monomial(n, 0);
+    if (n > 1)
+        monomial[1] = 1;
+    else
+        monomial[0] = 1; // degenerate N=1 ring
+    forward(monomial.data());
+    std::unordered_map<uint64_t, uint32_t> exponentOf;
+    exponentOf.reserve(n);
+    power = psi; // psi^1; evaluation points are odd powers only
+    const uint64_t psiSq = mulMod(psi, psi, q);
+    for (size_t e = 1; e < 2 * n; e += 2) {
+        exponentOf.emplace(power, static_cast<uint32_t>(e));
+        power = mulMod(power, psiSq, q);
+    }
+    evalExponents_.assign(n, 1);
+    slotOfExponent_.assign(2 * n, -1);
+    for (size_t j = 0; j < n && n > 1; ++j) {
+        const auto it = exponentOf.find(monomial[j]);
+        ANAHEIM_ASSERT(it != exponentOf.end(), "slot ", j,
+                       " is not an odd psi power");
+        evalExponents_[j] = it->second;
+        slotOfExponent_[it->second] = static_cast<int32_t>(j);
+    }
+}
+
+void
+NttTable::forward(uint64_t *data) const
+{
+    // Cooley–Tukey DIT, merged with the psi^i pre-scaling that makes the
+    // transform negacyclic (Longa–Naehrig formulation).
+    const uint64_t q = q_;
+    size_t t = n_;
+    for (size_t m = 1; m < n_; m <<= 1) {
+        t >>= 1;
+        for (size_t i = 0; i < m; ++i) {
+            const size_t j1 = 2 * i * t;
+            const size_t j2 = j1 + t;
+            const uint64_t w = fwdTwiddles_[m + i];
+            for (size_t j = j1; j < j2; ++j) {
+                const uint64_t u = data[j];
+                const uint64_t v = mulMod(data[j + t], w, q);
+                data[j] = addMod(u, v, q);
+                data[j + t] = subMod(u, v, q);
+            }
+        }
+    }
+}
+
+void
+NttTable::inverse(uint64_t *data) const
+{
+    // Gentleman–Sande DIF with folded psi^-i post-scaling and 1/N.
+    const uint64_t q = q_;
+    size_t t = 1;
+    for (size_t m = n_; m > 1; m >>= 1) {
+        const size_t h = m >> 1;
+        size_t j1 = 0;
+        for (size_t i = 0; i < h; ++i) {
+            const size_t j2 = j1 + t;
+            const uint64_t w = invTwiddles_[h + i];
+            for (size_t j = j1; j < j2; ++j) {
+                const uint64_t u = data[j];
+                const uint64_t v = data[j + t];
+                data[j] = addMod(u, v, q);
+                data[j + t] = mulMod(subMod(u, v, q), w, q);
+            }
+            j1 += 2 * t;
+        }
+        t <<= 1;
+    }
+    for (size_t i = 0; i < n_; ++i)
+        data[i] = mulMod(data[i], nInv_, q);
+}
+
+void
+NttTable::forward(std::vector<uint64_t> &data) const
+{
+    ANAHEIM_ASSERT(data.size() == n_, "NTT size mismatch");
+    forward(data.data());
+}
+
+void
+NttTable::inverse(std::vector<uint64_t> &data) const
+{
+    ANAHEIM_ASSERT(data.size() == n_, "NTT size mismatch");
+    inverse(data.data());
+}
+
+} // namespace anaheim

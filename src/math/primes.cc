@@ -1,0 +1,93 @@
+#include "primes.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "modarith.h"
+
+namespace anaheim {
+
+namespace {
+
+bool
+millerRabinWitness(uint64_t n, uint64_t a, uint64_t d, int r)
+{
+    uint64_t x = powMod(a % n, d, n);
+    if (x == 1 || x == n - 1)
+        return false;
+    for (int i = 0; i < r - 1; ++i) {
+        x = mulMod(x, x, n);
+        if (x == n - 1)
+            return false;
+    }
+    return true; // composite witness found
+}
+
+} // namespace
+
+bool
+isPrime(uint64_t n)
+{
+    if (n < 2)
+        return false;
+    for (uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                       23ULL, 29ULL, 31ULL, 37ULL}) {
+        if (n == p)
+            return true;
+        if (n % p == 0)
+            return false;
+    }
+    uint64_t d = n - 1;
+    int r = 0;
+    while ((d & 1) == 0) {
+        d >>= 1;
+        ++r;
+    }
+    // This witness set is deterministic for all 64-bit integers.
+    for (uint64_t a : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                       23ULL, 29ULL, 31ULL, 37ULL}) {
+        if (millerRabinWitness(n, a, d, r))
+            return false;
+    }
+    return true;
+}
+
+std::vector<uint64_t>
+generateNttPrimes(size_t n, unsigned bits, size_t count,
+                  const std::vector<uint64_t> &skip)
+{
+    ANAHEIM_ASSERT(bits >= 10 && bits <= 59, "prime bit width out of range");
+    const uint64_t step = 2 * static_cast<uint64_t>(n);
+    std::vector<uint64_t> primes;
+    // Largest candidate == 1 (mod 2N) below 2^bits.
+    uint64_t candidate = ((1ULL << bits) - 1) / step * step + 1;
+    while (primes.size() < count && candidate > step) {
+        const bool excluded =
+            std::find(skip.begin(), skip.end(), candidate) != skip.end();
+        if (!excluded && isPrime(candidate))
+            primes.push_back(candidate);
+        candidate -= step;
+    }
+    if (primes.size() < count) {
+        ANAHEIM_FATAL("could not find ", count, " NTT primes of ", bits,
+                      " bits for N=", n);
+    }
+    return primes;
+}
+
+uint64_t
+findPrimitiveRoot(uint64_t q, size_t n)
+{
+    const uint64_t order = 2 * static_cast<uint64_t>(n);
+    ANAHEIM_ASSERT((q - 1) % order == 0, "q != 1 mod 2N");
+    const uint64_t cofactor = (q - 1) / order;
+    for (uint64_t g = 2; g < q; ++g) {
+        const uint64_t root = powMod(g, cofactor, q);
+        // root has order dividing 2N; it is primitive iff root^N == -1.
+        if (powMod(root, n, q) == q - 1)
+            return root;
+    }
+    ANAHEIM_PANIC("no primitive root found for q=", q);
+}
+
+} // namespace anaheim

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Generation of NTT-friendly RNS primes.
+ *
+ * CKKS with RNS needs primes satisfying Q_i == 1 (mod 2N) so that the
+ * 2N-th root of unity exists and the negacyclic NTT is defined. Anaheim
+ * additionally restricts primes below 2^28 for its PIM MMAC units; the
+ * generic library accepts any bit width up to 59.
+ */
+
+#ifndef ANAHEIM_MATH_PRIMES_H
+#define ANAHEIM_MATH_PRIMES_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace anaheim {
+
+/** Deterministic Miller–Rabin primality test, exact for 64-bit inputs. */
+bool isPrime(uint64_t n);
+
+/**
+ * Generate `count` distinct primes p == 1 (mod 2N) close to (and below)
+ * 2^bits, scanning downward. Throws fatal() when the range is exhausted.
+ *
+ * @param n     Ring degree N.
+ * @param bits  Target bit width (primes < 2^bits).
+ * @param count Number of primes needed.
+ * @param skip  Primes to exclude (already allocated to another basis).
+ */
+std::vector<uint64_t> generateNttPrimes(
+    size_t n, unsigned bits, size_t count,
+    const std::vector<uint64_t> &skip = {});
+
+/**
+ * Find a primitive 2N-th root of unity modulo q (q == 1 mod 2N).
+ * Deterministic given q and n.
+ */
+uint64_t findPrimitiveRoot(uint64_t q, size_t n);
+
+} // namespace anaheim
+
+#endif // ANAHEIM_MATH_PRIMES_H

@@ -1,0 +1,168 @@
+#include "functional.h"
+
+#include <array>
+
+#include "common/logging.h"
+
+namespace anaheim {
+
+PimFunctionalUnit::PimFunctionalUnit(uint64_t q) : q_(q), mont_(q)
+{
+    ANAHEIM_ASSERT(q < (1ULL << 28), "PIM prime must be below 2^28");
+}
+
+uint32_t
+PimFunctionalUnit::laneMul(uint32_t a, uint32_t b) const
+{
+    // 32-bit storage words truncated to 28 bits at the unit boundary;
+    // product through the Montgomery reduction circuit. toMont/fromMont
+    // round-trip models the scaling the hardware folds into constants.
+    const uint32_t am = a & 0x0fffffffu;
+    const uint32_t bm = b & 0x0fffffffu;
+    return static_cast<uint32_t>(
+        mont_.fromMont(mont_.mulMont(mont_.toMont(am % q_),
+                                     mont_.toMont(bm % q_))));
+}
+
+uint32_t
+PimFunctionalUnit::laneAdd(uint32_t a, uint32_t b) const
+{
+    const uint64_t sum =
+        static_cast<uint64_t>(a % q_) + static_cast<uint64_t>(b % q_);
+    return static_cast<uint32_t>(sum >= q_ ? sum - q_ : sum);
+}
+
+uint32_t
+PimFunctionalUnit::laneSub(uint32_t a, uint32_t b) const
+{
+    const uint64_t x = a % q_;
+    const uint64_t y = b % q_;
+    return static_cast<uint32_t>(x >= y ? x - y : x + q_ - y);
+}
+
+PimVector
+PimFunctionalUnit::move(const PimVector &a) const
+{
+    return a;
+}
+
+PimVector
+PimFunctionalUnit::neg(const PimVector &a) const
+{
+    PimVector out(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        out[i] = laneSub(0, a[i]);
+    return out;
+}
+
+PimVector
+PimFunctionalUnit::add(const PimVector &a, const PimVector &b) const
+{
+    ANAHEIM_ASSERT(a.size() == b.size(), "operand size mismatch");
+    PimVector out(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        out[i] = laneAdd(a[i], b[i]);
+    return out;
+}
+
+PimVector
+PimFunctionalUnit::sub(const PimVector &a, const PimVector &b) const
+{
+    ANAHEIM_ASSERT(a.size() == b.size(), "operand size mismatch");
+    PimVector out(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        out[i] = laneSub(a[i], b[i]);
+    return out;
+}
+
+PimVector
+PimFunctionalUnit::mult(const PimVector &a, const PimVector &b) const
+{
+    ANAHEIM_ASSERT(a.size() == b.size(), "operand size mismatch");
+    PimVector out(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        out[i] = laneMul(a[i], b[i]);
+    return out;
+}
+
+PimVector
+PimFunctionalUnit::mac(const PimVector &a, const PimVector &b,
+                       const PimVector &c) const
+{
+    PimVector out = mult(a, b);
+    for (size_t i = 0; i < out.size(); ++i)
+        out[i] = laneAdd(out[i], c[i]);
+    return out;
+}
+
+std::pair<PimVector, PimVector>
+PimFunctionalUnit::pMult(const PimVector &a, const PimVector &b,
+                         const PimVector &p) const
+{
+    return {mult(a, p), mult(b, p)};
+}
+
+PimVector
+PimFunctionalUnit::cAdd(const PimVector &a, uint32_t constant) const
+{
+    PimVector out(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        out[i] = laneAdd(a[i], constant);
+    return out;
+}
+
+PimVector
+PimFunctionalUnit::cMult(const PimVector &a, uint32_t constant) const
+{
+    PimVector out(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        out[i] = laneMul(a[i], constant);
+    return out;
+}
+
+PimVector
+PimFunctionalUnit::cMac(const PimVector &a, const PimVector &b,
+                        uint32_t constant) const
+{
+    PimVector out(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        out[i] = laneAdd(laneMul(a[i], constant), b[i]);
+    return out;
+}
+
+std::array<PimVector, 3>
+PimFunctionalUnit::tensor(const PimVector &a, const PimVector &b,
+                          const PimVector &c, const PimVector &d) const
+{
+    std::array<PimVector, 3> out;
+    out[0] = mult(a, c);
+    out[2] = mult(b, d);
+    out[1] = mac(a, d, mult(b, c));
+    return out;
+}
+
+PimVector
+PimFunctionalUnit::modDownEp(const PimVector &a, const PimVector &b,
+                             uint32_t constant) const
+{
+    return cMult(sub(a, b), constant);
+}
+
+std::pair<PimVector, PimVector>
+PimFunctionalUnit::pAccum(const std::vector<PimVector> &a,
+                          const std::vector<PimVector> &b,
+                          const std::vector<PimVector> &p) const
+{
+    ANAHEIM_ASSERT(!a.empty() && a.size() == b.size() &&
+                       a.size() == p.size(),
+                   "PAccum fan-in mismatch");
+    PimVector x(a[0].size(), 0);
+    PimVector y(a[0].size(), 0);
+    for (size_t k = 0; k < a.size(); ++k) {
+        x = add(x, mult(a[k], p[k]));
+        y = add(y, mult(b[k], p[k]));
+    }
+    return {x, y};
+}
+
+} // namespace anaheim

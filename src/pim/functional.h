@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Functional (bit-level) model of the Anaheim PIM unit: eight MMAC
+ * lanes with the 28-bit Montgomery reduction datapath of §VI-A,
+ * executing the Table II instructions on real polynomial data. Used to
+ * verify that PIM offloading computes exactly what the GPU kernels
+ * would (tests cross-check against src/poly).
+ *
+ * Values are stored as 32-bit words in DRAM and truncated to 28 bits
+ * when entering the unit, mirroring the hardware.
+ */
+
+#ifndef ANAHEIM_PIM_FUNCTIONAL_H
+#define ANAHEIM_PIM_FUNCTIONAL_H
+
+#include <array>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "isa.h"
+#include "math/montgomery.h"
+
+namespace anaheim {
+
+/** One limb's worth of data for a PIM operand (32-bit words). */
+using PimVector = std::vector<uint32_t>;
+
+class PimFunctionalUnit
+{
+  public:
+    /** @param q Prime below 2^28 (broadcast with the instruction). */
+    explicit PimFunctionalUnit(uint64_t q);
+
+    uint64_t modulus() const { return q_; }
+
+    /** @name Table II instructions (plain-domain semantics). */
+    /// @{
+    PimVector move(const PimVector &a) const;
+    PimVector neg(const PimVector &a) const;
+    PimVector add(const PimVector &a, const PimVector &b) const;
+    PimVector sub(const PimVector &a, const PimVector &b) const;
+    PimVector mult(const PimVector &a, const PimVector &b) const;
+    PimVector mac(const PimVector &a, const PimVector &b,
+                  const PimVector &c) const;
+    /** x = a*p, y = b*p. */
+    std::pair<PimVector, PimVector> pMult(const PimVector &a,
+                                          const PimVector &b,
+                                          const PimVector &p) const;
+    PimVector cAdd(const PimVector &a, uint32_t constant) const;
+    PimVector cMult(const PimVector &a, uint32_t constant) const;
+    PimVector cMac(const PimVector &a, const PimVector &b,
+                   uint32_t constant) const;
+    /** x = a*c, y = a*d + b*c, z = b*d. */
+    std::array<PimVector, 3> tensor(const PimVector &a, const PimVector &b,
+                                    const PimVector &c,
+                                    const PimVector &d) const;
+    /** x = C * (a - b). */
+    PimVector modDownEp(const PimVector &a, const PimVector &b,
+                        uint32_t constant) const;
+    /** x = sum a_i * p_i, y = sum b_i * p_i. */
+    std::pair<PimVector, PimVector> pAccum(
+        const std::vector<PimVector> &a, const std::vector<PimVector> &b,
+        const std::vector<PimVector> &p) const;
+    /// @}
+
+  private:
+    uint32_t laneMul(uint32_t a, uint32_t b) const;
+    uint32_t laneAdd(uint32_t a, uint32_t b) const;
+    uint32_t laneSub(uint32_t a, uint32_t b) const;
+
+    uint64_t q_;
+    Montgomery mont_;
+};
+
+} // namespace anaheim
+
+#endif // ANAHEIM_PIM_FUNCTIONAL_H

@@ -1,0 +1,105 @@
+#include "isa.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace anaheim {
+
+const char *
+pimOpcodeName(PimOpcode opcode)
+{
+    switch (opcode) {
+      case PimOpcode::Move: return "Move";
+      case PimOpcode::Neg: return "Neg";
+      case PimOpcode::Add: return "Add";
+      case PimOpcode::Sub: return "Sub";
+      case PimOpcode::Mult: return "Mult";
+      case PimOpcode::Mac: return "MAC";
+      case PimOpcode::PMult: return "PMult";
+      case PimOpcode::PMac: return "PMAC";
+      case PimOpcode::CAdd: return "CAdd";
+      case PimOpcode::CSub: return "CSub";
+      case PimOpcode::CMult: return "CMult";
+      case PimOpcode::CMac: return "CMAC";
+      case PimOpcode::Tensor: return "Tensor";
+      case PimOpcode::TensorSq: return "TensorSq";
+      case PimOpcode::ModDownEp: return "ModDownEp";
+      case PimOpcode::PAccum: return "PAccum";
+      case PimOpcode::CAccum: return "CAccum";
+    }
+    return "?";
+}
+
+PimInstrProfile
+pimInstrProfile(PimOpcode opcode, size_t fanIn)
+{
+    PimInstrProfile profile;
+    switch (opcode) {
+      case PimOpcode::Move:
+      case PimOpcode::Neg:
+        profile = {0, 1, 1, 1, 1.0};
+        break;
+      case PimOpcode::Add:
+      case PimOpcode::Sub:
+        profile = {1, 1, 1, 2, 1.0};
+        break;
+      case PimOpcode::Mult:
+        profile = {1, 1, 1, 2, 1.0};
+        break;
+      case PimOpcode::Mac:
+        profile = {1, 2, 1, 2, 1.0};
+        break;
+      case PimOpcode::PMult:
+        // x = a*p, y = b*p: p buffered, a/b streamed.
+        profile = {1, 2, 2, 3, 1.0};
+        break;
+      case PimOpcode::PMac:
+        profile = {1, 4, 2, 3, 1.0};
+        break;
+      case PimOpcode::CAdd:
+      case PimOpcode::CSub:
+      case PimOpcode::CMult:
+        // Constant broadcast from the instruction decoder (§VI-A).
+        profile = {0, 1, 1, 1, 1.0};
+        break;
+      case PimOpcode::CMac:
+        profile = {0, 2, 1, 2, 1.0};
+        break;
+      case PimOpcode::Tensor:
+        // (a,b) buffered; (c,d) streamed; x,y,z produced.
+        profile = {2, 2, 3, 5, 2.0};
+        break;
+      case PimOpcode::TensorSq:
+        profile = {0, 2, 3, 4, 1.5};
+        break;
+      case PimOpcode::ModDownEp:
+        profile = {1, 1, 1, 2, 1.0};
+        break;
+      case PimOpcode::PAccum:
+        // Alg. 1: K plaintext chunks buffered, 2K operand chunks
+        // streamed, 2 accumulator outputs.
+        profile = {fanIn, 2 * fanIn, 2, fanIn + 2, 1.0};
+        break;
+      case PimOpcode::CAccum:
+        profile = {0, 2 * fanIn, 2, fanIn + 2, 1.0};
+        break;
+    }
+    return profile;
+}
+
+bool
+pimInstrSupported(PimOpcode opcode, size_t fanIn, size_t bufferEntries)
+{
+    // Accumulations beyond the canonical PAccum<4> split into chained
+    // pieces (kernelmodel.cc), so support is bounded by the smaller of
+    // the fan-in and the canonical form.
+    if (opcode == PimOpcode::PAccum || opcode == PimOpcode::CAccum) {
+        const size_t effective = std::min<size_t>(fanIn, 4);
+        return bufferEntries >= effective + 2;
+    }
+    const PimInstrProfile profile = pimInstrProfile(opcode, fanIn);
+    return bufferEntries / profile.bufferRegions >= 1;
+}
+
+} // namespace anaheim

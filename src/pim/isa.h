@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The Anaheim PIM instruction set (Table II) and the static execution
+ * profile of each instruction: how many operand streams it reads and
+ * writes per chunk group and how many data-buffer regions the fused
+ * Alg.-1-style execution needs (which determines the chunk granularity
+ * G = floor(B / bufferRegions)).
+ */
+
+#ifndef ANAHEIM_PIM_ISA_H
+#define ANAHEIM_PIM_ISA_H
+
+#include <cstddef>
+#include <string>
+
+namespace anaheim {
+
+enum class PimOpcode {
+    Move,
+    Neg,
+    Add,
+    Sub,
+    Mult,
+    Mac,
+    PMult,
+    PMac,
+    CAdd,
+    CSub,
+    CMult,
+    CMac,
+    Tensor,
+    TensorSq,
+    ModDownEp,
+    PAccum,
+    CAccum,
+};
+
+const char *pimOpcodeName(PimOpcode opcode);
+
+/** Static per-instruction execution profile. For PAccum/CAccum the
+ *  K-dependent entries scale with the fan-in. */
+struct PimInstrProfile {
+    /** Chunks read from the first source PolyGroup per chunk group
+     *  (e.g. the p_i plaintexts of PAccum, Alg. 1 phase 1). */
+    size_t readsGroup0 = 0;
+    /** Chunks read from the second source PolyGroup per chunk group
+     *  (the a_i/b_i operands, Alg. 1 phase 2). */
+    size_t readsGroup1 = 0;
+    /** Chunks written to the destination PolyGroup per chunk group. */
+    size_t writes = 0;
+    /** Buffer regions (G-sized) the execution keeps live. */
+    size_t bufferRegions = 0;
+    /** MMAC passes per streamed chunk (modular mult+add per lane). */
+    double mmacPerChunk = 1.0;
+};
+
+/** Profile of an instruction; fanIn is K for PAccum/CAccum. */
+PimInstrProfile pimInstrProfile(PimOpcode opcode, size_t fanIn = 1);
+
+/** Whether the instruction is executable with a B-entry buffer
+ *  (G = floor(B / bufferRegions) >= 1; Fig. 9's unsupported cases). */
+bool pimInstrSupported(PimOpcode opcode, size_t fanIn,
+                       size_t bufferEntries);
+
+} // namespace anaheim
+
+#endif // ANAHEIM_PIM_ISA_H

@@ -1,0 +1,313 @@
+#include "kernelmodel.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace anaheim {
+
+PimConfig
+PimConfig::nearBankA100()
+{
+    PimConfig config;
+    config.variant = PimVariant::NearBank;
+    config.bufferEntries = 16;
+    config.clockGHz = 0.378;
+    config.banksPerUnit = 1;
+    config.banksPerDieGroup = 512; // one 8-Hi stack x 64 banks
+    config.dieGroups = 5;
+    return config;
+}
+
+PimConfig
+PimConfig::customHbmA100()
+{
+    PimConfig config;
+    config.variant = PimVariant::CustomHbm;
+    config.bufferEntries = 16;
+    config.clockGHz = 0.756;
+    config.banksPerUnit = 8;
+    config.banksPerDieGroup = 512;
+    config.dieGroups = 5;
+    return config;
+}
+
+PimConfig
+PimConfig::nearBankRtx4090()
+{
+    PimConfig config;
+    config.variant = PimVariant::NearBank;
+    config.bufferEntries = 32;
+    config.clockGHz = 0.656;
+    config.banksPerUnit = 1;
+    config.banksPerDieGroup = 128; // die group of 4 dies x 32 banks
+    config.dieGroups = 3;
+    return config;
+}
+
+namespace {
+
+/** Effective chunk period in DRAM cycles: the larger of the column
+ *  cadence and the PIM unit's processing rate (8 lanes = 1 chunk per
+ *  MMAC pass). */
+int
+chunkPeriodCycles(const DramTiming &timing, double clockGHz,
+                  double mmacPerChunk)
+{
+    const double pimNs = mmacPerChunk / clockGHz;
+    const double cadence =
+        std::max(static_cast<double>(timing.tCCD) * timing.tCkNs, pimNs);
+    return std::max(timing.tCCD,
+                    static_cast<int>(std::ceil(cadence / timing.tCkNs)));
+}
+
+} // namespace
+
+PimExecStats
+PimKernelModel::executeNearBank(const PimInstrProfile &profile,
+                                size_t limbs, size_t n) const
+{
+    PimExecStats stats;
+    ColumnPartitionLayout layout(dram_, pim_.banksPerDieGroup, n, 8);
+    const size_t chunksPerBank = layout.chunksPerBankPerLimb();
+    size_t g = pim_.bufferEntries / profile.bufferRegions;
+    if (g == 0) {
+        stats.supported = false;
+        return stats;
+    }
+    // The chunk granularity cannot exceed the chunks a bank holds.
+    g = std::min(g, chunksPerBank);
+    stats.chunkGranularity = g;
+    const size_t iterations = (chunksPerBank + g - 1) / g;
+    // Limbs are distributed across die groups; each group processes its
+    // share sequentially, all banks of the group in lockstep.
+    const size_t limbBatches =
+        (limbs + pim_.dieGroups - 1) / pim_.dieGroups;
+
+    DramTiming timing = dram_.timing;
+    timing.tCCD = chunkPeriodCycles(dram_.timing, pim_.clockGHz,
+                                    profile.mmacPerChunk);
+    BankEngine bank(timing);
+
+    const size_t actsPerPhase =
+        layout.actsPerIteration(1, pim_.columnPartition);
+    for (size_t batch = 0; batch < limbBatches; ++batch) {
+        for (size_t iter = 0; iter < iterations; ++iter) {
+            // Phase 1: buffered operands (plaintexts / first sources).
+            if (profile.readsGroup0 > 0) {
+                const size_t acts =
+                    pim_.columnPartition
+                        ? actsPerPhase
+                        : std::max<size_t>(1, profile.readsGroup0);
+                for (size_t a = 0; a < acts; ++a) {
+                    bank.activateRow();
+                    const size_t share =
+                        (profile.readsGroup0 * g + acts - 1) / acts;
+                    for (size_t c = 0; c < share; ++c)
+                        bank.issue(DramCommand::Rd);
+                }
+            }
+            // Phase 2: streamed operands through the MMAC units.
+            {
+                const size_t acts =
+                    pim_.columnPartition
+                        ? actsPerPhase
+                        : std::max<size_t>(1, profile.readsGroup1);
+                for (size_t a = 0; a < acts; ++a) {
+                    bank.activateRow();
+                    const size_t share =
+                        (profile.readsGroup1 * g + acts - 1) / acts;
+                    for (size_t c = 0; c < share; ++c)
+                        bank.issue(DramCommand::Rd);
+                }
+            }
+            // Phase 3: write back the results.
+            {
+                const size_t acts =
+                    pim_.columnPartition
+                        ? actsPerPhase
+                        : std::max<size_t>(1, profile.writes);
+                for (size_t a = 0; a < acts; ++a) {
+                    bank.activateRow();
+                    const size_t share =
+                        (profile.writes * g + acts - 1) / acts;
+                    for (size_t c = 0; c < share; ++c)
+                        bank.issue(DramCommand::Wr);
+                }
+            }
+        }
+    }
+    if (bank.rowOpen())
+        bank.issue(DramCommand::Pre);
+
+    stats.timeNs = bank.elapsedNs();
+    stats.commands = bank.counts();
+
+    const double banks = static_cast<double>(pim_.banksPerDieGroup) *
+                         pim_.dieGroups;
+    const double chunksPerBankTotal = static_cast<double>(
+        (profile.readsGroup0 + profile.readsGroup1 + profile.writes) * g *
+        iterations * limbBatches);
+    stats.chunksMoved = chunksPerBankTotal * banks;
+    const double bytesMoved = stats.chunksMoved * dram_.chunkBytes;
+    const double mmacs = stats.chunksMoved * pim_.lanes *
+                         profile.mmacPerChunk;
+    stats.energyPj =
+        static_cast<double>(stats.commands.acts) * banks *
+            dram_.energy.actPrePj +
+        bytesMoved * dram_.energy.nearBankPerBytePj +
+        mmacs * pim_.mmacEnergyPj;
+    return stats;
+}
+
+PimExecStats
+PimKernelModel::executeCustomHbm(const PimInstrProfile &profile,
+                                 size_t limbs, size_t n) const
+{
+    PimExecStats stats;
+    ColumnPartitionLayout layout(dram_, pim_.banksPerDieGroup, n, 8);
+    const size_t chunksPerBank = layout.chunksPerBankPerLimb();
+    size_t g = pim_.bufferEntries / profile.bufferRegions;
+    if (g == 0) {
+        stats.supported = false;
+        return stats;
+    }
+    // The chunk granularity cannot exceed the chunks a bank holds.
+    g = std::min(g, chunksPerBank);
+    stats.chunkGranularity = g;
+
+    const size_t limbBatches =
+        (limbs + pim_.dieGroups - 1) / pim_.dieGroups;
+    const double chunksPerBankTotal = static_cast<double>(
+        (profile.readsGroup0 + profile.readsGroup1 + profile.writes) *
+        chunksPerBank * limbBatches);
+
+    // The logic-die unit serves banksPerUnit banks: streaming is bound
+    // by the unit's MMAC rate (one chunk per pass), while ACT/PRE of
+    // one bank hides behind the streaming of the other banks. Residual
+    // exposure shrinks with both G and the banks-per-unit ratio.
+    const double chunkNs = profile.mmacPerChunk / pim_.clockGHz;
+    const double streamNs =
+        chunksPerBankTotal * static_cast<double>(pim_.banksPerUnit) *
+        chunkNs;
+    const double actPreNs =
+        static_cast<double>(dram_.timing.tRP + dram_.timing.tRCD) *
+        dram_.timing.tCkNs;
+    const size_t iterations = (chunksPerBank + g - 1) / g;
+    const double phases = 3.0 * static_cast<double>(iterations) *
+                          static_cast<double>(limbBatches) *
+                          (pim_.columnPartition
+                               ? 1.0
+                               : static_cast<double>(
+                                     profile.readsGroup0 +
+                                     profile.readsGroup1 + profile.writes) /
+                                     3.0);
+    const double exposedActNs =
+        phases * actPreNs / static_cast<double>(pim_.banksPerUnit);
+    stats.timeNs = streamNs + exposedActNs;
+
+    const double banks = static_cast<double>(pim_.banksPerDieGroup) *
+                         pim_.dieGroups;
+    stats.chunksMoved = chunksPerBankTotal * banks;
+    const double bytesMoved = stats.chunksMoved * dram_.chunkBytes;
+    const double mmacs = stats.chunksMoved * pim_.lanes *
+                         profile.mmacPerChunk;
+    stats.commands.acts = static_cast<uint64_t>(phases);
+    stats.commands.pres = stats.commands.acts;
+    // Data crosses the die to the logic-die TSVs: global-I/O energy.
+    stats.energyPj =
+        phases * banks * dram_.energy.actPrePj +
+        bytesMoved * (dram_.energy.nearBankPerBytePj +
+                      dram_.energy.globalIoPerBytePj) +
+        mmacs * pim_.mmacEnergyPj;
+    return stats;
+}
+
+PimExecStats
+PimKernelModel::execute(PimOpcode opcode, size_t fanIn, size_t limbs,
+                        size_t n) const
+{
+    // Accumulation instructions whose buffer demand (fanIn + 2 regions)
+    // exceeds B are chained: each piece accumulates its share and the
+    // running accumulator pair is re-read/re-written between pieces.
+    if ((opcode == PimOpcode::PAccum || opcode == PimOpcode::CAccum) &&
+        fanIn + 2 > pim_.bufferEntries) {
+        // Chain in canonical PAccum<4> pieces (Alg. 1): larger pieces
+        // would shrink G below what amortizes ACT/PRE.
+        const size_t maxFanIn =
+            std::min<size_t>(4, pim_.bufferEntries - 2);
+        ANAHEIM_ASSERT(maxFanIn >= 1, "buffer too small for accumulation");
+        PimExecStats total;
+        size_t remaining = fanIn;
+        bool first = true;
+        while (remaining > 0) {
+            const size_t piece = std::min(remaining, maxFanIn);
+            PimExecStats stats =
+                first ? execute(opcode, piece, limbs, n)
+                      : executeChainedPiece(opcode, piece, limbs, n);
+            total.timeNs += stats.timeNs;
+            total.energyPj += stats.energyPj;
+            total.commands.acts += stats.commands.acts;
+            total.commands.reads += stats.commands.reads;
+            total.commands.writes += stats.commands.writes;
+            total.commands.pres += stats.commands.pres;
+            total.chunksMoved += stats.chunksMoved;
+            total.chunkGranularity = stats.chunkGranularity;
+            remaining -= piece;
+            first = false;
+        }
+        return total;
+    }
+
+    const PimInstrProfile profile = pimInstrProfile(opcode, fanIn);
+    switch (pim_.variant) {
+      case PimVariant::NearBank:
+        return executeNearBank(profile, limbs, n);
+      case PimVariant::CustomHbm:
+        return executeCustomHbm(profile, limbs, n);
+    }
+    ANAHEIM_PANIC("unknown PIM variant");
+}
+
+PimExecStats
+PimKernelModel::executeChainedPiece(PimOpcode opcode, size_t fanIn,
+                                    size_t limbs, size_t n) const
+{
+    // A continuation piece additionally re-reads the two accumulator
+    // polynomials it carries forward.
+    PimInstrProfile profile = pimInstrProfile(opcode, fanIn);
+    profile.readsGroup1 += 2;
+    switch (pim_.variant) {
+      case PimVariant::NearBank:
+        return executeNearBank(profile, limbs, n);
+      case PimVariant::CustomHbm:
+        return executeCustomHbm(profile, limbs, n);
+    }
+    ANAHEIM_PANIC("unknown PIM variant");
+}
+
+PimExecStats
+PimKernelModel::baseline(PimOpcode opcode, size_t fanIn, size_t limbs,
+                         size_t n) const
+{
+    // GPU-side execution of the same op: every operand crosses the
+    // external interface at the device's peak bandwidth.
+    const PimInstrProfile profile = pimInstrProfile(opcode, fanIn);
+    const double streams = static_cast<double>(
+        profile.readsGroup0 + profile.readsGroup1 + profile.writes);
+    const double bytes = streams * static_cast<double>(limbs) * 4.0 *
+                         static_cast<double>(n);
+    PimExecStats stats;
+    stats.timeNs = bytes / dram_.externalBwGBs; // GB/s == bytes/ns
+    stats.chunksMoved = bytes / dram_.chunkBytes;
+    const double rowsTouched = bytes / dram_.rowBytes;
+    stats.energyPj =
+        rowsTouched * dram_.energy.actPrePj +
+        bytes * (dram_.energy.nearBankPerBytePj +
+                 dram_.energy.globalIoPerBytePj +
+                 dram_.energy.externalPerBytePj);
+    return stats;
+}
+
+} // namespace anaheim

@@ -1,0 +1,70 @@
+#include "layout.h"
+
+#include "common/logging.h"
+
+namespace anaheim {
+
+ColumnPartitionLayout::ColumnPartitionLayout(const DramConfig &config,
+                                             size_t banksPerGroup,
+                                             size_t n, size_t columnGroups)
+    : chunksPerRow_(config.chunksPerRow()), columnGroups_(columnGroups)
+{
+    ANAHEIM_ASSERT(columnGroups >= 1 &&
+                       chunksPerRow_ % columnGroups == 0,
+                   "column groups must divide the row");
+    chunksPerCg_ = chunksPerRow_ / columnGroups;
+    const size_t limbBytes = 4 * n;
+    const size_t bankBytes = limbBytes / banksPerGroup;
+    ANAHEIM_ASSERT(bankBytes >= config.chunkBytes,
+                   "fewer chunks than banks in the die group");
+    chunksPerBank_ = bankBytes / config.chunkBytes;
+    // A limb occupies one CG slice of rowsPerRg adjacent rows.
+    rowsPerRg_ = (chunksPerBank_ + chunksPerCg_ - 1) / chunksPerCg_;
+    // Generous per-bank row budget (a real bank has 2^14+ rows; we only
+    // need relative occupancy).
+    rowCapacity_ = 16384;
+}
+
+PolyGroupDesc
+ColumnPartitionLayout::allocate(size_t polys, size_t limbs)
+{
+    ANAHEIM_ASSERT(polys >= 1 && polys <= columnGroups_,
+                   "PolyGroup wider than the column groups: ", polys);
+    PolyGroupDesc desc;
+    desc.id = nextId_++;
+    desc.polys = polys;
+    desc.limbsPerBank = limbs;
+    // Each limb takes one row group; different polynomials share the
+    // row group through different column groups.
+    for (size_t p = 0; p < polys; ++p) {
+        for (size_t limb = 0; limb < limbs; ++limb) {
+            LimbPlacement placement;
+            placement.rowGroupBase = nextRow_ + limb * rowsPerRg_;
+            placement.rowsPerGroup = rowsPerRg_;
+            placement.columnGroup = p;
+            placement.chunksPerCg = chunksPerCg_;
+            desc.placements.push_back(placement);
+        }
+    }
+    nextRow_ += limbs * rowsPerRg_;
+    if (nextRow_ > rowCapacity_)
+        ANAHEIM_FATAL("PolyGroup allocation exceeds bank rows: ", nextRow_);
+    return desc;
+}
+
+size_t
+ColumnPartitionLayout::actsPerIteration(size_t polysTouched,
+                                        bool columnPartitioned) const
+{
+    if (columnPartitioned) {
+        // All touched polynomials share the row group: the iteration
+        // activates each involved PolyGroup's row once (sources grouped
+        // into at most two groups plus the destination, Alg. 1).
+        return 1;
+    }
+    // Contiguous allocation: every polynomial lives in its own rows, so
+    // each access to a different polynomial reopens a row.
+    return polysTouched;
+}
+
+} // namespace anaheim

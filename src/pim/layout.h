@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Column-partitioning data layout and PolyGroup allocator (§VI-B).
+ *
+ * A die group holds L/S limbs of each polynomial; within a bank, each
+ * limb occupies C chunks. Rows are split into column groups (CGs) of
+ * 2/4/8 chunks; a limb wraps across the adjacent rows of a row group
+ * (RG). A PolyGroup spans several RGs x CGs so that the polynomials an
+ * element-wise op touches live in the same rows — which is what bounds
+ * the ACT/PRE count per chunk-group iteration (Alg. 1).
+ */
+
+#ifndef ANAHEIM_PIM_LAYOUT_H
+#define ANAHEIM_PIM_LAYOUT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dram/timing.h"
+
+namespace anaheim {
+
+/** Physical placement of one limb of one polynomial within a bank. */
+struct LimbPlacement {
+    size_t rowGroupBase = 0; ///< first row of the row group
+    size_t rowsPerGroup = 0;
+    size_t columnGroup = 0;  ///< CG index within each row
+    size_t chunksPerCg = 0;  ///< chunks per row belonging to this CG
+};
+
+struct PolyGroupDesc {
+    size_t id = 0;
+    size_t polys = 0;
+    size_t limbsPerBank = 0;
+    std::vector<LimbPlacement> placements; ///< poly-major
+};
+
+class ColumnPartitionLayout
+{
+  public:
+    /**
+     * @param config        DRAM geometry.
+     * @param banksPerGroup Banks of one die group sharing a limb.
+     * @param n             Ring degree.
+     * @param columnGroups  Row partition factor (4, 8 or 16).
+     */
+    ColumnPartitionLayout(const DramConfig &config, size_t banksPerGroup,
+                          size_t n, size_t columnGroups);
+
+    /** Chunks each bank stores per limb (the paper's example: 16). */
+    size_t chunksPerBankPerLimb() const { return chunksPerBank_; }
+    size_t chunksPerColumnGroup() const { return chunksPerCg_; }
+    size_t rowsPerRowGroup() const { return rowsPerRg_; }
+    size_t columnGroups() const { return columnGroups_; }
+
+    /**
+     * Allocate a PolyGroup of `polys` polynomials x `limbs` limbs.
+     * Throws fatal() when the bank capacity is exhausted.
+     */
+    PolyGroupDesc allocate(size_t polys, size_t limbs);
+
+    /** Rows currently allocated in each bank. */
+    size_t rowsUsed() const { return nextRow_; }
+    size_t rowCapacity() const { return rowCapacity_; }
+
+    /**
+     * Rows that must be activated per chunk-group iteration when
+     * accessing `polysTouched` polynomials laid out in one PolyGroup
+     * (column partitioning keeps this at one row group regardless of
+     * the polynomial count — the property Alg. 1 exploits).
+     */
+    size_t actsPerIteration(size_t polysTouched, bool columnPartitioned)
+        const;
+
+  private:
+    size_t chunksPerRow_;
+    size_t columnGroups_;
+    size_t chunksPerCg_;
+    size_t chunksPerBank_;
+    size_t rowsPerRg_;
+    size_t rowCapacity_;
+    size_t nextRow_ = 0;
+    size_t nextId_ = 0;
+};
+
+} // namespace anaheim
+
+#endif // ANAHEIM_PIM_LAYOUT_H

@@ -1,0 +1,272 @@
+#include "polynomial.h"
+
+#include "common/logging.h"
+#include "math/modarith.h"
+
+namespace anaheim {
+
+Polynomial::Polynomial(RnsBasis basis, Domain domain)
+    : basis_(std::move(basis)), domain_(domain)
+{
+    limbs_.assign(basis_.size(),
+                  std::vector<uint64_t>(basis_.degree(), 0));
+}
+
+void
+Polynomial::toEval()
+{
+    if (domain_ == Domain::Eval)
+        return;
+    for (size_t i = 0; i < limbs_.size(); ++i)
+        basis_.table(i).forward(limbs_[i]);
+    domain_ = Domain::Eval;
+}
+
+void
+Polynomial::toCoeff()
+{
+    if (domain_ == Domain::Coeff)
+        return;
+    for (size_t i = 0; i < limbs_.size(); ++i)
+        basis_.table(i).inverse(limbs_[i]);
+    domain_ = Domain::Coeff;
+}
+
+void
+Polynomial::checkCompatible(const Polynomial &other) const
+{
+    ANAHEIM_ASSERT(limbs_.size() == other.limbs_.size(),
+                   "limb count mismatch: ", limbs_.size(), " vs ",
+                   other.limbs_.size());
+    ANAHEIM_ASSERT(domain_ == other.domain_, "domain mismatch");
+    for (size_t i = 0; i < limbs_.size(); ++i) {
+        ANAHEIM_ASSERT(basis_.prime(i) == other.basis_.prime(i),
+                       "prime mismatch at limb ", i);
+    }
+}
+
+Polynomial &
+Polynomial::operator+=(const Polynomial &other)
+{
+    checkCompatible(other);
+    for (size_t i = 0; i < limbs_.size(); ++i) {
+        const uint64_t q = basis_.prime(i);
+        auto &dst = limbs_[i];
+        const auto &src = other.limbs_[i];
+        for (size_t c = 0; c < dst.size(); ++c)
+            dst[c] = addMod(dst[c], src[c], q);
+    }
+    return *this;
+}
+
+Polynomial &
+Polynomial::operator-=(const Polynomial &other)
+{
+    checkCompatible(other);
+    for (size_t i = 0; i < limbs_.size(); ++i) {
+        const uint64_t q = basis_.prime(i);
+        auto &dst = limbs_[i];
+        const auto &src = other.limbs_[i];
+        for (size_t c = 0; c < dst.size(); ++c)
+            dst[c] = subMod(dst[c], src[c], q);
+    }
+    return *this;
+}
+
+Polynomial &
+Polynomial::mulEq(const Polynomial &other)
+{
+    checkCompatible(other);
+    for (size_t i = 0; i < limbs_.size(); ++i) {
+        const uint64_t q = basis_.prime(i);
+        const Barrett barrett(q);
+        auto &dst = limbs_[i];
+        const auto &src = other.limbs_[i];
+        for (size_t c = 0; c < dst.size(); ++c)
+            dst[c] = barrett.mulMod(dst[c], src[c]);
+    }
+    return *this;
+}
+
+Polynomial &
+Polynomial::macEq(const Polynomial &a, const Polynomial &b)
+{
+    checkCompatible(a);
+    checkCompatible(b);
+    for (size_t i = 0; i < limbs_.size(); ++i) {
+        const uint64_t q = basis_.prime(i);
+        const Barrett barrett(q);
+        auto &dst = limbs_[i];
+        const auto &sa = a.limbs_[i];
+        const auto &sb = b.limbs_[i];
+        for (size_t c = 0; c < dst.size(); ++c)
+            dst[c] = addMod(dst[c], barrett.mulMod(sa[c], sb[c]), q);
+    }
+    return *this;
+}
+
+Polynomial &
+Polynomial::negate()
+{
+    for (size_t i = 0; i < limbs_.size(); ++i) {
+        const uint64_t q = basis_.prime(i);
+        for (auto &coeff : limbs_[i])
+            coeff = negMod(coeff, q);
+    }
+    return *this;
+}
+
+Polynomial &
+Polynomial::mulScalarEq(const std::vector<uint64_t> &scalarPerLimb)
+{
+    ANAHEIM_ASSERT(scalarPerLimb.size() == limbs_.size(),
+                   "scalar vector size mismatch");
+    for (size_t i = 0; i < limbs_.size(); ++i) {
+        const uint64_t q = basis_.prime(i);
+        const uint64_t s = scalarPerLimb[i] % q;
+        for (auto &coeff : limbs_[i])
+            coeff = mulMod(coeff, s, q);
+    }
+    return *this;
+}
+
+Polynomial &
+Polynomial::mulConstEq(uint64_t constant)
+{
+    for (size_t i = 0; i < limbs_.size(); ++i) {
+        const uint64_t q = basis_.prime(i);
+        const uint64_t s = constant % q;
+        for (auto &coeff : limbs_[i])
+            coeff = mulMod(coeff, s, q);
+    }
+    return *this;
+}
+
+Polynomial
+Polynomial::automorphism(uint64_t k) const
+{
+    const size_t n = degree();
+    ANAHEIM_ASSERT((k & 1) == 1 && k < 2 * n, "Galois element must be odd");
+    Polynomial out(basis_, domain_);
+    if (domain_ == Domain::Coeff) {
+        for (size_t i = 0; i < limbs_.size(); ++i) {
+            const uint64_t q = basis_.prime(i);
+            const auto &src = limbs_[i];
+            auto &dst = out.limbs_[i];
+            for (size_t c = 0; c < n; ++c) {
+                const uint64_t target = (c * k) % (2 * n);
+                if (target < n)
+                    dst[target] = src[c];
+                else
+                    dst[target - n] = negMod(src[c], q);
+            }
+        }
+    } else {
+        // Slot j of the result evaluates at psi^{e_j * k}; look up which
+        // input slot holds that evaluation point.
+        for (size_t i = 0; i < limbs_.size(); ++i) {
+            const auto &exps = basis_.table(i).evalExponents();
+            const auto &slotOf = basis_.table(i).slotOfExponent();
+            const auto &src = limbs_[i];
+            auto &dst = out.limbs_[i];
+            for (size_t j = 0; j < n; ++j) {
+                const uint64_t e = (exps[j] * k) % (2 * n);
+                const int32_t srcSlot = slotOf[e];
+                ANAHEIM_ASSERT(srcSlot >= 0, "invalid automorphism slot");
+                dst[j] = src[srcSlot];
+            }
+        }
+    }
+    return out;
+}
+
+Polynomial &
+Polynomial::mulMonomialEq(size_t power)
+{
+    const size_t n = degree();
+    ANAHEIM_ASSERT(power < 2 * n, "monomial power out of range");
+    if (power == 0)
+        return *this;
+    const Domain original = domain_;
+    toCoeff();
+    for (size_t i = 0; i < limbs_.size(); ++i) {
+        const uint64_t q = basis_.prime(i);
+        const auto &src = limbs_[i];
+        std::vector<uint64_t> dst(n);
+        for (size_t c = 0; c < n; ++c) {
+            const size_t target = (c + power) % (2 * n);
+            if (target < n)
+                dst[target] = src[c];
+            else
+                dst[target - n] = negMod(src[c], q);
+        }
+        limbs_[i] = std::move(dst);
+    }
+    if (original == Domain::Eval)
+        toEval();
+    return *this;
+}
+
+Polynomial
+Polynomial::firstLimbs(size_t count) const
+{
+    ANAHEIM_ASSERT(count <= limbs_.size(), "firstLimbs out of range");
+    Polynomial out;
+    out.basis_ = basis_.slice(0, count);
+    out.domain_ = domain_;
+    out.limbs_.assign(limbs_.begin(), limbs_.begin() + count);
+    return out;
+}
+
+bool
+Polynomial::operator==(const Polynomial &other) const
+{
+    if (limbs_.size() != other.limbs_.size() || domain_ != other.domain_)
+        return false;
+    for (size_t i = 0; i < limbs_.size(); ++i) {
+        if (basis_.prime(i) != other.basis_.prime(i) ||
+            limbs_[i] != other.limbs_[i]) {
+            return false;
+        }
+    }
+    return true;
+}
+
+Polynomial
+polynomialFromSigned(const RnsBasis &basis,
+                     const std::vector<int64_t> &coeffs)
+{
+    ANAHEIM_ASSERT(coeffs.size() == basis.degree(),
+                   "coefficient count mismatch");
+    Polynomial out(basis, Domain::Coeff);
+    for (size_t i = 0; i < basis.size(); ++i) {
+        const uint64_t q = basis.prime(i);
+        for (size_t c = 0; c < coeffs.size(); ++c)
+            out.limb(i)[c] = fromSigned(coeffs[c], q);
+    }
+    return out;
+}
+
+std::vector<uint64_t>
+negacyclicMultiply(const std::vector<uint64_t> &a,
+                   const std::vector<uint64_t> &b, uint64_t q)
+{
+    const size_t n = a.size();
+    ANAHEIM_ASSERT(b.size() == n, "size mismatch");
+    std::vector<uint64_t> out(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+        if (a[i] == 0)
+            continue;
+        for (size_t j = 0; j < n; ++j) {
+            const uint64_t prod = mulMod(a[i], b[j], q);
+            const size_t idx = i + j;
+            if (idx < n)
+                out[idx] = addMod(out[idx], prod, q);
+            else
+                out[idx - n] = subMod(out[idx - n], prod, q);
+        }
+    }
+    return out;
+}
+
+} // namespace anaheim

@@ -1,0 +1,54 @@
+#include "basis.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace anaheim {
+
+RnsBasis::RnsBasis(std::vector<uint64_t> primes, size_t n)
+    : primes_(std::move(primes)), n_(n)
+{
+    tables_.reserve(primes_.size());
+    for (uint64_t q : primes_)
+        tables_.push_back(std::make_shared<NttTable>(q, n));
+}
+
+RnsBasis
+RnsBasis::slice(size_t first, size_t count) const
+{
+    ANAHEIM_ASSERT(first + count <= primes_.size(), "slice out of range");
+    RnsBasis sub;
+    sub.n_ = n_;
+    sub.primes_.assign(primes_.begin() + first,
+                       primes_.begin() + first + count);
+    sub.tables_.assign(tables_.begin() + first,
+                       tables_.begin() + first + count);
+    return sub;
+}
+
+RnsBasis
+RnsBasis::concat(const RnsBasis &other) const
+{
+    ANAHEIM_ASSERT(n_ == other.n_, "cannot concat bases of different N");
+    RnsBasis joined;
+    joined.n_ = n_;
+    joined.primes_ = primes_;
+    joined.primes_.insert(joined.primes_.end(), other.primes_.begin(),
+                          other.primes_.end());
+    joined.tables_ = tables_;
+    joined.tables_.insert(joined.tables_.end(), other.tables_.begin(),
+                          other.tables_.end());
+    return joined;
+}
+
+double
+RnsBasis::logProduct() const
+{
+    double sum = 0.0;
+    for (uint64_t q : primes_)
+        sum += std::log2(static_cast<double>(q));
+    return sum;
+}
+
+} // namespace anaheim

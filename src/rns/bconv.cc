@@ -1,0 +1,86 @@
+#include "bconv.h"
+
+#include "common/logging.h"
+#include "math/modarith.h"
+
+namespace anaheim {
+
+BasisConverter::BasisConverter(const RnsBasis &source, const RnsBasis &target)
+    : source_(source), target_(target)
+{
+    const size_t ls = source_.size();
+    const size_t lt = target_.size();
+    ANAHEIM_ASSERT(ls > 0 && lt > 0, "empty basis in BConv");
+
+    qHatInv_.resize(ls);
+    qHatModP_.assign(ls, std::vector<uint64_t>(lt));
+    for (size_t i = 0; i < ls; ++i) {
+        const uint64_t qi = source_.prime(i);
+        // qHat_i = prod_{k != i} q_k, computed mod q_i and mod each p_j.
+        uint64_t hatModQi = 1;
+        for (size_t k = 0; k < ls; ++k) {
+            if (k != i)
+                hatModQi = mulMod(hatModQi, source_.prime(k) % qi, qi);
+        }
+        qHatInv_[i] = invMod(hatModQi, qi);
+        for (size_t j = 0; j < lt; ++j) {
+            const uint64_t pj = target_.prime(j);
+            uint64_t hatModPj = 1;
+            for (size_t k = 0; k < ls; ++k) {
+                if (k != i)
+                    hatModPj = mulMod(hatModPj, source_.prime(k) % pj, pj);
+            }
+            qHatModP_[i][j] = hatModPj;
+        }
+    }
+}
+
+std::vector<std::vector<uint64_t>>
+BasisConverter::convert(
+    const std::vector<std::vector<uint64_t>> &input) const
+{
+    const size_t ls = source_.size();
+    const size_t lt = target_.size();
+    ANAHEIM_ASSERT(input.size() == ls, "BConv limb count mismatch");
+    const size_t n = input[0].size();
+
+    // Stage 1: y_i = a_i * qHatInv_i mod q_i.
+    std::vector<std::vector<uint64_t>> scaled(ls);
+    for (size_t i = 0; i < ls; ++i) {
+        const uint64_t qi = source_.prime(i);
+        scaled[i].resize(n);
+        for (size_t c = 0; c < n; ++c)
+            scaled[i][c] = mulMod(input[i][c], qHatInv_[i], qi);
+    }
+
+    // Stage 2: out_j = sum_i y_i * (qHat_i mod p_j) mod p_j.
+    std::vector<std::vector<uint64_t>> output(lt);
+    for (size_t j = 0; j < lt; ++j) {
+        const uint64_t pj = target_.prime(j);
+        const Barrett barrett(pj);
+        output[j].assign(n, 0);
+        for (size_t i = 0; i < ls; ++i) {
+            const uint64_t factor = qHatModP_[i][j];
+            for (size_t c = 0; c < n; ++c) {
+                output[j][c] = addMod(
+                    output[j][c], barrett.mulMod(scaled[i][c], factor), pj);
+            }
+        }
+    }
+    return output;
+}
+
+std::vector<uint64_t>
+BasisConverter::convertScalar(const std::vector<uint64_t> &residues) const
+{
+    std::vector<std::vector<uint64_t>> input(residues.size());
+    for (size_t i = 0; i < residues.size(); ++i)
+        input[i] = {residues[i]};
+    const auto out = convert(input);
+    std::vector<uint64_t> result(out.size());
+    for (size_t j = 0; j < out.size(); ++j)
+        result[j] = out[j][0];
+    return result;
+}
+
+} // namespace anaheim

@@ -1,0 +1,84 @@
+#include "counting.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace anaheim {
+
+double
+evkBytes(const TraceParams &params)
+{
+    return 2.0 * params.digits() * params.extended() * limbBytes(params.n);
+}
+
+double
+countNttLimbOps(const OpSequence &seq)
+{
+    double count = 0;
+    for (const auto &op : seq.ops) {
+        if (op.type == KernelType::Ntt || op.type == KernelType::Intt)
+            count += static_cast<double>(op.limbs);
+    }
+    return count;
+}
+
+LinTransCosts
+analyzeLinearTransforms(const TraceParams &params, size_t numTransforms,
+                        size_t k, TraceLtAlgorithm algorithm)
+{
+    LinTransCosts costs;
+    TraceParams current = params;
+    for (size_t t = 0; t < numTransforms; ++t) {
+        const OpSequence seq =
+            buildLinearTransform(current, k, algorithm, {});
+        costs.nttOps += countNttLimbOps(seq);
+
+        const double ptLimb = limbBytes(current.n);
+        switch (algorithm) {
+          case TraceLtAlgorithm::Base:
+            costs.evkBytes += static_cast<double>(k) * evkBytes(current);
+            costs.plaintextBytes +=
+                static_cast<double>(k * current.level) * ptLimb;
+            // No data reuse to speak of: streaming only.
+            costs.cacheBytes = std::max(
+                costs.cacheBytes,
+                3.0 * 2.0 * current.level * ptLimb);
+            break;
+          case TraceLtAlgorithm::Hoisting: {
+            // BSGS: distinct keys for the baby and giant rotations.
+            const double babies = std::ceil(std::sqrt(
+                static_cast<double>(k)));
+            costs.evkBytes += 2.0 * babies * evkBytes(current);
+          }
+            // Plaintexts live in the extended modulus PQ (§III-B).
+            costs.plaintextBytes +=
+                static_cast<double>(k * current.extended()) * ptLimb;
+            // MAD-style alpha-limb caching of the decomposed digits
+            // plus accumulators (the 217MB figure of Fig. 1).
+            costs.cacheBytes = std::max(
+                costs.cacheBytes,
+                (static_cast<double>(current.digits()) *
+                     current.extended() +
+                 4.0 * current.extended() +
+                 static_cast<double>(k) * current.alpha) *
+                    ptLimb);
+            break;
+          case TraceLtAlgorithm::MinKS:
+            // One evk per transform, reused across its rotations.
+            costs.evkBytes += evkBytes(current);
+            costs.plaintextBytes +=
+                static_cast<double>(k * current.level) * ptLimb;
+            // Reuse requires the evk plus several ciphertexts resident.
+            costs.cacheBytes = std::max(
+                costs.cacheBytes,
+                evkBytes(current) +
+                    3.0 * 2.0 * current.level * ptLimb);
+            break;
+        }
+        if (current.level > params.alpha + 1)
+            current.level -= 1;
+    }
+    return costs;
+}
+
+} // namespace anaheim

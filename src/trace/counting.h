@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Counting utilities for the algorithm-comparison table of Fig. 1:
+ * distinct evk / plaintext footprints, (I)NTT op counts and the cache
+ * capacity hoisting needs, for a collection of linear transforms.
+ */
+
+#ifndef ANAHEIM_TRACE_COUNTING_H
+#define ANAHEIM_TRACE_COUNTING_H
+
+#include "builders.h"
+
+namespace anaheim {
+
+struct LinTransCosts {
+    /** Distinct evaluation-key bytes the algorithm touches. */
+    double evkBytes = 0;
+    /** Plaintext bytes (hoisting stores them in the extended basis). */
+    double plaintextBytes = 0;
+    /** Number of (I)NTT limb-transforms executed. */
+    double nttOps = 0;
+    /** On-chip capacity needed to realize the algorithm's data reuse
+     *  (alpha-limb caching for hoisting, evk residency for MinKS). */
+    double cacheBytes = 0;
+};
+
+/**
+ * Costs of a collection of linear transforms — the CoeffToSlot [17]
+ * setting of Fig. 1's table: `numTransforms` transforms of `k`
+ * rotations each at descending levels starting from params.level.
+ */
+LinTransCosts analyzeLinearTransforms(const TraceParams &params,
+                                      size_t numTransforms, size_t k,
+                                      TraceLtAlgorithm algorithm);
+
+/** Count (I)NTT limb-transforms in a trace. */
+double countNttLimbOps(const OpSequence &seq);
+
+/** Bytes of one evk at the given parameters (2*D polys in R_PQ). */
+double evkBytes(const TraceParams &params);
+
+} // namespace anaheim
+
+#endif // ANAHEIM_TRACE_COUNTING_H

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "anaheim/planner.h"
+#include "anaheim/workloads.h"
+
+namespace anaheim {
+namespace {
+
+TEST(PimMemoryPlanner, BootstrapFitsA100)
+{
+    const PimMemoryPlanner planner(DramConfig::hbm2A100(),
+                                   PimConfig::nearBankA100());
+    const auto plan = planner.plan(makeBootWorkload());
+    EXPECT_GT(plan.pimKernels, 0u);
+    EXPECT_GT(plan.peakRowsPerBank, 0u);
+    EXPECT_TRUE(plan.fits)
+        << "peak " << plan.peakRowsPerBank << " rows per bank";
+}
+
+TEST(PimMemoryPlanner, PeakTracksTheLargestAccumulation)
+{
+    // The KeyMult/MAC PAccum over the extended modulus with its evk
+    // operands must dominate the per-kernel demand.
+    const PimMemoryPlanner planner(DramConfig::hbm2A100(),
+                                   PimConfig::nearBankA100());
+    const auto boot = makeBootWorkload();
+    const auto plan = planner.plan(boot);
+    const KernelOp &peak = boot.ops[plan.peakOpIndex];
+    EXPECT_TRUE(peak.type == KernelType::EwPAccum ||
+                peak.type == KernelType::EwCAccum)
+        << kernelTypeName(peak.type);
+}
+
+TEST(PimMemoryPlanner, GpuOnlyTraceNeedsNoPimRows)
+{
+    OpSequence seq;
+    seq.name = "compute-only";
+    seq.n = 1 << 16;
+    KernelOp ntt;
+    ntt.type = KernelType::Ntt;
+    ntt.n = seq.n;
+    ntt.limbs = 54;
+    ntt.reads = {{OperandKind::Working, 54}};
+    ntt.writes = {{OperandKind::Working, 54}};
+    seq.ops.push_back(ntt);
+    const PimMemoryPlanner planner(DramConfig::hbm2A100(),
+                                   PimConfig::nearBankA100());
+    const auto plan = planner.plan(seq);
+    EXPECT_EQ(plan.pimKernels, 0u);
+    EXPECT_EQ(plan.peakRowsPerBank, 0u);
+    EXPECT_TRUE(plan.fits);
+}
+
+TEST(PimMemoryPlanner, SmallerDeviceHasTighterBudget)
+{
+    // The RTX 4090's per-bank capacity (24GB over 384 banks) is larger
+    // per bank than the A100's (80GB over 2560), but its die groups are
+    // smaller so each bank holds more chunks per limb — the planner
+    // must still find bootstrapping feasible on both.
+    const PimMemoryPlanner a100(DramConfig::hbm2A100(),
+                                PimConfig::nearBankA100());
+    const PimMemoryPlanner rtx(DramConfig::gddr6xRtx4090(),
+                               PimConfig::nearBankRtx4090());
+    const auto boot = makeBootWorkload();
+    EXPECT_TRUE(a100.plan(boot).fits);
+    EXPECT_TRUE(rtx.plan(boot).fits);
+    // The 4090 needs more rows per bank for the same kernel.
+    EXPECT_GT(rtx.plan(boot).peakRowsPerBank,
+              a100.plan(boot).peakRowsPerBank);
+}
+
+} // namespace
+} // namespace anaheim

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "boot/bootstrapper.h"
+#include "ckks/encryptor.h"
+#include "common/rng.h"
+#include "math/modarith.h"
+
+namespace anaheim {
+namespace {
+
+using Complex = std::complex<double>;
+
+class BootstrapTest : public ::testing::Test
+{
+  protected:
+    BootstrapTest()
+        : context_(CkksParams::bootstrapParams(1 << 11)),
+          encoder_(context_), keygen_(context_, 11),
+          encryptor_(context_, 23),
+          decryptor_(context_, keygen_.secretKey()),
+          evaluator_(context_, encoder_)
+    {
+    }
+
+    CkksContext context_;
+    CkksEncoder encoder_;
+    KeyGenerator keygen_;
+    CkksEncryptor encryptor_;
+    CkksDecryptor decryptor_;
+    CkksEvaluator evaluator_;
+};
+
+TEST_F(BootstrapTest, ModRaisePreservesMessage)
+{
+    Rng rng(111);
+    std::vector<Complex> msg(encoder_.slots());
+    for (auto &v : msg)
+        v = {(rng.uniformReal() - 0.5) / 16.0, 0.0};
+    auto ct = encryptor_.encrypt(encoder_.encode(msg, 1),
+                                 keygen_.secretKey());
+
+    // Build a bare bootstrapper only to reach modRaise.
+    Bootstrapper boot(context_, encoder_, evaluator_, keygen_);
+    const auto raised = boot.modRaise(ct);
+    EXPECT_EQ(raised.level, context_.maxLevel());
+
+    // After ModRaise the ciphertext decrypts to m + q0*I; reducing the
+    // decryption mod q0 must recover the original message.
+    const auto pt = decryptor_.decrypt(raised);
+    Polynomial poly = pt.poly;
+    poly.toCoeff();
+    const uint64_t q0 = context_.qBasis().prime(0);
+
+    const auto original = decryptor_.decrypt(ct);
+    Polynomial origPoly = original.poly;
+    origPoly.toCoeff();
+    for (size_t c = 0; c < 64; ++c) {
+        EXPECT_EQ(poly.limb(0)[c] % q0, origPoly.limb(0)[c]) << c;
+    }
+}
+
+TEST_F(BootstrapTest, BootstrapRestoresLevelsAndMessage)
+{
+    Rng rng(112);
+    std::vector<Complex> msg(encoder_.slots());
+    for (auto &v : msg) {
+        v = {(2.0 * rng.uniformReal() - 1.0) / 32.0,
+             (2.0 * rng.uniformReal() - 1.0) / 32.0};
+    }
+    auto ct = encryptor_.encrypt(encoder_.encode(msg, 1),
+                                 keygen_.secretKey());
+
+    Bootstrapper boot(context_, encoder_, evaluator_, keygen_);
+    const auto refreshed = boot.bootstrap(ct);
+    EXPECT_EQ(refreshed.level, boot.outputLevel());
+    EXPECT_GT(refreshed.level, 1u)
+        << "bootstrapping must yield usable levels";
+
+    const auto out = encoder_.decode(decryptor_.decrypt(refreshed));
+    double worst = 0.0;
+    for (size_t i = 0; i < msg.size(); ++i)
+        worst = std::max(worst, std::abs(out[i] - msg[i]));
+    // Bootstrapping precision target: well below the message amplitude
+    // (1/32); 2^-10 absolute is in line with typical CKKS bootstraps.
+    EXPECT_LT(worst, 1.0 / 1024.0);
+}
+
+TEST(BootstrapSweep, SmallerRingAlsoBootstraps)
+{
+    // Second parameter point: N = 2^10 (512 slots). The DFT factors,
+    // level schedule and sine approximant all rescale automatically.
+    const CkksContext context(CkksParams::bootstrapParams(1 << 10));
+    const CkksEncoder encoder(context);
+    KeyGenerator keygen(context, 21);
+    CkksEncryptor encryptor(context, 22);
+    const CkksDecryptor decryptor(context, keygen.secretKey());
+    const CkksEvaluator evaluator(context, encoder);
+
+    Rng rng(211);
+    std::vector<Complex> msg(encoder.slots());
+    for (auto &v : msg)
+        v = {(2.0 * rng.uniformReal() - 1.0) / 32.0, 0.0};
+    auto ct = encryptor.encrypt(encoder.encode(msg, 1),
+                                keygen.secretKey());
+
+    Bootstrapper boot(context, encoder, evaluator, keygen);
+    const auto refreshed = boot.bootstrap(ct);
+    EXPECT_GT(refreshed.level, 1u);
+    const auto out = encoder.decode(decryptor.decrypt(refreshed));
+    double worst = 0.0;
+    for (size_t i = 0; i < msg.size(); ++i)
+        worst = std::max(worst, std::abs(out[i] - msg[i]));
+    EXPECT_LT(worst, 1.0 / 1024.0);
+}
+
+TEST_F(BootstrapTest, BootstrappedCiphertextSupportsFurtherOps)
+{
+    Rng rng(113);
+    std::vector<Complex> msg(encoder_.slots());
+    for (auto &v : msg)
+        v = {(2.0 * rng.uniformReal() - 1.0) / 32.0, 0.0};
+    auto ct = encryptor_.encrypt(encoder_.encode(msg, 1),
+                                 keygen_.secretKey());
+
+    Bootstrapper boot(context_, encoder_, evaluator_, keygen_);
+    auto refreshed = boot.bootstrap(ct);
+
+    // L_eff check: consume a multiplicative level post-bootstrap.
+    const auto relin = keygen_.makeRelinKey();
+    auto squared =
+        evaluator_.rescale(evaluator_.square(refreshed, relin));
+    const auto out = encoder_.decode(decryptor_.decrypt(squared));
+    for (size_t i = 0; i < msg.size(); i += 97) {
+        const Complex expect = msg[i] * msg[i];
+        EXPECT_LT(std::abs(out[i] - expect), 1e-3) << "slot " << i;
+    }
+}
+
+} // namespace
+} // namespace anaheim

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "boot/dft.h"
+#include "common/rng.h"
+
+namespace anaheim {
+namespace {
+
+using Complex = std::complex<double>;
+
+std::vector<Complex>
+randomVec(size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Complex> v(n);
+    for (auto &x : v)
+        x = {2.0 * rng.uniformReal() - 1.0, 2.0 * rng.uniformReal() - 1.0};
+    return v;
+}
+
+double
+maxError(const std::vector<Complex> &a, const std::vector<Complex> &b)
+{
+    double err = 0.0;
+    for (size_t i = 0; i < a.size(); ++i)
+        err = std::max(err, std::abs(a[i] - b[i]));
+    return err;
+}
+
+class DftPlanTest
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>>
+{
+};
+
+TEST_P(DftPlanTest, FactorsComposeToReferenceTransforms)
+{
+    const auto [slots, fftIter] = GetParam();
+    const DftPlan plan(slots, fftIter);
+    const auto v = randomVec(slots, slots + fftIter);
+
+    // CoeffToSlot factors applied in order must equal the reference.
+    {
+        const auto factors = plan.coeffToSlotFactors({1.0, 0.0});
+        ASSERT_EQ(factors.size(), fftIter);
+        auto cur = v;
+        for (const auto &factor : factors)
+            cur = factor.apply(cur);
+        EXPECT_LT(maxError(cur, plan.applyCoeffToSlot(v)), 1e-9);
+    }
+    // Same for SlotToCoeff.
+    {
+        const auto factors = plan.slotToCoeffFactors({1.0, 0.0});
+        auto cur = v;
+        for (const auto &factor : factors)
+            cur = factor.apply(cur);
+        EXPECT_LT(maxError(cur, plan.applySlotToCoeff(v)), 1e-9);
+    }
+}
+
+TEST_P(DftPlanTest, CtsThenStcIsIdentity)
+{
+    // The bit-reversal-free factorization must still satisfy
+    // StC(CtS(x)) == x, since EvalMod between them is slot-wise.
+    const auto [slots, fftIter] = GetParam();
+    const DftPlan plan(slots, fftIter);
+    const auto v = randomVec(slots, 1000 + slots);
+    const auto roundTrip = plan.applySlotToCoeff(plan.applyCoeffToSlot(v));
+    EXPECT_LT(maxError(roundTrip, v), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DftPlanTest,
+    ::testing::Values(std::pair<size_t, size_t>{8, 1},
+                      std::pair<size_t, size_t>{8, 3},
+                      std::pair<size_t, size_t>{64, 1},
+                      std::pair<size_t, size_t>{64, 2},
+                      std::pair<size_t, size_t>{64, 3},
+                      std::pair<size_t, size_t>{64, 6},
+                      std::pair<size_t, size_t>{256, 2},
+                      std::pair<size_t, size_t>{256, 4}));
+
+TEST(DftPlan, FactorsAreSparse)
+{
+    // Each factor groups ceil(log n / fftIter) radix-2 stages, so its
+    // diagonal count is bounded by 2^(stages+1) - 1.
+    const DftPlan plan(256, 4);
+    for (const auto &factor : plan.coeffToSlotFactors({1.0, 0.0})) {
+        EXPECT_LE(factor.diagonalCount(), 7u); // 2 stages -> <= 2^3-1
+        EXPECT_GE(factor.diagonalCount(), 2u);
+    }
+}
+
+TEST(DftPlan, ExtraScaleIsAppliedOnce)
+{
+    const DftPlan plan(64, 2);
+    const auto v = randomVec(64, 7);
+    const auto factors = plan.coeffToSlotFactors({0.25, 0.0});
+    auto cur = v;
+    for (const auto &factor : factors)
+        cur = factor.apply(cur);
+    auto expect = plan.applyCoeffToSlot(v);
+    for (auto &x : expect)
+        x *= 0.25;
+    EXPECT_LT(maxError(cur, expect), 1e-9);
+}
+
+} // namespace
+} // namespace anaheim

@@ -1,0 +1,159 @@
+/**
+ * Edge cases and failure injection for the CKKS evaluator: level
+ * exhaustion, scale adjustment, misuse that must die loudly rather
+ * than corrupt ciphertexts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ckks/encryptor.h"
+#include "ckks/evaluator.h"
+#include "common/rng.h"
+
+namespace anaheim {
+namespace {
+
+using Complex = std::complex<double>;
+
+class EdgeTest : public ::testing::Test
+{
+  protected:
+    EdgeTest()
+        : context_(CkksParams::testParams(1 << 9, 5, 2)),
+          encoder_(context_), keygen_(context_, 3),
+          encryptor_(context_, 5),
+          decryptor_(context_, keygen_.secretKey()),
+          evaluator_(context_, encoder_)
+    {
+    }
+
+    Ciphertext
+    encrypt(double value, size_t level)
+    {
+        std::vector<Complex> msg(encoder_.slots(), {value, 0.0});
+        return encryptor_.encrypt(encoder_.encode(msg, level),
+                                  keygen_.secretKey());
+    }
+
+    CkksContext context_;
+    CkksEncoder encoder_;
+    KeyGenerator keygen_;
+    CkksEncryptor encryptor_;
+    CkksDecryptor decryptor_;
+    CkksEvaluator evaluator_;
+};
+
+TEST_F(EdgeTest, OperationsWorkAtLevelOne)
+{
+    // The bottom of the modulus chain still supports additive ops —
+    // exactly the state bootstrapping picks a ciphertext up from.
+    auto ct = encrypt(0.25, 1);
+    const auto sum = evaluator_.add(ct, ct);
+    const auto out = encoder_.decode(decryptor_.decrypt(sum));
+    EXPECT_NEAR(out[0].real(), 0.5, 1e-4);
+}
+
+TEST_F(EdgeTest, RescaleAtLevelOneDies)
+{
+    auto ct = encrypt(0.25, 1);
+    EXPECT_DEATH(evaluator_.rescale(ct), "no prime left");
+}
+
+TEST_F(EdgeTest, RaisingLevelByTruncationDies)
+{
+    auto ct = encrypt(0.25, 2);
+    EXPECT_DEATH(evaluator_.dropToLevel(ct, 3), "cannot raise level");
+}
+
+TEST_F(EdgeTest, MulPlainRejectsLowerLevelPlaintext)
+{
+    auto ct = encrypt(0.25, 4);
+    std::vector<Complex> msg(encoder_.slots(), {1.0, 0.0});
+    const auto pt = encoder_.encode(msg, 2);
+    EXPECT_DEATH(evaluator_.mulPlain(ct, pt), "plaintext level too low");
+}
+
+TEST_F(EdgeTest, RotationWithoutKeyDies)
+{
+    auto ct = encrypt(0.25, 3);
+    GaloisKeys empty;
+    EXPECT_DEATH(evaluator_.rotate(ct, 1, empty), "missing Galois key");
+}
+
+TEST_F(EdgeTest, ZeroRotationIsIdentityWithoutKeys)
+{
+    auto ct = encrypt(0.25, 3);
+    GaloisKeys empty;
+    const auto out = evaluator_.rotate(ct, 0, empty); // no key needed
+    EXPECT_EQ(out.level, ct.level);
+    const auto decoded = encoder_.decode(decryptor_.decrypt(out));
+    EXPECT_NEAR(decoded[7].real(), 0.25, 1e-4);
+}
+
+TEST_F(EdgeTest, FullSlotRotationWrapsToIdentity)
+{
+    auto ct = encrypt(0.25, 3);
+    GaloisKeys empty;
+    const int full = static_cast<int>(encoder_.slots());
+    // Rotation by the slot count is the identity (5^(N/2) = 1 orbit).
+    const auto out = evaluator_.rotate(ct, full, empty);
+    const auto decoded = encoder_.decode(decryptor_.decrypt(out));
+    EXPECT_NEAR(decoded[3].real(), 0.25, 1e-4);
+}
+
+TEST_F(EdgeTest, AdjustScaleExactlyRetargets)
+{
+    auto ct = encrypt(0.5, 4);
+    const double target = ct.scale * 1.01; // deliberately off
+    const auto adjusted = evaluator_.adjustScaleTo(ct, target);
+    EXPECT_EQ(adjusted.level, ct.level - 1);
+    EXPECT_NEAR(adjusted.scale / target, 1.0, 1e-9);
+    const auto out = encoder_.decode(decryptor_.decrypt(adjusted));
+    EXPECT_NEAR(out[0].real(), 0.5, 1e-4);
+}
+
+TEST_F(EdgeTest, MismatchedScaleAddTriggersAlignment)
+{
+    // Force two ciphertexts onto different rescale histories, then add;
+    // the evaluator must align scales without corrupting the message.
+    const auto relin = keygen_.makeRelinKey();
+    auto deep = encrypt(0.5, 5);
+    deep = evaluator_.rescale(evaluator_.square(deep, relin)); // 0.25
+    auto shallow = encrypt(0.25, 5);
+
+    const auto sum = evaluator_.add(deep, shallow);
+    const auto out = encoder_.decode(decryptor_.decrypt(sum));
+    EXPECT_NEAR(out[0].real(), 0.5, 1e-3);
+}
+
+TEST_F(EdgeTest, NegateIsInvolution)
+{
+    auto ct = encrypt(0.33, 3);
+    const auto twice = evaluator_.negate(evaluator_.negate(ct));
+    const auto out = encoder_.decode(decryptor_.decrypt(twice));
+    EXPECT_NEAR(out[0].real(), 0.33, 1e-4);
+}
+
+TEST_F(EdgeTest, SubtractingCiphertextFromItselfIsZero)
+{
+    auto ct = encrypt(0.7, 4);
+    const auto zero = evaluator_.sub(ct, ct);
+    const auto out = encoder_.decode(decryptor_.decrypt(zero));
+    for (size_t i = 0; i < out.size(); i += 61)
+        EXPECT_NEAR(std::abs(out[i]), 0.0, 1e-6);
+}
+
+TEST_F(EdgeTest, PublicKeyCiphertextsComposeWithSymmetricOnes)
+{
+    auto pk = keygen_.makePublicKey();
+    std::vector<Complex> msg(encoder_.slots(), {0.25, 0.0});
+    const auto pkCt = encryptor_.encrypt(
+        encoder_.encode(msg, context_.maxLevel()), pk);
+    const auto skCt = encrypt(0.5, context_.maxLevel());
+    const auto sum = evaluator_.add(pkCt, skCt);
+    const auto out = encoder_.decode(decryptor_.decrypt(sum));
+    EXPECT_NEAR(out[0].real(), 0.75, 1e-4);
+}
+
+} // namespace
+} // namespace anaheim

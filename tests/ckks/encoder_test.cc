@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "ckks/encoder.h"
+#include "common/rng.h"
+
+namespace anaheim {
+namespace {
+
+using Complex = std::complex<double>;
+
+std::vector<Complex>
+randomMessage(size_t count, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Complex> msg(count);
+    for (auto &v : msg)
+        v = {2.0 * rng.uniformReal() - 1.0, 2.0 * rng.uniformReal() - 1.0};
+    return msg;
+}
+
+double
+maxError(const std::vector<Complex> &a, const std::vector<Complex> &b)
+{
+    double err = 0.0;
+    for (size_t i = 0; i < a.size(); ++i)
+        err = std::max(err, std::abs(a[i] - b[i]));
+    return err;
+}
+
+class EncoderTest : public ::testing::Test
+{
+  protected:
+    EncoderTest()
+        : context_(CkksParams::testParams(1 << 10, 6, 2)),
+          encoder_(context_)
+    {
+    }
+    CkksContext context_;
+    CkksEncoder encoder_;
+};
+
+TEST_F(EncoderTest, EncodeDecodeRoundTrip)
+{
+    const auto msg = randomMessage(encoder_.slots(), 101);
+    const auto pt = encoder_.encode(msg, context_.maxLevel());
+    const auto decoded = encoder_.decode(pt);
+    EXPECT_LT(maxError(msg, decoded), 1e-8);
+}
+
+TEST_F(EncoderTest, EncodeRealRoundTrip)
+{
+    Rng rng(102);
+    std::vector<double> msg(encoder_.slots());
+    for (auto &v : msg)
+        v = 2.0 * rng.uniformReal() - 1.0;
+    const auto pt = encoder_.encodeReal(msg, 3);
+    const auto decoded = encoder_.decode(pt);
+    for (size_t i = 0; i < msg.size(); ++i) {
+        EXPECT_NEAR(decoded[i].real(), msg[i], 1e-8);
+        EXPECT_NEAR(decoded[i].imag(), 0.0, 1e-8);
+    }
+}
+
+TEST_F(EncoderTest, ShortMessagesAreZeroPadded)
+{
+    const std::vector<Complex> msg = {{1.0, 0.0}, {2.0, 0.0}, {3.0, 0.0}};
+    const auto decoded =
+        encoder_.decode(encoder_.encode(msg, context_.maxLevel()));
+    EXPECT_NEAR(decoded[0].real(), 1.0, 1e-8);
+    EXPECT_NEAR(decoded[2].real(), 3.0, 1e-8);
+    for (size_t i = 3; i < encoder_.slots(); ++i)
+        EXPECT_NEAR(std::abs(decoded[i]), 0.0, 1e-8);
+}
+
+TEST_F(EncoderTest, EmbedForwardMatchesDirectEvaluation)
+{
+    // Slot j must be the evaluation at zeta^{5^j}, the property slot
+    // rotation via automorphism relies on.
+    const size_t slots = encoder_.slots();
+    const size_t m = 4 * slots;
+    Rng rng(103);
+    std::vector<Complex> w(slots);
+    for (auto &v : w)
+        v = {rng.uniformReal() - 0.5, rng.uniformReal() - 0.5};
+    auto fast = w;
+    encoder_.embedForward(fast);
+
+    size_t fivePow = 1;
+    for (size_t j = 0; j < slots; j += slots / 8) {
+        Complex direct = 0.0;
+        // Recompute 5^j mod 2N from scratch for the probed slots.
+        size_t g = 1;
+        for (size_t t = 0; t < j; ++t)
+            g = g * 5 % m;
+        for (size_t i = 0; i < slots; ++i) {
+            const double angle =
+                2.0 * M_PI * static_cast<double>(g * i % m) / m;
+            direct += w[i] * Complex{std::cos(angle), std::sin(angle)};
+        }
+        EXPECT_LT(std::abs(fast[j] - direct), 1e-6 * (1.0 + std::abs(direct)))
+            << "slot " << j;
+    }
+    (void)fivePow;
+}
+
+TEST_F(EncoderTest, EmbedInverseIsLeftInverse)
+{
+    auto w = randomMessage(encoder_.slots(), 104);
+    const auto original = w;
+    encoder_.embedInverse(w);
+    encoder_.embedForward(w);
+    EXPECT_LT(maxError(w, original), 1e-9);
+}
+
+TEST_F(EncoderTest, PolynomialProductMatchesSlotwiseProduct)
+{
+    // encode(u) * encode(v) (ring product) must decode to u .* v at
+    // scale Delta^2 — the algebra HMULT is built on.
+    const auto u = randomMessage(encoder_.slots(), 105);
+    const auto v = randomMessage(encoder_.slots(), 106);
+    auto ptU = encoder_.encode(u, context_.maxLevel());
+    const auto ptV = encoder_.encode(v, context_.maxLevel());
+    ptU.poly.mulEq(ptV.poly);
+    ptU.scale *= ptV.scale;
+    const auto decoded = encoder_.decode(ptU);
+    for (size_t i = 0; i < u.size(); ++i)
+        EXPECT_LT(std::abs(decoded[i] - u[i] * v[i]), 1e-6);
+}
+
+TEST_F(EncoderTest, AutomorphismRotatesSlots)
+{
+    const auto msg = randomMessage(encoder_.slots(), 107);
+    for (int r : {1, 2, 5, 17}) {
+        auto pt = encoder_.encode(msg, 2);
+        const uint64_t k = [&] {
+            uint64_t g = 1;
+            for (int i = 0; i < r; ++i)
+                g = g * 5 % (2 * context_.degree());
+            return g;
+        }();
+        pt.poly = pt.poly.automorphism(k);
+        const auto rotated = encoder_.decode(pt);
+        for (size_t i = 0; i < msg.size(); ++i) {
+            const auto expect = msg[(i + r) % msg.size()];
+            EXPECT_LT(std::abs(rotated[i] - expect), 1e-7)
+                << "r=" << r << " slot " << i;
+        }
+    }
+}
+
+TEST_F(EncoderTest, ConjugationAutomorphismConjugatesSlots)
+{
+    const auto msg = randomMessage(encoder_.slots(), 108);
+    auto pt = encoder_.encode(msg, 2);
+    pt.poly = pt.poly.automorphism(2 * context_.degree() - 1);
+    const auto conj = encoder_.decode(pt);
+    for (size_t i = 0; i < msg.size(); ++i)
+        EXPECT_LT(std::abs(conj[i] - std::conj(msg[i])), 1e-7);
+}
+
+} // namespace
+} // namespace anaheim

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace anaheim {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds)
+{
+    Rng a(42), b(42), c(43);
+    bool anyDiff = false;
+    for (int i = 0; i < 64; ++i) {
+        const uint64_t va = a.next();
+        EXPECT_EQ(va, b.next());
+        anyDiff |= va != c.next();
+    }
+    EXPECT_TRUE(anyDiff) << "different seeds must diverge";
+}
+
+TEST(Rng, UniformRespectsBound)
+{
+    Rng rng(7);
+    for (uint64_t bound : {1ULL, 2ULL, 97ULL, 1ULL << 40}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.uniform(bound), bound);
+    }
+}
+
+TEST(Rng, UniformIsRoughlyUniform)
+{
+    Rng rng(8);
+    const uint64_t bound = 10;
+    std::vector<int> buckets(bound, 0);
+    const int samples = 20000;
+    for (int i = 0; i < samples; ++i)
+        ++buckets[rng.uniform(bound)];
+    for (uint64_t b = 0; b < bound; ++b) {
+        EXPECT_NEAR(buckets[b], samples / static_cast<int>(bound),
+                    samples / 20)
+            << "bucket " << b;
+    }
+}
+
+TEST(Rng, GaussianMomentsMatch)
+{
+    Rng rng(9);
+    double sum = 0.0, sumSq = 0.0;
+    const int samples = 50000;
+    for (int i = 0; i < samples; ++i) {
+        const double x = rng.gaussian();
+        sum += x;
+        sumSq += x * x;
+    }
+    EXPECT_NEAR(sum / samples, 0.0, 0.03);
+    EXPECT_NEAR(sumSq / samples, 1.0, 0.05);
+}
+
+TEST(Samplers, TernaryHammingWeightExact)
+{
+    Rng rng(10);
+    const auto secret = sampleTernary(rng, 1024, 64);
+    size_t nonzero = 0;
+    for (int8_t v : secret) {
+        EXPECT_GE(v, -1);
+        EXPECT_LE(v, 1);
+        nonzero += v != 0;
+    }
+    EXPECT_EQ(nonzero, 64u);
+}
+
+TEST(Samplers, DenseTernaryIsBalanced)
+{
+    Rng rng(11);
+    const auto secret = sampleTernary(rng, 1 << 14);
+    int plus = 0, minus = 0;
+    for (int8_t v : secret) {
+        plus += v == 1;
+        minus += v == -1;
+    }
+    // Each with probability 1/4.
+    EXPECT_NEAR(plus, 1 << 12, 300);
+    EXPECT_NEAR(minus, 1 << 12, 300);
+}
+
+TEST(Samplers, ErrorStandardDeviation)
+{
+    Rng rng(12);
+    const auto errs = sampleError(rng, 1 << 14, 3.2);
+    double sumSq = 0.0;
+    for (int64_t e : errs)
+        sumSq += static_cast<double>(e) * e;
+    EXPECT_NEAR(std::sqrt(sumSq / errs.size()), 3.2, 0.2);
+}
+
+TEST(Units, FormatBytes)
+{
+    EXPECT_EQ(formatBytes(512), "512.00B");
+    EXPECT_EQ(formatBytes(2048), "2.00KB");
+    EXPECT_EQ(formatBytes(136.0 * 1024 * 1024), "136.00MB");
+    EXPECT_EQ(formatBytes(1.5 * 1024 * 1024 * 1024), "1.50GB");
+}
+
+TEST(Units, FormatSeconds)
+{
+    EXPECT_EQ(formatSeconds(29.3e-3), "29.30ms");
+    EXPECT_EQ(formatSeconds(1.22), "1.22s");
+    EXPECT_EQ(formatSeconds(5e-7), "500.00ns");
+    EXPECT_EQ(formatSeconds(3.5e-6), "3.50us");
+}
+
+TEST(Units, FormatJoules)
+{
+    EXPECT_EQ(formatJoules(0.0081), "8.10mJ");
+    EXPECT_EQ(formatJoules(3.2), "3.20J");
+    EXPECT_EQ(formatJoules(4.2e-6), "4.20uJ");
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(ANAHEIM_PANIC("broken invariant ", 42),
+                 "broken invariant 42");
+}
+
+TEST(LoggingDeath, AssertCarriesMessage)
+{
+    const int x = 3;
+    EXPECT_DEATH(ANAHEIM_ASSERT(x == 4, "x was ", x), "x was 3");
+}
+
+} // namespace
+} // namespace anaheim

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "math/modarith.h"
+
+namespace anaheim {
+namespace {
+
+TEST(ModArith, AddSubNegBasics)
+{
+    const uint64_t q = 97;
+    EXPECT_EQ(addMod(50, 60, q), (50 + 60) % q);
+    EXPECT_EQ(addMod(96, 96, q), (96 + 96) % q);
+    EXPECT_EQ(subMod(10, 20, q), (10 + q - 20) % q);
+    EXPECT_EQ(subMod(20, 10, q), 10u);
+    EXPECT_EQ(negMod(0, q), 0u);
+    EXPECT_EQ(negMod(1, q), q - 1);
+}
+
+TEST(ModArith, MulModMatchesBigInt)
+{
+    Rng rng(1);
+    const uint64_t q = (1ULL << 59) - 55; // any modulus < 2^63 works
+    for (int i = 0; i < 1000; ++i) {
+        const uint64_t a = rng.uniform(q);
+        const uint64_t b = rng.uniform(q);
+        const auto expect = static_cast<uint64_t>(
+            static_cast<unsigned __int128>(a) * b % q);
+        EXPECT_EQ(mulMod(a, b, q), expect);
+    }
+}
+
+TEST(ModArith, PowModSmallCases)
+{
+    EXPECT_EQ(powMod(2, 10, 1000000007ULL), 1024u);
+    EXPECT_EQ(powMod(3, 0, 7), 1u);
+    EXPECT_EQ(powMod(5, 6, 7), 1u); // Fermat: 5^(7-1) = 1 mod 7
+}
+
+TEST(ModArith, InvModIsInverse)
+{
+    Rng rng(2);
+    const uint64_t q = 0xFFFFFFFF00000001ULL >> 8 | 1; // arbitrary odd
+    const uint64_t prime = 1000000007ULL;
+    (void)q;
+    for (int i = 0; i < 200; ++i) {
+        const uint64_t a = 1 + rng.uniform(prime - 1);
+        EXPECT_EQ(mulMod(a, invMod(a, prime), prime), 1u);
+    }
+}
+
+TEST(ModArith, CenteredRoundTrip)
+{
+    const uint64_t q = 101;
+    for (uint64_t a = 0; a < q; ++a) {
+        const int64_t c = toCentered(a, q);
+        EXPECT_GE(c, -static_cast<int64_t>(q) / 2);
+        EXPECT_LE(c, static_cast<int64_t>(q) / 2);
+        EXPECT_EQ(fromSigned(c, q), a);
+    }
+}
+
+TEST(ModArith, FromSignedHandlesLargeMagnitudes)
+{
+    const uint64_t q = 97;
+    EXPECT_EQ(fromSigned(-1, q), q - 1);
+    EXPECT_EQ(fromSigned(-static_cast<int64_t>(q) * 5 - 3, q), q - 3);
+    EXPECT_EQ(fromSigned(static_cast<int64_t>(q) * 7 + 3, q), 3u);
+}
+
+class BarrettParamTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(BarrettParamTest, MatchesGenericMulMod)
+{
+    const uint64_t q = GetParam();
+    const Barrett barrett(q);
+    Rng rng(q);
+    for (int i = 0; i < 500; ++i) {
+        const uint64_t a = rng.uniform(q);
+        const uint64_t b = rng.uniform(q);
+        EXPECT_EQ(barrett.mulMod(a, b), mulMod(a, b, q))
+            << "a=" << a << " b=" << b << " q=" << q;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Moduli, BarrettParamTest,
+    ::testing::Values<uint64_t>(3, 97, (1ULL << 28) - 57,
+                                (1ULL << 45) - 229, (1ULL << 59) - 55,
+                                (1ULL << 61) - 1));
+
+TEST(Barrett, ReducesFullRangeProducts)
+{
+    const uint64_t q = (1ULL << 61) - 1;
+    const Barrett barrett(q);
+    const unsigned __int128 x =
+        static_cast<unsigned __int128>(q - 1) * (q - 1);
+    EXPECT_EQ(barrett.reduce(x),
+              static_cast<uint64_t>(x % q));
+}
+
+} // namespace
+} // namespace anaheim

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "math/modarith.h"
+#include "math/montgomery.h"
+#include "math/primes.h"
+
+namespace anaheim {
+namespace {
+
+TEST(Montgomery, RoundTripConversion)
+{
+    const uint64_t q = generateNttPrimes(1024, 28, 1)[0];
+    const Montgomery mont(q);
+    Rng rng(3);
+    for (int i = 0; i < 500; ++i) {
+        const uint64_t a = rng.uniform(q);
+        EXPECT_EQ(mont.fromMont(mont.toMont(a)), a);
+    }
+}
+
+TEST(Montgomery, ProductMatchesGenericPath)
+{
+    // The PIM MMAC datapath (Montgomery, 28-bit) must agree with the
+    // generic 128-bit reduction the CKKS library uses.
+    const auto primes = generateNttPrimes(2048, 28, 4);
+    Rng rng(4);
+    for (uint64_t q : primes) {
+        const Montgomery mont(q);
+        for (int i = 0; i < 300; ++i) {
+            const uint64_t a = rng.uniform(q);
+            const uint64_t b = rng.uniform(q);
+            EXPECT_EQ(mont.mulMod(a, b), mulMod(a, b, q));
+        }
+    }
+}
+
+TEST(Montgomery, MontgomeryFormMacChains)
+{
+    // Accumulating in Montgomery form (as the MMAC units do across a
+    // PAccum instruction) must match plain-domain accumulation.
+    const uint64_t q = generateNttPrimes(1024, 27, 1)[0];
+    const Montgomery mont(q);
+    Rng rng(5);
+    uint64_t plainAcc = 0;
+    uint32_t montAcc = 0;
+    for (int i = 0; i < 64; ++i) {
+        const uint64_t a = rng.uniform(q);
+        const uint64_t b = rng.uniform(q);
+        plainAcc = addMod(plainAcc, mulMod(a, b, q), q);
+        const uint32_t prod = mont.mulMont(mont.toMont(a), mont.toMont(b));
+        montAcc = static_cast<uint32_t>(
+            addMod(montAcc, prod, q));
+    }
+    EXPECT_EQ(mont.fromMont(montAcc), plainAcc);
+}
+
+TEST(MontgomeryDeath, RejectsWideModulus)
+{
+    EXPECT_DEATH(Montgomery(1ULL << 29), "Montgomery modulus");
+}
+
+} // namespace
+} // namespace anaheim

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "math/modarith.h"
+#include "math/ntt.h"
+#include "math/primes.h"
+
+namespace anaheim {
+namespace {
+
+class NttTest : public ::testing::TestWithParam<size_t>
+{
+  protected:
+    size_t n() const { return GetParam(); }
+};
+
+TEST_P(NttTest, ForwardInverseRoundTrip)
+{
+    const uint64_t q = generateNttPrimes(n(), 40, 1)[0];
+    const NttTable table(q, n());
+    Rng rng(7);
+    auto data = sampleUniform(rng, n(), q);
+    auto copy = data;
+    table.forward(copy);
+    EXPECT_NE(copy, data) << "forward NTT should change the data";
+    table.inverse(copy);
+    EXPECT_EQ(copy, data);
+}
+
+TEST_P(NttTest, ConvolutionTheorem)
+{
+    // NTT(a) .* NTT(b) == NTT(a *negacyclic* b): the property polynomial
+    // multiplication in CKKS relies on.
+    const uint64_t q = generateNttPrimes(n(), 40, 1)[0];
+    const NttTable table(q, n());
+    Rng rng(8);
+    const auto a = sampleUniform(rng, n(), q);
+    const auto b = sampleUniform(rng, n(), q);
+
+    std::vector<uint64_t> expect(n(), 0);
+    {
+        // Reference O(N^2) negacyclic convolution.
+        for (size_t i = 0; i < n(); ++i) {
+            for (size_t j = 0; j < n(); ++j) {
+                const uint64_t prod = mulMod(a[i], b[j], q);
+                const size_t idx = i + j;
+                if (idx < n())
+                    expect[idx] = addMod(expect[idx], prod, q);
+                else
+                    expect[idx - n()] = subMod(expect[idx - n()], prod, q);
+            }
+        }
+    }
+
+    auto ea = a;
+    auto eb = b;
+    table.forward(ea);
+    table.forward(eb);
+    std::vector<uint64_t> prod(n());
+    for (size_t i = 0; i < n(); ++i)
+        prod[i] = mulMod(ea[i], eb[i], q);
+    table.inverse(prod);
+    EXPECT_EQ(prod, expect);
+}
+
+TEST_P(NttTest, TransformIsLinear)
+{
+    const uint64_t q = generateNttPrimes(n(), 30, 1)[0];
+    const NttTable table(q, n());
+    Rng rng(9);
+    const auto a = sampleUniform(rng, n(), q);
+    const auto b = sampleUniform(rng, n(), q);
+    const uint64_t c = rng.uniform(q);
+
+    std::vector<uint64_t> combo(n());
+    for (size_t i = 0; i < n(); ++i)
+        combo[i] = addMod(mulMod(c, a[i], q), b[i], q);
+
+    auto ea = a, eb = b, ecombo = combo;
+    table.forward(ea);
+    table.forward(eb);
+    table.forward(ecombo);
+    for (size_t i = 0; i < n(); ++i)
+        EXPECT_EQ(ecombo[i], addMod(mulMod(c, ea[i], q), eb[i], q));
+}
+
+TEST_P(NttTest, EvalExponentsAreConsistent)
+{
+    // Slot j must hold the evaluation of the input at psi^{e_j}; verify
+    // against a direct evaluation for random polynomials.
+    const uint64_t q = generateNttPrimes(n(), 30, 1)[0];
+    const NttTable table(q, n());
+    const uint64_t psi = findPrimitiveRoot(q, n());
+    Rng rng(10);
+    const auto a = sampleUniform(rng, n(), q);
+    auto ea = a;
+    table.forward(ea);
+    const auto &exps = table.evalExponents();
+    for (size_t j = 0; j < n(); j += std::max<size_t>(1, n() / 16)) {
+        const uint64_t point = powMod(psi, exps[j], q);
+        uint64_t value = 0;
+        uint64_t power = 1;
+        for (size_t i = 0; i < n(); ++i) {
+            value = addMod(value, mulMod(a[i], power, q), q);
+            power = mulMod(power, point, q);
+        }
+        EXPECT_EQ(ea[j], value) << "slot " << j;
+    }
+}
+
+TEST_P(NttTest, ExponentMapIsABijection)
+{
+    const uint64_t q = generateNttPrimes(n(), 30, 1)[0];
+    const NttTable table(q, n());
+    const auto &exps = table.evalExponents();
+    const auto &slots = table.slotOfExponent();
+    std::vector<bool> seen(2 * n(), false);
+    for (size_t j = 0; j < n(); ++j) {
+        EXPECT_EQ(exps[j] % 2, 1u) << "even exponent";
+        EXPECT_FALSE(seen[exps[j]]) << "duplicate exponent";
+        seen[exps[j]] = true;
+        EXPECT_EQ(slots[exps[j]], static_cast<int32_t>(j));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, NttTest,
+                         ::testing::Values<size_t>(4, 16, 64, 256, 1024,
+                                                   4096));
+
+// Reference negacyclic square of small signed coefficients mod q.
+std::vector<uint64_t>
+negaRef(const std::vector<int64_t> &a, uint64_t q, size_t n)
+{
+    std::vector<int64_t> wide(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < n; ++j) {
+            const int64_t prod = a[i] * a[j];
+            const size_t idx = i + j;
+            if (idx < n)
+                wide[idx] += prod;
+            else
+                wide[idx - n] -= prod;
+        }
+    }
+    std::vector<uint64_t> out(n);
+    for (size_t i = 0; i < n; ++i)
+        out[i] = fromSigned(wide[i], q);
+    return out;
+}
+
+TEST(Ntt, MultiPrimeAgreement)
+{
+    // The same integer polynomial transformed under several primes must
+    // stay CRT-consistent after pointwise squaring.
+    const size_t n = 128;
+    const auto primes = generateNttPrimes(n, 30, 3);
+    std::vector<int64_t> smallCoeffs(n);
+    Rng rng(11);
+    for (auto &c : smallCoeffs)
+        c = static_cast<int64_t>(rng.uniform(1000)) - 500;
+
+    for (uint64_t q : primes) {
+        const NttTable table(q, n);
+        std::vector<uint64_t> data(n);
+        for (size_t i = 0; i < n; ++i)
+            data[i] = fromSigned(smallCoeffs[i], q);
+        const auto expect = negaRef(smallCoeffs, q, n);
+        table.forward(data);
+        for (auto &v : data)
+            v = mulMod(v, v, q);
+        table.inverse(data);
+        EXPECT_EQ(data, expect) << "prime " << q;
+    }
+}
+
+} // namespace
+} // namespace anaheim

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "math/modarith.h"
+#include "math/primes.h"
+
+namespace anaheim {
+namespace {
+
+TEST(Primes, IsPrimeKnownValues)
+{
+    EXPECT_FALSE(isPrime(0));
+    EXPECT_FALSE(isPrime(1));
+    EXPECT_TRUE(isPrime(2));
+    EXPECT_TRUE(isPrime(3));
+    EXPECT_FALSE(isPrime(4));
+    EXPECT_TRUE(isPrime(97));
+    EXPECT_FALSE(isPrime(1ULL << 32));
+    EXPECT_TRUE(isPrime((1ULL << 61) - 1));      // Mersenne prime M61
+    EXPECT_FALSE(isPrime((1ULL << 59) - 1));     // composite
+    EXPECT_TRUE(isPrime(0xFFFFFFFF00000001ULL)); // Goldilocks prime
+}
+
+TEST(Primes, IsPrimeCarmichaelNumbers)
+{
+    // Classic Fermat pseudoprimes must be rejected.
+    for (uint64_t n : {561ULL, 1105ULL, 1729ULL, 2465ULL, 6601ULL,
+                       8911ULL, 825265ULL})
+        EXPECT_FALSE(isPrime(n)) << n;
+}
+
+class NttPrimeGenTest
+    : public ::testing::TestWithParam<std::tuple<size_t, unsigned>>
+{
+};
+
+TEST_P(NttPrimeGenTest, PrimesSatisfyNttCondition)
+{
+    const auto [n, bits] = GetParam();
+    const size_t count = 4;
+    const auto primes = generateNttPrimes(n, bits, count);
+    ASSERT_EQ(primes.size(), count);
+    for (uint64_t q : primes) {
+        EXPECT_TRUE(isPrime(q));
+        EXPECT_LT(q, 1ULL << bits);
+        EXPECT_GT(q, 1ULL << (bits - 1)) << "prime not near target width";
+        EXPECT_EQ((q - 1) % (2 * n), 0u) << "q != 1 mod 2N";
+    }
+    // Distinctness.
+    for (size_t i = 0; i < count; ++i)
+        for (size_t j = i + 1; j < count; ++j)
+            EXPECT_NE(primes[i], primes[j]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, NttPrimeGenTest,
+    ::testing::Combine(::testing::Values<size_t>(256, 1024, 4096, 65536),
+                       ::testing::Values<unsigned>(28, 40, 50, 59)));
+
+TEST(Primes, SkipListExcludesPrimes)
+{
+    const auto first = generateNttPrimes(1024, 30, 3);
+    const auto second = generateNttPrimes(1024, 30, 3, first);
+    for (uint64_t q : second) {
+        for (uint64_t p : first)
+            EXPECT_NE(q, p);
+    }
+}
+
+TEST(Primes, PrimitiveRootHasExactOrder)
+{
+    const size_t n = 512;
+    for (uint64_t q : generateNttPrimes(n, 28, 3)) {
+        const uint64_t psi = findPrimitiveRoot(q, n);
+        EXPECT_EQ(powMod(psi, n, q), q - 1) << "psi^N != -1";
+        EXPECT_EQ(powMod(psi, 2 * n, q), 1u) << "psi^2N != 1";
+    }
+}
+
+} // namespace
+} // namespace anaheim

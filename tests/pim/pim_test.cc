@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "math/modarith.h"
+#include "math/primes.h"
+#include "pim/functional.h"
+#include "pim/kernelmodel.h"
+#include "pim/layout.h"
+
+namespace anaheim {
+namespace {
+
+TEST(PimIsa, ProfilesMatchAlgorithmOne)
+{
+    // PAccum<4>: G = floor(B/6) (Alg. 1 line 1).
+    const auto profile = pimInstrProfile(PimOpcode::PAccum, 4);
+    EXPECT_EQ(profile.bufferRegions, 6u);
+    EXPECT_EQ(profile.readsGroup0, 4u);  // p_0..p_3
+    EXPECT_EQ(profile.readsGroup1, 8u);  // a_k, b_k
+    EXPECT_EQ(profile.writes, 2u);       // x, y
+}
+
+TEST(PimIsa, SmallBuffersRejectCompoundInstructions)
+{
+    // Fig. 9: some compound instructions are unsupported at small B.
+    EXPECT_FALSE(pimInstrSupported(PimOpcode::PAccum, 4, 4));
+    EXPECT_TRUE(pimInstrSupported(PimOpcode::PAccum, 4, 16));
+    EXPECT_FALSE(pimInstrSupported(PimOpcode::Tensor, 1, 4));
+    EXPECT_TRUE(pimInstrSupported(PimOpcode::Add, 1, 4));
+}
+
+TEST(PimLayout, PaperExampleSixteenChunksPerBank)
+{
+    // §VI-B example: N = 2^16 limb over a 512-bank die group -> 16
+    // chunks (128 elements) per bank per limb.
+    ColumnPartitionLayout layout(DramConfig::hbm2A100(), 512, 1 << 16, 8);
+    EXPECT_EQ(layout.chunksPerBankPerLimb(), 16u);
+    EXPECT_EQ(layout.chunksPerColumnGroup(), 4u); // 32 chunks / 8 CGs
+    EXPECT_EQ(layout.rowsPerRowGroup(), 4u);      // 16 chunks / 4 per CG
+}
+
+TEST(PimLayout, PolyGroupSharesRowsAcrossPolys)
+{
+    ColumnPartitionLayout layout(DramConfig::hbm2A100(), 512, 1 << 16, 8);
+    const auto group = layout.allocate(2, 4);
+    ASSERT_EQ(group.placements.size(), 8u);
+    // x[i] and y[i] live in the same row group, different column groups.
+    const auto &x0 = group.placements[0];
+    const auto &y0 = group.placements[4];
+    EXPECT_EQ(x0.rowGroupBase, y0.rowGroupBase);
+    EXPECT_NE(x0.columnGroup, y0.columnGroup);
+}
+
+TEST(PimLayout, ActsPerIterationContrast)
+{
+    ColumnPartitionLayout layout(DramConfig::hbm2A100(), 512, 1 << 16, 8);
+    EXPECT_EQ(layout.actsPerIteration(4, true), 1u);
+    EXPECT_EQ(layout.actsPerIteration(4, false), 4u);
+}
+
+class PimFunctionalTest : public ::testing::Test
+{
+  protected:
+    PimFunctionalTest()
+        : q_(generateNttPrimes(1024, 28, 1)[0]), unit_(q_), rng_(55)
+    {
+    }
+
+    PimVector
+    randomVec(size_t count = 64)
+    {
+        PimVector v(count);
+        for (auto &x : v)
+            x = static_cast<uint32_t>(rng_.uniform(q_));
+        return v;
+    }
+
+    uint64_t q_;
+    PimFunctionalUnit unit_;
+    Rng rng_;
+};
+
+TEST_F(PimFunctionalTest, AddSubNegMatchReference)
+{
+    const auto a = randomVec();
+    const auto b = randomVec();
+    const auto sum = unit_.add(a, b);
+    const auto diff = unit_.sub(a, b);
+    const auto neg = unit_.neg(a);
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(sum[i], addMod(a[i], b[i], q_));
+        EXPECT_EQ(diff[i], subMod(a[i], b[i], q_));
+        EXPECT_EQ(neg[i], negMod(a[i], q_));
+    }
+}
+
+TEST_F(PimFunctionalTest, MontgomeryMultMatchesGenericModMul)
+{
+    const auto a = randomVec();
+    const auto b = randomVec();
+    const auto prod = unit_.mult(a, b);
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(prod[i], mulMod(a[i], b[i], q_));
+}
+
+TEST_F(PimFunctionalTest, MacAndCMacMatchReference)
+{
+    const auto a = randomVec();
+    const auto b = randomVec();
+    const auto c = randomVec();
+    const uint32_t constant = static_cast<uint32_t>(rng_.uniform(q_));
+    const auto mac = unit_.mac(a, b, c);
+    const auto cmac = unit_.cMac(a, b, constant);
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(mac[i], macMod(a[i], b[i], c[i], q_));
+        EXPECT_EQ(cmac[i], macMod(a[i], constant, b[i], q_));
+    }
+}
+
+TEST_F(PimFunctionalTest, TensorMatchesCiphertextTensorAlgebra)
+{
+    const auto a = randomVec();
+    const auto b = randomVec();
+    const auto c = randomVec();
+    const auto d = randomVec();
+    const auto [x, y, z] = unit_.tensor(a, b, c, d);
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(x[i], mulMod(a[i], c[i], q_));
+        EXPECT_EQ(y[i], addMod(mulMod(a[i], d[i], q_),
+                               mulMod(b[i], c[i], q_), q_));
+        EXPECT_EQ(z[i], mulMod(b[i], d[i], q_));
+    }
+}
+
+TEST_F(PimFunctionalTest, ModDownEpMatchesDefinition)
+{
+    const auto a = randomVec();
+    const auto b = randomVec();
+    const uint32_t constant = static_cast<uint32_t>(rng_.uniform(q_));
+    const auto out = unit_.modDownEp(a, b, constant);
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(out[i],
+                  mulMod(constant, subMod(a[i], b[i], q_), q_));
+}
+
+TEST_F(PimFunctionalTest, PAccumMatchesKeyMultSemantics)
+{
+    // KeyMult: x = sum a_k * p_k, y = sum b_k * p_k over D = 4 digits.
+    std::vector<PimVector> a, b, p;
+    for (int k = 0; k < 4; ++k) {
+        a.push_back(randomVec());
+        b.push_back(randomVec());
+        p.push_back(randomVec());
+    }
+    const auto [x, y] = unit_.pAccum(a, b, p);
+    for (size_t i = 0; i < x.size(); ++i) {
+        uint64_t ex = 0, ey = 0;
+        for (int k = 0; k < 4; ++k) {
+            ex = addMod(ex, mulMod(a[k][i], p[k][i], q_), q_);
+            ey = addMod(ey, mulMod(b[k][i], p[k][i], q_), q_);
+        }
+        EXPECT_EQ(x[i], ex);
+        EXPECT_EQ(y[i], ey);
+    }
+}
+
+TEST_F(PimFunctionalTest, ThirtyTwoBitWordsTruncatedToTwentyEight)
+{
+    // DRAM stores 32-bit words; the unit truncates to 28 bits (§VI-A).
+    PimVector a = {0xF0000001u}; // garbage in the top nibble
+    PimVector b = {2u};
+    const auto prod = unit_.mult(a, b);
+    const uint64_t truncated = (0xF0000001u & 0x0fffffffu) % q_;
+    EXPECT_EQ(prod[0], mulMod(truncated, 2u, q_));
+}
+
+class PimModelTest : public ::testing::Test
+{
+  protected:
+    PimModelTest()
+        : model_(DramConfig::hbm2A100(), PimConfig::nearBankA100())
+    {
+    }
+    PimKernelModel model_;
+};
+
+TEST_F(PimModelTest, PimBeatsExternalBaseline)
+{
+    // Fig. 9: 1.65-10.3x speedups at the default configurations.
+    for (PimOpcode op : {PimOpcode::Add, PimOpcode::Mult, PimOpcode::Mac,
+                         PimOpcode::PMult, PimOpcode::Tensor}) {
+        const auto pim = model_.execute(op, 1, 54, 1 << 16);
+        const auto base = model_.baseline(op, 1, 54, 1 << 16);
+        ASSERT_TRUE(pim.supported);
+        EXPECT_GT(base.timeNs / pim.timeNs, 1.3)
+            << pimOpcodeName(op) << " speedup too low";
+        EXPECT_LT(base.timeNs / pim.timeNs, 40.0)
+            << pimOpcodeName(op) << " speedup implausibly high";
+        EXPECT_GT(base.energyPj / pim.energyPj, 1.5)
+            << pimOpcodeName(op) << " energy gain too low";
+    }
+}
+
+TEST_F(PimModelTest, CompoundInstructionsGainMost)
+{
+    // PAccum's fused execution amortizes ACT/PRE best (§VII-C).
+    const auto addPim = model_.execute(PimOpcode::Add, 1, 54, 1 << 16);
+    const auto addBase = model_.baseline(PimOpcode::Add, 1, 54, 1 << 16);
+    const auto pacPim = model_.execute(PimOpcode::PAccum, 4, 68, 1 << 16);
+    const auto pacBase =
+        model_.baseline(PimOpcode::PAccum, 4, 68, 1 << 16);
+    EXPECT_GT(pacBase.timeNs / pacPim.timeNs,
+              addBase.timeNs / addPim.timeNs);
+}
+
+TEST_F(PimModelTest, LargerBufferAmortizesActPre)
+{
+    PimConfig small = PimConfig::nearBankA100();
+    small.bufferEntries = 8;
+    PimConfig large = PimConfig::nearBankA100();
+    large.bufferEntries = 64;
+    const PimKernelModel smallModel(DramConfig::hbm2A100(), small);
+    const PimKernelModel largeModel(DramConfig::hbm2A100(), large);
+    const auto slow = smallModel.execute(PimOpcode::PAccum, 4, 68,
+                                         1 << 16);
+    const auto fast = largeModel.execute(PimOpcode::PAccum, 4, 68,
+                                         1 << 16);
+    EXPECT_LT(fast.timeNs, slow.timeNs);
+    EXPECT_LT(fast.commands.acts, slow.commands.acts);
+}
+
+TEST_F(PimModelTest, ColumnPartitioningIsCrucial)
+{
+    // Fig. 10: dropping the CP layout makes element-wise time ~2.2x
+    // slower on A100.
+    PimConfig noCp = PimConfig::nearBankA100();
+    noCp.columnPartition = false;
+    const PimKernelModel noCpModel(DramConfig::hbm2A100(), noCp);
+    const auto with = model_.execute(PimOpcode::PAccum, 4, 68, 1 << 16);
+    const auto without =
+        noCpModel.execute(PimOpcode::PAccum, 4, 68, 1 << 16);
+    const double slowdown = without.timeNs / with.timeNs;
+    EXPECT_GT(slowdown, 1.5);
+    EXPECT_LT(slowdown, 4.0);
+}
+
+TEST_F(PimModelTest, CustomHbmHidesActPreButStreamsSlower)
+{
+    const PimKernelModel custom(DramConfig::hbm2A100(),
+                                PimConfig::customHbmA100());
+    // For a simple streaming op custom-HBM is slower (4x vs 16x BW).
+    const auto nearAdd = model_.execute(PimOpcode::Add, 1, 54, 1 << 16);
+    const auto customAdd = custom.execute(PimOpcode::Add, 1, 54, 1 << 16);
+    EXPECT_GT(customAdd.timeNs, nearAdd.timeNs);
+    // Saturation with B is faster for custom-HBM (Fig. 9): shrinking the
+    // buffer hurts it less than near-bank.
+    PimConfig smallNear = PimConfig::nearBankA100();
+    smallNear.bufferEntries = 8;
+    PimConfig smallCustom = PimConfig::customHbmA100();
+    smallCustom.bufferEntries = 8;
+    const PimKernelModel nearSmall(DramConfig::hbm2A100(), smallNear);
+    const PimKernelModel customSmall(DramConfig::hbm2A100(), smallCustom);
+    const double nearPenalty =
+        nearSmall.execute(PimOpcode::PAccum, 4, 68, 1 << 16).timeNs /
+        model_.execute(PimOpcode::PAccum, 4, 68, 1 << 16).timeNs;
+    const double customPenalty =
+        customSmall.execute(PimOpcode::PAccum, 4, 68, 1 << 16).timeNs /
+        custom.execute(PimOpcode::PAccum, 4, 68, 1 << 16).timeNs;
+    EXPECT_GT(nearPenalty, customPenalty);
+}
+
+} // namespace
+} // namespace anaheim

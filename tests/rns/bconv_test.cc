@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "math/modarith.h"
+#include "math/primes.h"
+#include "rns/bconv.h"
+
+namespace anaheim {
+namespace {
+
+// All tests use <= 4 source primes of <= 30 bits so the source product
+// fits in unsigned __int128 and CRT reconstruction is exact.
+struct BconvFixture {
+    BconvFixture(size_t n, size_t ls, size_t lt, unsigned bits = 28)
+    {
+        auto qp = generateNttPrimes(n, bits, ls);
+        auto pp = generateNttPrimes(n, bits, lt, qp);
+        source = RnsBasis(qp, n);
+        target = RnsBasis(pp, n);
+    }
+    RnsBasis source, target;
+};
+
+unsigned __int128
+crtReconstruct(const std::vector<uint64_t> &residues, const RnsBasis &basis)
+{
+    // Garner-style reconstruction; product must fit in 128 bits.
+    unsigned __int128 value = 0;
+    unsigned __int128 modulus = 1;
+    for (size_t i = 0; i < basis.size(); ++i) {
+        const uint64_t q = basis.prime(i);
+        const uint64_t current = static_cast<uint64_t>(value % q);
+        const uint64_t modInv =
+            invMod(static_cast<uint64_t>(modulus % q), q);
+        const uint64_t diff = subMod(residues[i], current, q);
+        const uint64_t t = mulMod(diff, modInv, q);
+        value += modulus * t;
+        modulus *= q;
+    }
+    return value;
+}
+
+TEST(BasisConverter, ScalarConversionExactOrQOverflow)
+{
+    BconvFixture fx(64, 3, 2);
+    Rng rng(21);
+    unsigned __int128 product = 1;
+    for (size_t i = 0; i < fx.source.size(); ++i)
+        product *= fx.source.prime(i);
+
+    for (int trial = 0; trial < 200; ++trial) {
+        // Random value below the source product.
+        std::vector<uint64_t> residues(fx.source.size());
+        for (size_t i = 0; i < residues.size(); ++i)
+            residues[i] = rng.uniform(fx.source.prime(i));
+        const unsigned __int128 value = crtReconstruct(residues, fx.source);
+
+        BasisConverter conv(fx.source, fx.target);
+        const auto out = conv.convertScalar(residues);
+        // Fast BConv returns value + e*Q for a small nonnegative e < L.
+        for (size_t j = 0; j < fx.target.size(); ++j) {
+            const uint64_t pj = fx.target.prime(j);
+            bool matched = false;
+            for (unsigned e = 0; e <= fx.source.size(); ++e) {
+                const uint64_t candidate = static_cast<uint64_t>(
+                    (value + e * product) % pj);
+                if (candidate == out[j]) {
+                    matched = true;
+                    break;
+                }
+            }
+            EXPECT_TRUE(matched) << "limb " << j << " trial " << trial;
+        }
+    }
+}
+
+TEST(BasisConverter, OverflowMultipleIsConsistentAcrossTargetLimbs)
+{
+    // Fast BConv returns value + e*Q; crucially the SAME integer e must
+    // apply to every target limb, otherwise the output would not
+    // represent any single integer and CKKS noise analysis would break.
+    BconvFixture fx(32, 3, 3);
+    BasisConverter conv(fx.source, fx.target);
+    unsigned __int128 product = 1;
+    for (size_t i = 0; i < fx.source.size(); ++i)
+        product *= fx.source.prime(i);
+
+    Rng rng(77);
+    for (int trial = 0; trial < 100; ++trial) {
+        std::vector<uint64_t> residues(fx.source.size());
+        for (size_t i = 0; i < residues.size(); ++i)
+            residues[i] = rng.uniform(fx.source.prime(i));
+        const unsigned __int128 value = crtReconstruct(residues, fx.source);
+        const auto out = conv.convertScalar(residues);
+
+        // Find e from limb 0, then require it to explain every limb.
+        int foundE = -1;
+        for (unsigned e = 0; e <= fx.source.size(); ++e) {
+            if (static_cast<uint64_t>(
+                    (value + e * product) % fx.target.prime(0)) == out[0]) {
+                foundE = static_cast<int>(e);
+                break;
+            }
+        }
+        ASSERT_GE(foundE, 0) << "no overflow multiple explains limb 0";
+        for (size_t j = 1; j < fx.target.size(); ++j) {
+            EXPECT_EQ(out[j],
+                      static_cast<uint64_t>((value + foundE * product) %
+                                            fx.target.prime(j)))
+                << "limb " << j << " disagrees on e=" << foundE;
+        }
+    }
+}
+
+TEST(BasisConverter, ZeroConvertsToZero)
+{
+    BconvFixture fx(32, 3, 3);
+    BasisConverter conv(fx.source, fx.target);
+    const std::vector<uint64_t> residues(fx.source.size(), 0);
+    const auto out = conv.convertScalar(residues);
+    for (uint64_t limb : out)
+        EXPECT_EQ(limb, 0u);
+}
+
+TEST(BasisConverter, VectorPathMatchesScalarPath)
+{
+    BconvFixture fx(16, 2, 3);
+    BasisConverter conv(fx.source, fx.target);
+    Rng rng(22);
+    const size_t n = 16;
+    std::vector<std::vector<uint64_t>> input(fx.source.size());
+    for (size_t i = 0; i < input.size(); ++i)
+        input[i] = sampleUniform(rng, n, fx.source.prime(i));
+
+    const auto out = conv.convert(input);
+    ASSERT_EQ(out.size(), fx.target.size());
+    for (size_t c = 0; c < n; ++c) {
+        std::vector<uint64_t> residues(fx.source.size());
+        for (size_t i = 0; i < residues.size(); ++i)
+            residues[i] = input[i][c];
+        const auto scalar = conv.convertScalar(residues);
+        for (size_t j = 0; j < out.size(); ++j)
+            EXPECT_EQ(out[j][c], scalar[j]) << "coeff " << c;
+    }
+}
+
+class BconvShapeTest
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>>
+{
+};
+
+TEST_P(BconvShapeTest, OutputShapeMatchesTarget)
+{
+    const auto [ls, lt] = GetParam();
+    BconvFixture fx(32, ls, lt);
+    BasisConverter conv(fx.source, fx.target);
+    std::vector<std::vector<uint64_t>> input(
+        ls, std::vector<uint64_t>(32, 7));
+    const auto out = conv.convert(input);
+    EXPECT_EQ(out.size(), lt);
+    for (const auto &limb : out)
+        EXPECT_EQ(limb.size(), 32u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BconvShapeTest,
+    ::testing::Values(std::pair<size_t, size_t>{1, 1},
+                      std::pair<size_t, size_t>{1, 4},
+                      std::pair<size_t, size_t>{4, 1},
+                      std::pair<size_t, size_t>{2, 3},
+                      std::pair<size_t, size_t>{4, 4}));
+
+} // namespace
+} // namespace anaheim
