@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_lintrans.dir/bench_fig1_lintrans.cc.o"
+  "CMakeFiles/bench_fig1_lintrans.dir/bench_fig1_lintrans.cc.o.d"
+  "bench_fig1_lintrans"
+  "bench_fig1_lintrans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_lintrans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2a_basic_ops.dir/bench_fig2a_basic_ops.cc.o"
+  "CMakeFiles/bench_fig2a_basic_ops.dir/bench_fig2a_basic_ops.cc.o.d"
+  "bench_fig2a_basic_ops"
+  "bench_fig2a_basic_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2a_basic_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2b_dnum.dir/bench_fig2b_dnum.cc.o"
+  "CMakeFiles/bench_fig2b_dnum.dir/bench_fig2b_dnum.cc.o.d"
+  "bench_fig2b_dnum"
+  "bench_fig2b_dnum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2b_dnum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

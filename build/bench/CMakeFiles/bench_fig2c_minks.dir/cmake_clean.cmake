@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2c_minks.dir/bench_fig2c_minks.cc.o"
+  "CMakeFiles/bench_fig2c_minks.dir/bench_fig2c_minks.cc.o.d"
+  "bench_fig2c_minks"
+  "bench_fig2c_minks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2c_minks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_fftiter.dir/bench_fig3_fftiter.cc.o"
+  "CMakeFiles/bench_fig3_fftiter.dir/bench_fig3_fftiter.cc.o.d"
+  "bench_fig3_fftiter"
+  "bench_fig3_fftiter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_fftiter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_lintrans_pim.dir/bench_fig4_lintrans_pim.cc.o"
+  "CMakeFiles/bench_fig4_lintrans_pim.dir/bench_fig4_lintrans_pim.cc.o.d"
+  "bench_fig4_lintrans_pim"
+  "bench_fig4_lintrans_pim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_lintrans_pim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig8_workloads.cc" "bench/CMakeFiles/bench_fig8_workloads.dir/bench_fig8_workloads.cc.o" "gcc" "bench/CMakeFiles/bench_fig8_workloads.dir/bench_fig8_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/anaheim/CMakeFiles/anaheim_framework.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/anaheim_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/pim/CMakeFiles/anaheim_pim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/anaheim_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/anaheim_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/anaheim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/anaheim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_functional_ckks.dir/bench_functional_ckks.cc.o"
+  "CMakeFiles/bench_functional_ckks.dir/bench_functional_ckks.cc.o.d"
+  "bench_functional_ckks"
+  "bench_functional_ckks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_functional_ckks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encrypted_matvec.dir/encrypted_matvec.cpp.o"
+  "CMakeFiles/encrypted_matvec.dir/encrypted_matvec.cpp.o.d"
+  "encrypted_matvec"
+  "encrypted_matvec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encrypted_matvec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_explorer.dir/pim_explorer.cpp.o"
+  "CMakeFiles/pim_explorer.dir/pim_explorer.cpp.o.d"
+  "pim_explorer"
+  "pim_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

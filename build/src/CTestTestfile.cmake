@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("math")
+subdirs("rns")
+subdirs("poly")
+subdirs("ckks")
+subdirs("lintrans")
+subdirs("boot")
+subdirs("trace")
+subdirs("gpu")
+subdirs("dram")
+subdirs("pim")
+subdirs("anaheim")

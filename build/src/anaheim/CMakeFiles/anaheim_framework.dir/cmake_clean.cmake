@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anaheim_framework.dir/framework.cc.o"
+  "CMakeFiles/anaheim_framework.dir/framework.cc.o.d"
+  "CMakeFiles/anaheim_framework.dir/planner.cc.o"
+  "CMakeFiles/anaheim_framework.dir/planner.cc.o.d"
+  "CMakeFiles/anaheim_framework.dir/workloads.cc.o"
+  "CMakeFiles/anaheim_framework.dir/workloads.cc.o.d"
+  "libanaheim_framework.a"
+  "libanaheim_framework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anaheim_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anaheim_boot.dir/bootstrapper.cc.o"
+  "CMakeFiles/anaheim_boot.dir/bootstrapper.cc.o.d"
+  "CMakeFiles/anaheim_boot.dir/chebyshev.cc.o"
+  "CMakeFiles/anaheim_boot.dir/chebyshev.cc.o.d"
+  "CMakeFiles/anaheim_boot.dir/dft.cc.o"
+  "CMakeFiles/anaheim_boot.dir/dft.cc.o.d"
+  "CMakeFiles/anaheim_boot.dir/polyeval.cc.o"
+  "CMakeFiles/anaheim_boot.dir/polyeval.cc.o.d"
+  "libanaheim_boot.a"
+  "libanaheim_boot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anaheim_boot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libanaheim_boot.a"
+)

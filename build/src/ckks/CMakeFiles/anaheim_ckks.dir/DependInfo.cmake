@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ckks/context.cc" "src/ckks/CMakeFiles/anaheim_ckks.dir/context.cc.o" "gcc" "src/ckks/CMakeFiles/anaheim_ckks.dir/context.cc.o.d"
+  "/root/repo/src/ckks/encoder.cc" "src/ckks/CMakeFiles/anaheim_ckks.dir/encoder.cc.o" "gcc" "src/ckks/CMakeFiles/anaheim_ckks.dir/encoder.cc.o.d"
+  "/root/repo/src/ckks/encryptor.cc" "src/ckks/CMakeFiles/anaheim_ckks.dir/encryptor.cc.o" "gcc" "src/ckks/CMakeFiles/anaheim_ckks.dir/encryptor.cc.o.d"
+  "/root/repo/src/ckks/evaluator.cc" "src/ckks/CMakeFiles/anaheim_ckks.dir/evaluator.cc.o" "gcc" "src/ckks/CMakeFiles/anaheim_ckks.dir/evaluator.cc.o.d"
+  "/root/repo/src/ckks/keys.cc" "src/ckks/CMakeFiles/anaheim_ckks.dir/keys.cc.o" "gcc" "src/ckks/CMakeFiles/anaheim_ckks.dir/keys.cc.o.d"
+  "/root/repo/src/ckks/keyswitch.cc" "src/ckks/CMakeFiles/anaheim_ckks.dir/keyswitch.cc.o" "gcc" "src/ckks/CMakeFiles/anaheim_ckks.dir/keyswitch.cc.o.d"
+  "/root/repo/src/ckks/params.cc" "src/ckks/CMakeFiles/anaheim_ckks.dir/params.cc.o" "gcc" "src/ckks/CMakeFiles/anaheim_ckks.dir/params.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/poly/CMakeFiles/anaheim_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/anaheim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rns/CMakeFiles/anaheim_rns.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/anaheim_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anaheim_ckks.dir/context.cc.o"
+  "CMakeFiles/anaheim_ckks.dir/context.cc.o.d"
+  "CMakeFiles/anaheim_ckks.dir/encoder.cc.o"
+  "CMakeFiles/anaheim_ckks.dir/encoder.cc.o.d"
+  "CMakeFiles/anaheim_ckks.dir/encryptor.cc.o"
+  "CMakeFiles/anaheim_ckks.dir/encryptor.cc.o.d"
+  "CMakeFiles/anaheim_ckks.dir/evaluator.cc.o"
+  "CMakeFiles/anaheim_ckks.dir/evaluator.cc.o.d"
+  "CMakeFiles/anaheim_ckks.dir/keys.cc.o"
+  "CMakeFiles/anaheim_ckks.dir/keys.cc.o.d"
+  "CMakeFiles/anaheim_ckks.dir/keyswitch.cc.o"
+  "CMakeFiles/anaheim_ckks.dir/keyswitch.cc.o.d"
+  "CMakeFiles/anaheim_ckks.dir/params.cc.o"
+  "CMakeFiles/anaheim_ckks.dir/params.cc.o.d"
+  "libanaheim_ckks.a"
+  "libanaheim_ckks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anaheim_ckks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

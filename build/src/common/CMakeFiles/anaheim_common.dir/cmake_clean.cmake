@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anaheim_common.dir/logging.cc.o"
+  "CMakeFiles/anaheim_common.dir/logging.cc.o.d"
+  "CMakeFiles/anaheim_common.dir/rng.cc.o"
+  "CMakeFiles/anaheim_common.dir/rng.cc.o.d"
+  "CMakeFiles/anaheim_common.dir/units.cc.o"
+  "CMakeFiles/anaheim_common.dir/units.cc.o.d"
+  "libanaheim_common.a"
+  "libanaheim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anaheim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

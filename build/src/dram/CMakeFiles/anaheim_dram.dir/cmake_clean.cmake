@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anaheim_dram.dir/bank.cc.o"
+  "CMakeFiles/anaheim_dram.dir/bank.cc.o.d"
+  "CMakeFiles/anaheim_dram.dir/controller.cc.o"
+  "CMakeFiles/anaheim_dram.dir/controller.cc.o.d"
+  "CMakeFiles/anaheim_dram.dir/timing.cc.o"
+  "CMakeFiles/anaheim_dram.dir/timing.cc.o.d"
+  "libanaheim_dram.a"
+  "libanaheim_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anaheim_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

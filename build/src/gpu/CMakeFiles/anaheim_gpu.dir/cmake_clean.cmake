@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anaheim_gpu.dir/gpumodel.cc.o"
+  "CMakeFiles/anaheim_gpu.dir/gpumodel.cc.o.d"
+  "libanaheim_gpu.a"
+  "libanaheim_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anaheim_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

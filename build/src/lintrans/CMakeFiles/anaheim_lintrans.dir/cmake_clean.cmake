@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anaheim_lintrans.dir/diagmatrix.cc.o"
+  "CMakeFiles/anaheim_lintrans.dir/diagmatrix.cc.o.d"
+  "CMakeFiles/anaheim_lintrans.dir/lintrans.cc.o"
+  "CMakeFiles/anaheim_lintrans.dir/lintrans.cc.o.d"
+  "libanaheim_lintrans.a"
+  "libanaheim_lintrans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anaheim_lintrans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

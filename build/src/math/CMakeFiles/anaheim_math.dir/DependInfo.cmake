@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/modarith.cc" "src/math/CMakeFiles/anaheim_math.dir/modarith.cc.o" "gcc" "src/math/CMakeFiles/anaheim_math.dir/modarith.cc.o.d"
+  "/root/repo/src/math/montgomery.cc" "src/math/CMakeFiles/anaheim_math.dir/montgomery.cc.o" "gcc" "src/math/CMakeFiles/anaheim_math.dir/montgomery.cc.o.d"
+  "/root/repo/src/math/ntt.cc" "src/math/CMakeFiles/anaheim_math.dir/ntt.cc.o" "gcc" "src/math/CMakeFiles/anaheim_math.dir/ntt.cc.o.d"
+  "/root/repo/src/math/primes.cc" "src/math/CMakeFiles/anaheim_math.dir/primes.cc.o" "gcc" "src/math/CMakeFiles/anaheim_math.dir/primes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/anaheim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anaheim_math.dir/modarith.cc.o"
+  "CMakeFiles/anaheim_math.dir/modarith.cc.o.d"
+  "CMakeFiles/anaheim_math.dir/montgomery.cc.o"
+  "CMakeFiles/anaheim_math.dir/montgomery.cc.o.d"
+  "CMakeFiles/anaheim_math.dir/ntt.cc.o"
+  "CMakeFiles/anaheim_math.dir/ntt.cc.o.d"
+  "CMakeFiles/anaheim_math.dir/primes.cc.o"
+  "CMakeFiles/anaheim_math.dir/primes.cc.o.d"
+  "libanaheim_math.a"
+  "libanaheim_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anaheim_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pim/functional.cc" "src/pim/CMakeFiles/anaheim_pim.dir/functional.cc.o" "gcc" "src/pim/CMakeFiles/anaheim_pim.dir/functional.cc.o.d"
+  "/root/repo/src/pim/isa.cc" "src/pim/CMakeFiles/anaheim_pim.dir/isa.cc.o" "gcc" "src/pim/CMakeFiles/anaheim_pim.dir/isa.cc.o.d"
+  "/root/repo/src/pim/kernelmodel.cc" "src/pim/CMakeFiles/anaheim_pim.dir/kernelmodel.cc.o" "gcc" "src/pim/CMakeFiles/anaheim_pim.dir/kernelmodel.cc.o.d"
+  "/root/repo/src/pim/layout.cc" "src/pim/CMakeFiles/anaheim_pim.dir/layout.cc.o" "gcc" "src/pim/CMakeFiles/anaheim_pim.dir/layout.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dram/CMakeFiles/anaheim_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/anaheim_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/anaheim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

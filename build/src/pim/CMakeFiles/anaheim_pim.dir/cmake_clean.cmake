@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anaheim_pim.dir/functional.cc.o"
+  "CMakeFiles/anaheim_pim.dir/functional.cc.o.d"
+  "CMakeFiles/anaheim_pim.dir/isa.cc.o"
+  "CMakeFiles/anaheim_pim.dir/isa.cc.o.d"
+  "CMakeFiles/anaheim_pim.dir/kernelmodel.cc.o"
+  "CMakeFiles/anaheim_pim.dir/kernelmodel.cc.o.d"
+  "CMakeFiles/anaheim_pim.dir/layout.cc.o"
+  "CMakeFiles/anaheim_pim.dir/layout.cc.o.d"
+  "libanaheim_pim.a"
+  "libanaheim_pim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anaheim_pim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

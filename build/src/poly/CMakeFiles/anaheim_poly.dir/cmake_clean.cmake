@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anaheim_poly.dir/polynomial.cc.o"
+  "CMakeFiles/anaheim_poly.dir/polynomial.cc.o.d"
+  "libanaheim_poly.a"
+  "libanaheim_poly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anaheim_poly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

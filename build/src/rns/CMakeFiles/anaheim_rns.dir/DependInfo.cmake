@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rns/basis.cc" "src/rns/CMakeFiles/anaheim_rns.dir/basis.cc.o" "gcc" "src/rns/CMakeFiles/anaheim_rns.dir/basis.cc.o.d"
+  "/root/repo/src/rns/bconv.cc" "src/rns/CMakeFiles/anaheim_rns.dir/bconv.cc.o" "gcc" "src/rns/CMakeFiles/anaheim_rns.dir/bconv.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/anaheim_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/anaheim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

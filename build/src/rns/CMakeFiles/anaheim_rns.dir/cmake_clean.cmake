@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anaheim_rns.dir/basis.cc.o"
+  "CMakeFiles/anaheim_rns.dir/basis.cc.o.d"
+  "CMakeFiles/anaheim_rns.dir/bconv.cc.o"
+  "CMakeFiles/anaheim_rns.dir/bconv.cc.o.d"
+  "libanaheim_rns.a"
+  "libanaheim_rns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anaheim_rns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

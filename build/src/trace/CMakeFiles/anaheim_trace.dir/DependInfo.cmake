@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/builders.cc" "src/trace/CMakeFiles/anaheim_trace.dir/builders.cc.o" "gcc" "src/trace/CMakeFiles/anaheim_trace.dir/builders.cc.o.d"
+  "/root/repo/src/trace/counting.cc" "src/trace/CMakeFiles/anaheim_trace.dir/counting.cc.o" "gcc" "src/trace/CMakeFiles/anaheim_trace.dir/counting.cc.o.d"
+  "/root/repo/src/trace/kernel.cc" "src/trace/CMakeFiles/anaheim_trace.dir/kernel.cc.o" "gcc" "src/trace/CMakeFiles/anaheim_trace.dir/kernel.cc.o.d"
+  "/root/repo/src/trace/validate.cc" "src/trace/CMakeFiles/anaheim_trace.dir/validate.cc.o" "gcc" "src/trace/CMakeFiles/anaheim_trace.dir/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/anaheim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

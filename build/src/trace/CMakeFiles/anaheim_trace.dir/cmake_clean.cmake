@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anaheim_trace.dir/builders.cc.o"
+  "CMakeFiles/anaheim_trace.dir/builders.cc.o.d"
+  "CMakeFiles/anaheim_trace.dir/counting.cc.o"
+  "CMakeFiles/anaheim_trace.dir/counting.cc.o.d"
+  "CMakeFiles/anaheim_trace.dir/kernel.cc.o"
+  "CMakeFiles/anaheim_trace.dir/kernel.cc.o.d"
+  "CMakeFiles/anaheim_trace.dir/validate.cc.o"
+  "CMakeFiles/anaheim_trace.dir/validate.cc.o.d"
+  "libanaheim_trace.a"
+  "libanaheim_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anaheim_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

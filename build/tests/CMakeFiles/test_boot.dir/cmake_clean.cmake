@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_boot.dir/boot/bootstrapper_test.cc.o"
+  "CMakeFiles/test_boot.dir/boot/bootstrapper_test.cc.o.d"
+  "CMakeFiles/test_boot.dir/boot/chebyshev_test.cc.o"
+  "CMakeFiles/test_boot.dir/boot/chebyshev_test.cc.o.d"
+  "CMakeFiles/test_boot.dir/boot/dft_test.cc.o"
+  "CMakeFiles/test_boot.dir/boot/dft_test.cc.o.d"
+  "CMakeFiles/test_boot.dir/boot/polyeval_test.cc.o"
+  "CMakeFiles/test_boot.dir/boot/polyeval_test.cc.o.d"
+  "test_boot"
+  "test_boot.pdb"
+  "test_boot[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_boot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_framework.dir/anaheim/framework_test.cc.o"
+  "CMakeFiles/test_framework.dir/anaheim/framework_test.cc.o.d"
+  "CMakeFiles/test_framework.dir/anaheim/planner_test.cc.o"
+  "CMakeFiles/test_framework.dir/anaheim/planner_test.cc.o.d"
+  "test_framework"
+  "test_framework.pdb"
+  "test_framework[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lintrans.dir/lintrans/lintrans_test.cc.o"
+  "CMakeFiles/test_lintrans.dir/lintrans/lintrans_test.cc.o.d"
+  "CMakeFiles/test_lintrans.dir/lintrans/reorder_test.cc.o"
+  "CMakeFiles/test_lintrans.dir/lintrans/reorder_test.cc.o.d"
+  "test_lintrans"
+  "test_lintrans.pdb"
+  "test_lintrans[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lintrans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_math.dir/math/modarith_test.cc.o"
+  "CMakeFiles/test_math.dir/math/modarith_test.cc.o.d"
+  "CMakeFiles/test_math.dir/math/montgomery_test.cc.o"
+  "CMakeFiles/test_math.dir/math/montgomery_test.cc.o.d"
+  "CMakeFiles/test_math.dir/math/ntt_test.cc.o"
+  "CMakeFiles/test_math.dir/math/ntt_test.cc.o.d"
+  "CMakeFiles/test_math.dir/math/primes_test.cc.o"
+  "CMakeFiles/test_math.dir/math/primes_test.cc.o.d"
+  "test_math"
+  "test_math.pdb"
+  "test_math[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pim.dir/pim/pim_test.cc.o"
+  "CMakeFiles/test_pim.dir/pim/pim_test.cc.o.d"
+  "test_pim"
+  "test_pim.pdb"
+  "test_pim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_math[1]_include.cmake")
+include("/root/repo/build/tests/test_rns[1]_include.cmake")
+include("/root/repo/build/tests/test_poly[1]_include.cmake")
+include("/root/repo/build/tests/test_ckks[1]_include.cmake")
+include("/root/repo/build/tests/test_lintrans[1]_include.cmake")
+include("/root/repo/build/tests/test_boot[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_dram[1]_include.cmake")
+include("/root/repo/build/tests/test_pim[1]_include.cmake")
+include("/root/repo/build/tests/test_framework[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_common[1]_include.cmake")
