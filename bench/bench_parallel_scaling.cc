@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Host-side limb-parallel scaling: wall-clock time and speedup of the
+ * parallelFor-threaded hot paths (multi-limb NTT, BConv, hybrid
+ * keyswitch, and the bootstrap DFT-factor build) at 1/2/4/8 threads.
+ *
+ * Also verifies the engine's determinism guarantee end to end: the
+ * output at every thread count is compared bitwise against the
+ * single-thread run. Speedups depend on the machine's core count —
+ * on a single-core host all configurations legitimately report ~1x.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "boot/dft.h"
+#include "ckks/keys.h"
+#include "ckks/keyswitch.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "poly/polynomial.h"
+#include "rns/bconv.h"
+
+namespace anaheim {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - start)
+        .count();
+}
+
+/** Best-of-3 wall time of fn(), in milliseconds. */
+template <typename Fn>
+double
+bestMs(Fn &&fn)
+{
+    double best = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+        const auto start = Clock::now();
+        fn();
+        best = std::min(best, msSince(start));
+    }
+    return best;
+}
+
+Polynomial
+randomPolynomial(const RnsBasis &basis, uint64_t seed, Domain domain)
+{
+    Rng rng(seed);
+    Polynomial p(basis, domain);
+    for (size_t i = 0; i < basis.size(); ++i)
+        p.limb(i) = sampleUniform(rng, basis.degree(), basis.prime(i));
+    return p;
+}
+
+struct OpResult {
+    double ms = 0.0;
+    bool identical = true; // vs the 1-thread reference output
+};
+
+struct OpRow {
+    std::string name;
+    std::vector<OpResult> results; // one per thread configuration
+};
+
+void
+printTable(const std::vector<size_t> &threadCounts,
+           const std::vector<OpRow> &rows)
+{
+    std::printf("  %-22s", "op");
+    for (size_t t : threadCounts)
+        std::printf("  %7zu thr", t);
+    std::printf("   identical\n");
+    for (const auto &row : rows) {
+        std::printf("  %-22s", row.name.c_str());
+        for (const auto &r : row.results)
+            std::printf("  %8.2f ms", r.ms);
+        bool allSame = true;
+        for (const auto &r : row.results)
+            allSame = allSame && r.identical;
+        std::printf("   %s\n", allSame ? "yes" : "NO");
+        std::printf("  %-22s", "  speedup");
+        const double base = row.results.front().ms;
+        for (const auto &r : row.results)
+            std::printf("  %8.2fx  ", r.ms > 0 ? base / r.ms : 0.0);
+        std::printf("\n");
+    }
+}
+
+} // namespace
+} // namespace anaheim
+
+int
+main()
+{
+    using namespace anaheim;
+
+    bench::header("Parallel scaling of host CKKS hot paths "
+                  "(N = 2^14, L = 8)");
+    bench::note("best-of-3 wall time; speedup relative to 1 thread; "
+                "outputs checked bitwise against the 1-thread run");
+    std::printf("  hardware threads available: %zu\n\n",
+                defaultThreadCount());
+
+    const std::vector<size_t> threadCounts = {1, 2, 4, 8};
+
+    // Shared setup (thread count does not affect any of this).
+    const size_t n = size_t{1} << 14;
+    const CkksContext context(CkksParams::testParams(n, 8, 2));
+    const auto nttInput = randomPolynomial(context.qBasis(), 42,
+                                           Domain::Coeff);
+    const BasisConverter bconv(context.qBasis(), context.pBasis());
+    Rng rng(7);
+    std::vector<std::vector<uint64_t>> bconvInput(context.qBasis().size());
+    for (size_t i = 0; i < bconvInput.size(); ++i) {
+        bconvInput[i] = sampleUniform(rng, n, context.qBasis().prime(i));
+    }
+    KeyGenerator keygen(context, 7);
+    const EvalKey evk = keygen.makeRelinKey();
+    const KeySwitcher switcher(context);
+    const auto ksInput = randomPolynomial(context.qBasis(), 43,
+                                          Domain::Eval);
+    const DftPlan dftPlan(size_t{1} << 10, 2);
+
+    std::vector<OpRow> rows(4);
+    rows[0].name = "NTT (toEval, 8 limbs)";
+    rows[1].name = "BConv (8 -> 2 limbs)";
+    rows[2].name = "keyswitch (hybrid)";
+    rows[3].name = "boot DFT factors";
+
+    // 1-thread reference outputs for the bitwise-identity check.
+    Polynomial nttRef;
+    std::vector<std::vector<uint64_t>> bconvRef;
+    Polynomial ksRef0, ksRef1;
+    std::vector<DiagMatrix> dftRef;
+
+    for (size_t cfg = 0; cfg < threadCounts.size(); ++cfg) {
+        setParallelThreads(threadCounts[cfg]);
+
+        Polynomial nttOut;
+        rows[0].results.push_back({bestMs([&] {
+                                       nttOut = nttInput;
+                                       nttOut.toEval();
+                                   }),
+                                   true});
+
+        std::vector<std::vector<uint64_t>> bconvOut;
+        rows[1].results.push_back(
+            {bestMs([&] { bconvOut = bconv.convert(bconvInput); }), true});
+
+        std::pair<Polynomial, Polynomial> ksOut;
+        rows[2].results.push_back(
+            {bestMs([&] { ksOut = switcher.keySwitch(ksInput, evk); }),
+             true});
+
+        std::vector<DiagMatrix> dftOut;
+        rows[3].results.push_back(
+            {bestMs([&] { dftOut = dftPlan.coeffToSlotFactors(1.0); }),
+             true});
+
+        if (cfg == 0) {
+            nttRef = nttOut;
+            bconvRef = bconvOut;
+            ksRef0 = ksOut.first;
+            ksRef1 = ksOut.second;
+            dftRef = std::move(dftOut);
+        } else {
+            rows[0].results[cfg].identical = nttOut == nttRef;
+            rows[1].results[cfg].identical = bconvOut == bconvRef;
+            rows[2].results[cfg].identical =
+                ksOut.first == ksRef0 && ksOut.second == ksRef1;
+            bool dftSame = dftOut.size() == dftRef.size();
+            for (size_t f = 0; dftSame && f < dftOut.size(); ++f)
+                dftSame = dftOut[f].diagonals() == dftRef[f].diagonals();
+            rows[3].results[cfg].identical = dftSame;
+        }
+    }
+    setParallelThreads(defaultThreadCount());
+
+    printTable(threadCounts, rows);
+    bench::note("");
+    bench::note("limb/column partitioning only — no accumulation-order "
+                "changes, so 'identical' must read yes everywhere");
+    return 0;
+}

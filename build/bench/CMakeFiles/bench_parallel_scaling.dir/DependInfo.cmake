@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_parallel_scaling.cc" "bench/CMakeFiles/bench_parallel_scaling.dir/bench_parallel_scaling.cc.o" "gcc" "bench/CMakeFiles/bench_parallel_scaling.dir/bench_parallel_scaling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ckks/CMakeFiles/anaheim_ckks.dir/DependInfo.cmake"
+  "/root/repo/build/src/boot/CMakeFiles/anaheim_boot.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/anaheim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/lintrans/CMakeFiles/anaheim_lintrans.dir/DependInfo.cmake"
+  "/root/repo/build/src/poly/CMakeFiles/anaheim_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/rns/CMakeFiles/anaheim_rns.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/anaheim_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/logging.cc" "src/common/CMakeFiles/anaheim_common.dir/logging.cc.o" "gcc" "src/common/CMakeFiles/anaheim_common.dir/logging.cc.o.d"
+  "/root/repo/src/common/parallel.cc" "src/common/CMakeFiles/anaheim_common.dir/parallel.cc.o" "gcc" "src/common/CMakeFiles/anaheim_common.dir/parallel.cc.o.d"
   "/root/repo/src/common/rng.cc" "src/common/CMakeFiles/anaheim_common.dir/rng.cc.o" "gcc" "src/common/CMakeFiles/anaheim_common.dir/rng.cc.o.d"
   "/root/repo/src/common/units.cc" "src/common/CMakeFiles/anaheim_common.dir/units.cc.o" "gcc" "src/common/CMakeFiles/anaheim_common.dir/units.cc.o.d"
   )

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/anaheim_common.dir/logging.cc.o"
   "CMakeFiles/anaheim_common.dir/logging.cc.o.d"
+  "CMakeFiles/anaheim_common.dir/parallel.cc.o"
+  "CMakeFiles/anaheim_common.dir/parallel.cc.o.d"
   "CMakeFiles/anaheim_common.dir/rng.cc.o"
   "CMakeFiles/anaheim_common.dir/rng.cc.o.d"
   "CMakeFiles/anaheim_common.dir/units.cc.o"

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/parallel_test.cc" "tests/CMakeFiles/test_parallel.dir/common/parallel_test.cc.o" "gcc" "tests/CMakeFiles/test_parallel.dir/common/parallel_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ckks/CMakeFiles/anaheim_ckks.dir/DependInfo.cmake"
+  "/root/repo/build/src/poly/CMakeFiles/anaheim_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/rns/CMakeFiles/anaheim_rns.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/anaheim_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/anaheim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

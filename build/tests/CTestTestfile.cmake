@@ -17,3 +17,4 @@ include("/root/repo/build/tests/test_framework[1]_include.cmake")
 include("/root/repo/build/tests/test_integration[1]_include.cmake")
 include("/root/repo/build/tests/test_properties[1]_include.cmake")
 include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel[1]_include.cmake")

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 
 namespace anaheim {
 
@@ -37,7 +38,10 @@ DftPlan::forwardStage(std::vector<Complex> &vals, size_t len) const
     const size_t m = 4 * slots_;
     const size_t lenh = len >> 1;
     const size_t lenq = len << 2;
-    for (size_t i = 0; i < slots_; i += len) {
+    // Butterfly blocks touch disjoint slices [i, i + len); one task per
+    // block (nested calls from materialize() run inline).
+    parallelFor(0, slots_ / len, [&](size_t block) {
+        const size_t i = block * len;
         for (size_t j = 0; j < lenh; ++j) {
             const size_t idx = (rotGroup_[j] % lenq) * (m / lenq);
             const Complex u = vals[i + j];
@@ -45,7 +49,7 @@ DftPlan::forwardStage(std::vector<Complex> &vals, size_t len) const
             vals[i + j] = u + v;
             vals[i + j + lenh] = u - v;
         }
-    }
+    });
 }
 
 void
@@ -54,7 +58,8 @@ DftPlan::inverseStage(std::vector<Complex> &vals, size_t len) const
     const size_t m = 4 * slots_;
     const size_t lenh = len >> 1;
     const size_t lenq = len << 2;
-    for (size_t i = 0; i < slots_; i += len) {
+    parallelFor(0, slots_ / len, [&](size_t block) {
+        const size_t i = block * len;
         for (size_t j = 0; j < lenh; ++j) {
             const size_t idx = (lenq - (rotGroup_[j] % lenq)) * (m / lenq);
             const Complex u = vals[i + j] + vals[i + j + lenh];
@@ -63,18 +68,21 @@ DftPlan::inverseStage(std::vector<Complex> &vals, size_t len) const
             vals[i + j] = 0.5 * u;
             vals[i + j + lenh] = 0.5 * v;
         }
-    }
+    });
 }
 
 DiagMatrix
 DftPlan::materialize(const std::vector<size_t> &stageLens, bool forward,
                      Complex scale) const
 {
+    // Columns are independent (each propagates one unit vector through
+    // the stages into its own scratch buffer), so they parallelize with
+    // a per-column grain; the per-column arithmetic is exactly the
+    // serial sequence, so results are bitwise identical.
     std::vector<std::vector<Complex>> dense(
         slots_, std::vector<Complex>(slots_, 0.0));
-    std::vector<Complex> column(slots_);
-    for (size_t c = 0; c < slots_; ++c) {
-        std::fill(column.begin(), column.end(), Complex{0.0, 0.0});
+    parallelFor(0, slots_, [&](size_t c) {
+        std::vector<Complex> column(slots_, Complex{0.0, 0.0});
         column[c] = scale;
         for (size_t len : stageLens) {
             if (forward)
@@ -84,7 +92,7 @@ DftPlan::materialize(const std::vector<size_t> &stageLens, bool forward,
         }
         for (size_t r = 0; r < slots_; ++r)
             dense[r][c] = column[r];
-    }
+    });
     return DiagMatrix::fromDense(dense);
 }
 

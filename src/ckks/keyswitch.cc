@@ -1,6 +1,7 @@
 #include "keyswitch.h"
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "math/modarith.h"
 
 namespace anaheim {
@@ -19,13 +20,14 @@ KeySwitcher::modUp(const Polynomial &a) const
         const auto [begin, endFull] = context_.digitRange(j);
         const size_t end = std::min(endFull, level);
 
-        // Digit residues in coefficient domain for the basis conversion.
+        // Digit residues in coefficient domain for the basis conversion;
+        // one inverse-NTT task per digit limb.
         RnsBasis digitBasis = context_.qBasis().slice(begin, end - begin);
         std::vector<std::vector<uint64_t>> digitCoeff(end - begin);
-        for (size_t i = begin; i < end; ++i) {
+        parallelFor(begin, end, [&](size_t i) {
             digitCoeff[i - begin] = a.limb(i);
             digitBasis.table(i - begin).inverse(digitCoeff[i - begin]);
-        }
+        });
 
         // Convert to every extended prime outside the digit; the target
         // basis is assembled from slices so NTT tables are shared.
@@ -37,16 +39,19 @@ KeySwitcher::modUp(const Polynomial &a) const
 
         // Assemble the extended polynomial: digit limbs are copied in
         // Eval domain untouched; converted limbs are NTT'd into place.
+        // The converted index of extended limb i is closed-form (limbs
+        // below the digit map 1:1, limbs above skip the digit), so the
+        // per-limb forward NTTs parallelize without a running counter.
         Polynomial ext(extBasis, Domain::Eval);
-        size_t convIdx = 0;
-        for (size_t i = 0; i < extBasis.size(); ++i) {
+        parallelFor(0, extBasis.size(), [&](size_t i) {
             if (i >= begin && i < end) {
                 ext.limb(i) = a.limb(i);
             } else {
-                ext.limb(i) = std::move(converted[convIdx++]);
+                const size_t convIdx = i < begin ? i : begin + (i - end);
+                ext.limb(i) = std::move(converted[convIdx]);
                 extBasis.table(i).forward(ext.limb(i));
             }
-        }
+        });
         result.push_back(std::move(ext));
     }
     return result;
@@ -93,18 +98,18 @@ KeySwitcher::modDown(const Polynomial &extended) const
     const size_t level = extended.limbCount() - alpha;
     const RnsBasis qBasis = context_.levelBasis(level);
 
-    // P-part residues in coefficient domain.
+    // P-part residues in coefficient domain; one task per special limb.
     std::vector<std::vector<uint64_t>> pCoeff(alpha);
-    for (size_t i = 0; i < alpha; ++i) {
+    parallelFor(0, alpha, [&](size_t i) {
         pCoeff[i] = extended.limb(level + i);
         context_.pBasis().table(i).inverse(pCoeff[i]);
-    }
+    });
     const BasisConverter &conv =
         context_.converter(context_.pBasis(), qBasis);
     auto converted = conv.convert(pCoeff);
 
     Polynomial out(qBasis, Domain::Eval);
-    for (size_t i = 0; i < level; ++i) {
+    parallelFor(0, level, [&](size_t i) {
         const uint64_t qi = qBasis.prime(i);
         qBasis.table(i).forward(converted[i]);
         const uint64_t pInv = context_.pInvModQ()[i];
@@ -113,7 +118,7 @@ KeySwitcher::modDown(const Polynomial &extended) const
         for (size_t c = 0; c < dst.size(); ++c) {
             dst[c] = mulMod(subMod(src[c], converted[i][c], qi), pInv, qi);
         }
-    }
+    });
     return out;
 }
 

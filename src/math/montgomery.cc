@@ -36,7 +36,10 @@ Montgomery::fromMont(uint32_t a) const
 uint64_t
 Montgomery::mulMod(uint64_t a, uint64_t b) const
 {
-    return fromMont(mulMont(toMont(a), toMont(b)));
+    // toMont(b) = bR; a * bR * R^-1 = a*b mod q — two reductions, not
+    // the three of the old toMont/toMont/mulMont/fromMont round trip.
+    ANAHEIM_ASSERT(a < q_, "value not reduced");
+    return mulModPrepared(a, toMont(b));
 }
 
 } // namespace anaheim

@@ -54,6 +54,20 @@ class Montgomery
                        : static_cast<uint32_t>(u);
     }
 
+    /**
+     * Plain-domain product against an operand already in Montgomery
+     * form (from toMont()): a * bMont * R^-1 = a * b mod q in a single
+     * reduction. This is the keep-in-Montgomery-form fast path for hot
+     * loops that multiply many values by the same operand — convert
+     * the fixed operand once, then pay one reduce() per product
+     * instead of the three a full toMont/mul/fromMont round trip costs.
+     */
+    uint64_t
+    mulModPrepared(uint64_t a, uint32_t bMont) const
+    {
+        return reduce(a * static_cast<uint64_t>(bMont));
+    }
+
     /** Plain-domain modular product computed through Montgomery form. */
     uint64_t mulMod(uint64_t a, uint64_t b) const;
 

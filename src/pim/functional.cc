@@ -15,13 +15,18 @@ uint32_t
 PimFunctionalUnit::laneMul(uint32_t a, uint32_t b) const
 {
     // 32-bit storage words truncated to 28 bits at the unit boundary;
-    // product through the Montgomery reduction circuit. toMont/fromMont
-    // round-trip models the scaling the hardware folds into constants.
+    // product through the Montgomery reduction circuit. mulMod keeps
+    // one operand in Montgomery form internally, matching the scaling
+    // the hardware folds into constants.
     const uint32_t am = a & 0x0fffffffu;
     const uint32_t bm = b & 0x0fffffffu;
-    return static_cast<uint32_t>(
-        mont_.fromMont(mont_.mulMont(mont_.toMont(am % q_),
-                                     mont_.toMont(bm % q_))));
+    return static_cast<uint32_t>(mont_.mulMod(am % q_, bm % q_));
+}
+
+uint32_t
+PimFunctionalUnit::prepareConstant(uint32_t constant) const
+{
+    return mont_.toMont((constant & 0x0fffffffu) % q_);
 }
 
 uint32_t
@@ -114,9 +119,14 @@ PimFunctionalUnit::cAdd(const PimVector &a, uint32_t constant) const
 PimVector
 PimFunctionalUnit::cMult(const PimVector &a, uint32_t constant) const
 {
+    // The broadcast constant enters Montgomery form once; each lane
+    // then pays a single reduction instead of a full round trip.
+    const uint32_t cMont = prepareConstant(constant);
     PimVector out(a.size());
-    for (size_t i = 0; i < a.size(); ++i)
-        out[i] = laneMul(a[i], constant);
+    for (size_t i = 0; i < a.size(); ++i) {
+        out[i] = static_cast<uint32_t>(
+            mont_.mulModPrepared((a[i] & 0x0fffffffu) % q_, cMont));
+    }
     return out;
 }
 
@@ -124,9 +134,13 @@ PimVector
 PimFunctionalUnit::cMac(const PimVector &a, const PimVector &b,
                         uint32_t constant) const
 {
+    const uint32_t cMont = prepareConstant(constant);
     PimVector out(a.size());
-    for (size_t i = 0; i < a.size(); ++i)
-        out[i] = laneAdd(laneMul(a[i], constant), b[i]);
+    for (size_t i = 0; i < a.size(); ++i) {
+        const uint32_t prod = static_cast<uint32_t>(
+            mont_.mulModPrepared((a[i] & 0x0fffffffu) % q_, cMont));
+        out[i] = laneAdd(prod, b[i]);
+    }
     return out;
 }
 

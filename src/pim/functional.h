@@ -68,6 +68,9 @@ class PimFunctionalUnit
     uint32_t laneMul(uint32_t a, uint32_t b) const;
     uint32_t laneAdd(uint32_t a, uint32_t b) const;
     uint32_t laneSub(uint32_t a, uint32_t b) const;
+    /** Truncate/reduce a broadcast constant and lift it into Montgomery
+     *  form once, for the keep-in-form cMult/cMac lane loops. */
+    uint32_t prepareConstant(uint32_t constant) const;
 
     uint64_t q_;
     Montgomery mont_;

@@ -1,6 +1,7 @@
 #include "polynomial.h"
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "math/modarith.h"
 
 namespace anaheim {
@@ -17,8 +18,8 @@ Polynomial::toEval()
 {
     if (domain_ == Domain::Eval)
         return;
-    for (size_t i = 0; i < limbs_.size(); ++i)
-        basis_.table(i).forward(limbs_[i]);
+    parallelFor(0, limbs_.size(),
+                [&](size_t i) { basis_.table(i).forward(limbs_[i]); });
     domain_ = Domain::Eval;
 }
 
@@ -27,8 +28,8 @@ Polynomial::toCoeff()
 {
     if (domain_ == Domain::Coeff)
         return;
-    for (size_t i = 0; i < limbs_.size(); ++i)
-        basis_.table(i).inverse(limbs_[i]);
+    parallelFor(0, limbs_.size(),
+                [&](size_t i) { basis_.table(i).inverse(limbs_[i]); });
     domain_ = Domain::Coeff;
 }
 
@@ -49,13 +50,13 @@ Polynomial &
 Polynomial::operator+=(const Polynomial &other)
 {
     checkCompatible(other);
-    for (size_t i = 0; i < limbs_.size(); ++i) {
+    parallelFor(0, limbs_.size(), [&](size_t i) {
         const uint64_t q = basis_.prime(i);
         auto &dst = limbs_[i];
         const auto &src = other.limbs_[i];
         for (size_t c = 0; c < dst.size(); ++c)
             dst[c] = addMod(dst[c], src[c], q);
-    }
+    });
     return *this;
 }
 
@@ -63,13 +64,13 @@ Polynomial &
 Polynomial::operator-=(const Polynomial &other)
 {
     checkCompatible(other);
-    for (size_t i = 0; i < limbs_.size(); ++i) {
+    parallelFor(0, limbs_.size(), [&](size_t i) {
         const uint64_t q = basis_.prime(i);
         auto &dst = limbs_[i];
         const auto &src = other.limbs_[i];
         for (size_t c = 0; c < dst.size(); ++c)
             dst[c] = subMod(dst[c], src[c], q);
-    }
+    });
     return *this;
 }
 
@@ -77,14 +78,14 @@ Polynomial &
 Polynomial::mulEq(const Polynomial &other)
 {
     checkCompatible(other);
-    for (size_t i = 0; i < limbs_.size(); ++i) {
+    parallelFor(0, limbs_.size(), [&](size_t i) {
         const uint64_t q = basis_.prime(i);
         const Barrett barrett(q);
         auto &dst = limbs_[i];
         const auto &src = other.limbs_[i];
         for (size_t c = 0; c < dst.size(); ++c)
             dst[c] = barrett.mulMod(dst[c], src[c]);
-    }
+    });
     return *this;
 }
 
@@ -93,7 +94,7 @@ Polynomial::macEq(const Polynomial &a, const Polynomial &b)
 {
     checkCompatible(a);
     checkCompatible(b);
-    for (size_t i = 0; i < limbs_.size(); ++i) {
+    parallelFor(0, limbs_.size(), [&](size_t i) {
         const uint64_t q = basis_.prime(i);
         const Barrett barrett(q);
         auto &dst = limbs_[i];
@@ -101,18 +102,18 @@ Polynomial::macEq(const Polynomial &a, const Polynomial &b)
         const auto &sb = b.limbs_[i];
         for (size_t c = 0; c < dst.size(); ++c)
             dst[c] = addMod(dst[c], barrett.mulMod(sa[c], sb[c]), q);
-    }
+    });
     return *this;
 }
 
 Polynomial &
 Polynomial::negate()
 {
-    for (size_t i = 0; i < limbs_.size(); ++i) {
+    parallelFor(0, limbs_.size(), [&](size_t i) {
         const uint64_t q = basis_.prime(i);
         for (auto &coeff : limbs_[i])
             coeff = negMod(coeff, q);
-    }
+    });
     return *this;
 }
 
@@ -121,24 +122,24 @@ Polynomial::mulScalarEq(const std::vector<uint64_t> &scalarPerLimb)
 {
     ANAHEIM_ASSERT(scalarPerLimb.size() == limbs_.size(),
                    "scalar vector size mismatch");
-    for (size_t i = 0; i < limbs_.size(); ++i) {
+    parallelFor(0, limbs_.size(), [&](size_t i) {
         const uint64_t q = basis_.prime(i);
         const uint64_t s = scalarPerLimb[i] % q;
         for (auto &coeff : limbs_[i])
             coeff = mulMod(coeff, s, q);
-    }
+    });
     return *this;
 }
 
 Polynomial &
 Polynomial::mulConstEq(uint64_t constant)
 {
-    for (size_t i = 0; i < limbs_.size(); ++i) {
+    parallelFor(0, limbs_.size(), [&](size_t i) {
         const uint64_t q = basis_.prime(i);
         const uint64_t s = constant % q;
         for (auto &coeff : limbs_[i])
             coeff = mulMod(coeff, s, q);
-    }
+    });
     return *this;
 }
 
@@ -149,7 +150,7 @@ Polynomial::automorphism(uint64_t k) const
     ANAHEIM_ASSERT((k & 1) == 1 && k < 2 * n, "Galois element must be odd");
     Polynomial out(basis_, domain_);
     if (domain_ == Domain::Coeff) {
-        for (size_t i = 0; i < limbs_.size(); ++i) {
+        parallelFor(0, limbs_.size(), [&](size_t i) {
             const uint64_t q = basis_.prime(i);
             const auto &src = limbs_[i];
             auto &dst = out.limbs_[i];
@@ -160,11 +161,11 @@ Polynomial::automorphism(uint64_t k) const
                 else
                     dst[target - n] = negMod(src[c], q);
             }
-        }
+        });
     } else {
         // Slot j of the result evaluates at psi^{e_j * k}; look up which
         // input slot holds that evaluation point.
-        for (size_t i = 0; i < limbs_.size(); ++i) {
+        parallelFor(0, limbs_.size(), [&](size_t i) {
             const auto &exps = basis_.table(i).evalExponents();
             const auto &slotOf = basis_.table(i).slotOfExponent();
             const auto &src = limbs_[i];
@@ -175,7 +176,7 @@ Polynomial::automorphism(uint64_t k) const
                 ANAHEIM_ASSERT(srcSlot >= 0, "invalid automorphism slot");
                 dst[j] = src[srcSlot];
             }
-        }
+        });
     }
     return out;
 }
@@ -189,7 +190,7 @@ Polynomial::mulMonomialEq(size_t power)
         return *this;
     const Domain original = domain_;
     toCoeff();
-    for (size_t i = 0; i < limbs_.size(); ++i) {
+    parallelFor(0, limbs_.size(), [&](size_t i) {
         const uint64_t q = basis_.prime(i);
         const auto &src = limbs_[i];
         std::vector<uint64_t> dst(n);
@@ -201,7 +202,7 @@ Polynomial::mulMonomialEq(size_t power)
                 dst[target - n] = negMod(src[c], q);
         }
         limbs_[i] = std::move(dst);
-    }
+    });
     if (original == Domain::Eval)
         toEval();
     return *this;

@@ -1,6 +1,7 @@
 #include "bconv.h"
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "math/modarith.h"
 
 namespace anaheim {
@@ -41,21 +42,33 @@ BasisConverter::convert(
 {
     const size_t ls = source_.size();
     const size_t lt = target_.size();
-    ANAHEIM_ASSERT(input.size() == ls, "BConv limb count mismatch");
+    ANAHEIM_ASSERT(input.size() == ls, "BConv limb count mismatch: got ",
+                   input.size(), ", source basis has ", ls);
     const size_t n = input[0].size();
+    ANAHEIM_ASSERT(n > 0, "BConv input has zero-length limbs");
+    // A ragged input (limb i shorter than limb 0) would read out of
+    // bounds in stage 2; validate every limb length up front.
+    for (size_t i = 1; i < ls; ++i) {
+        ANAHEIM_ASSERT(input[i].size() == n, "BConv ragged input: limb ",
+                       i, " has ", input[i].size(),
+                       " coefficients, expected ", n);
+    }
 
-    // Stage 1: y_i = a_i * qHatInv_i mod q_i.
+    // Stage 1: y_i = a_i * qHatInv_i mod q_i. Source limbs are
+    // independent — one task per limb.
     std::vector<std::vector<uint64_t>> scaled(ls);
-    for (size_t i = 0; i < ls; ++i) {
+    parallelFor(0, ls, [&](size_t i) {
         const uint64_t qi = source_.prime(i);
         scaled[i].resize(n);
         for (size_t c = 0; c < n; ++c)
             scaled[i][c] = mulMod(input[i][c], qHatInv_[i], qi);
-    }
+    });
 
-    // Stage 2: out_j = sum_i y_i * (qHat_i mod p_j) mod p_j.
+    // Stage 2: out_j = sum_i y_i * (qHat_i mod p_j) mod p_j. Target
+    // limbs are independent; the i-accumulation order within each limb
+    // is unchanged, keeping results bitwise identical to serial.
     std::vector<std::vector<uint64_t>> output(lt);
-    for (size_t j = 0; j < lt; ++j) {
+    parallelFor(0, lt, [&](size_t j) {
         const uint64_t pj = target_.prime(j);
         const Barrett barrett(pj);
         output[j].assign(n, 0);
@@ -66,20 +79,34 @@ BasisConverter::convert(
                     output[j][c], barrett.mulMod(scaled[i][c], factor), pj);
             }
         }
-    }
+    });
     return output;
 }
 
 std::vector<uint64_t>
 BasisConverter::convertScalar(const std::vector<uint64_t> &residues) const
 {
-    std::vector<std::vector<uint64_t>> input(residues.size());
-    for (size_t i = 0; i < residues.size(); ++i)
-        input[i] = {residues[i]};
-    const auto out = convert(input);
-    std::vector<uint64_t> result(out.size());
-    for (size_t j = 0; j < out.size(); ++j)
-        result[j] = out[j][0];
+    // Direct scalar path: same two stages as convert() against the
+    // precomputed tables, but without materializing per-limb vectors —
+    // key generation calls this in a loop, so the old
+    // one-element-vector round trip was ls + lt + 2 allocations per
+    // call. The result vector is the only allocation left.
+    const size_t ls = source_.size();
+    const size_t lt = target_.size();
+    ANAHEIM_ASSERT(residues.size() == ls,
+                   "BConv scalar residue count mismatch: got ",
+                   residues.size(), ", source basis has ", ls);
+    std::vector<uint64_t> result(lt);
+    for (size_t j = 0; j < lt; ++j) {
+        const uint64_t pj = target_.prime(j);
+        uint64_t acc = 0;
+        for (size_t i = 0; i < ls; ++i) {
+            const uint64_t scaled =
+                mulMod(residues[i], qHatInv_[i], source_.prime(i));
+            acc = addMod(acc, mulMod(scaled, qHatModP_[i][j], pj), pj);
+        }
+        result[j] = acc;
+    }
     return result;
 }
 

@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Tests for the shared limb-parallel execution engine: pool mechanics
+ * (reuse, exception propagation, grain edge cases, the ANAHEIM_THREADS=1
+ * serial fallback) and the determinism property — parallel and serial
+ * executions of the limb-partitioned hot paths (NTT, BConv, keyswitch)
+ * must produce bitwise-identical results on random polynomials.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "ckks/keys.h"
+#include "ckks/keyswitch.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "math/primes.h"
+#include "poly/polynomial.h"
+#include "rns/bconv.h"
+
+namespace anaheim {
+namespace {
+
+/** Restores the global pool width when a test returns. */
+class ThreadGuard
+{
+  public:
+    ThreadGuard() : saved_(parallelThreadCount()) {}
+    ~ThreadGuard() { setParallelThreads(saved_); }
+
+  private:
+    size_t saved_;
+};
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce)
+{
+    ThreadGuard guard;
+    setParallelThreads(4);
+    std::vector<std::atomic<int>> visits(1000);
+    parallelFor(0, visits.size(), 7, [&](size_t i) { ++visits[i]; });
+    for (size_t i = 0; i < visits.size(); ++i)
+        EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+}
+
+TEST(ParallelForTest, PoolIsReusedAcrossCalls)
+{
+    ThreadGuard guard;
+    setParallelThreads(4);
+    const size_t widthBefore = parallelThreadCount();
+    std::atomic<uint64_t> sum{0};
+    for (int round = 0; round < 50; ++round)
+        parallelFor(0, 64, 1, [&](size_t i) { sum += i; });
+    EXPECT_EQ(sum.load(), 50u * (64u * 63u / 2));
+    // Repeated loops run on the same pool; no teardown/respawn between.
+    EXPECT_EQ(parallelThreadCount(), widthBefore);
+}
+
+TEST(ParallelForTest, GrainEdgeCases)
+{
+    ThreadGuard guard;
+    setParallelThreads(4);
+
+    // Empty and inverted ranges are no-ops.
+    bool touched = false;
+    parallelFor(5, 5, 1, [&](size_t) { touched = true; });
+    parallelFor(7, 3, 1, [&](size_t) { touched = true; });
+    EXPECT_FALSE(touched);
+
+    // grain == 0 is treated as 1.
+    std::vector<std::atomic<int>> a(17);
+    parallelFor(0, a.size(), 0, [&](size_t i) { ++a[i]; });
+    for (auto &v : a)
+        EXPECT_EQ(v.load(), 1);
+
+    // grain larger than the range runs the whole range (inline).
+    std::vector<std::atomic<int>> b(9);
+    parallelFor(0, b.size(), 100, [&](size_t i) { ++b[i]; });
+    for (auto &v : b)
+        EXPECT_EQ(v.load(), 1);
+
+    // Nonzero begin with a grain that does not divide the count.
+    std::vector<std::atomic<int>> c(23);
+    parallelFor(3, 23, 4, [&](size_t i) { ++c[i]; });
+    for (size_t i = 0; i < c.size(); ++i)
+        EXPECT_EQ(c[i].load(), i >= 3 ? 1 : 0) << "index " << i;
+}
+
+TEST(ParallelForTest, ExceptionPropagatesToCaller)
+{
+    ThreadGuard guard;
+    setParallelThreads(4);
+    EXPECT_THROW(
+        parallelFor(0, 256, 1,
+                    [](size_t i) {
+                        if (i == 97)
+                            throw std::runtime_error("boom at 97");
+                    }),
+        std::runtime_error);
+    // The pool survives a throwing loop and keeps working.
+    std::atomic<int> count{0};
+    parallelFor(0, 32, 1, [&](size_t) { ++count; });
+    EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ParallelForTest, NestedCallsRunInline)
+{
+    ThreadGuard guard;
+    setParallelThreads(4);
+    std::vector<std::atomic<int>> visits(16 * 16);
+    parallelFor(0, 16, 1, [&](size_t outer) {
+        parallelFor(0, 16, 1, [&](size_t inner) {
+            ++visits[outer * 16 + inner];
+        });
+    });
+    for (auto &v : visits)
+        EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelForTest, SingleThreadFallbackRunsOnCaller)
+{
+    ThreadGuard guard;
+    setParallelThreads(1);
+    EXPECT_EQ(parallelThreadCount(), 1u);
+    const auto caller = std::this_thread::get_id();
+    parallelFor(0, 64, 1, [&](size_t) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+    });
+}
+
+TEST(ParallelForTest, EnvVariableControlsDefaultWidth)
+{
+    // defaultThreadCount() is what the global pool is sized with on
+    // first use; exercise its parsing directly.
+    setenv("ANAHEIM_THREADS", "1", 1);
+    EXPECT_EQ(defaultThreadCount(), 1u);
+    setenv("ANAHEIM_THREADS", "6", 1);
+    EXPECT_EQ(defaultThreadCount(), 6u);
+    setenv("ANAHEIM_THREADS", "999999", 1);
+    EXPECT_EQ(defaultThreadCount(), ThreadPool::kMaxThreads);
+    setenv("ANAHEIM_THREADS", "garbage", 1);
+    EXPECT_GE(defaultThreadCount(), 1u); // falls back to hardware
+    unsetenv("ANAHEIM_THREADS");
+    EXPECT_GE(defaultThreadCount(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Determinism property: limb partitioning only, so the parallel engine
+// must be bitwise identical to the serial fallback on every hot path.
+// ---------------------------------------------------------------------
+
+Polynomial
+randomPolynomial(const RnsBasis &basis, uint64_t seed, Domain domain)
+{
+    Rng rng(seed);
+    Polynomial p(basis, domain);
+    for (size_t i = 0; i < basis.size(); ++i)
+        p.limb(i) = sampleUniform(rng, basis.degree(), basis.prime(i));
+    return p;
+}
+
+class ParallelDeterminismTest : public ::testing::Test
+{
+  protected:
+    ParallelDeterminismTest()
+        : context_(CkksParams::testParams(1 << 10, 6, 2))
+    {
+    }
+
+    CkksContext context_;
+    ThreadGuard guard_;
+};
+
+TEST_F(ParallelDeterminismTest, NttRoundTripMatchesSerial)
+{
+    const auto base =
+        randomPolynomial(context_.qBasis(), 1234, Domain::Coeff);
+
+    setParallelThreads(1);
+    Polynomial serial = base;
+    serial.toEval();
+    Polynomial serialBack = serial;
+    serialBack.toCoeff();
+
+    setParallelThreads(4);
+    Polynomial parallel = base;
+    parallel.toEval();
+    Polynomial parallelBack = parallel;
+    parallelBack.toCoeff();
+
+    EXPECT_TRUE(serial == parallel);
+    EXPECT_TRUE(serialBack == parallelBack);
+    EXPECT_TRUE(serialBack == base);
+}
+
+TEST_F(ParallelDeterminismTest, ElementWiseOpsMatchSerial)
+{
+    const auto a = randomPolynomial(context_.qBasis(), 5, Domain::Eval);
+    const auto b = randomPolynomial(context_.qBasis(), 6, Domain::Eval);
+
+    setParallelThreads(1);
+    Polynomial sumS = a + b;
+    Polynomial prodS = mul(a, b);
+    Polynomial macS = a;
+    macS.macEq(a, b);
+
+    setParallelThreads(4);
+    Polynomial sumP = a + b;
+    Polynomial prodP = mul(a, b);
+    Polynomial macP = a;
+    macP.macEq(a, b);
+
+    EXPECT_TRUE(sumS == sumP);
+    EXPECT_TRUE(prodS == prodP);
+    EXPECT_TRUE(macS == macP);
+}
+
+TEST_F(ParallelDeterminismTest, BasisConversionMatchesSerial)
+{
+    const BasisConverter conv(context_.qBasis(), context_.pBasis());
+    Rng rng(99);
+    std::vector<std::vector<uint64_t>> input(context_.qBasis().size());
+    for (size_t i = 0; i < input.size(); ++i) {
+        input[i] = sampleUniform(rng, context_.degree(),
+                                 context_.qBasis().prime(i));
+    }
+
+    setParallelThreads(1);
+    const auto serial = conv.convert(input);
+    setParallelThreads(4);
+    const auto parallel = conv.convert(input);
+    EXPECT_EQ(serial, parallel);
+
+    // The direct scalar path agrees with the vector path on width-1
+    // inputs.
+    std::vector<uint64_t> residues(input.size());
+    for (size_t i = 0; i < input.size(); ++i)
+        residues[i] = input[i][0];
+    const auto scalar = conv.convertScalar(residues);
+    ASSERT_EQ(scalar.size(), serial.size());
+    for (size_t j = 0; j < scalar.size(); ++j)
+        EXPECT_EQ(scalar[j], serial[j][0]) << "target limb " << j;
+}
+
+TEST_F(ParallelDeterminismTest, KeySwitchMatchesSerial)
+{
+    KeyGenerator keygen(context_, 7);
+    const EvalKey evk = keygen.makeRelinKey();
+    const KeySwitcher switcher(context_);
+    const auto a = randomPolynomial(context_.qBasis(), 31, Domain::Eval);
+
+    setParallelThreads(1);
+    const auto [d0s, d1s] = switcher.keySwitch(a, evk);
+    setParallelThreads(4);
+    const auto [d0p, d1p] = switcher.keySwitch(a, evk);
+
+    EXPECT_TRUE(d0s == d0p);
+    EXPECT_TRUE(d1s == d1p);
+}
+
+TEST(BConvValidationTest, RaggedInputPanics)
+{
+    ThreadGuard guard;
+    setParallelThreads(1); // keep the death-test child single-threaded
+    const auto primes = generateNttPrimes(8, 30, 3);
+    const RnsBasis source({primes[0], primes[1]}, 8);
+    const RnsBasis target({primes[2]}, 8);
+    const BasisConverter conv(source, target);
+    std::vector<std::vector<uint64_t>> ragged = {
+        std::vector<uint64_t>(8, 1), std::vector<uint64_t>(4, 1)};
+    EXPECT_DEATH(conv.convert(ragged), "ragged input");
+    std::vector<std::vector<uint64_t>> empty = {std::vector<uint64_t>(),
+                                                std::vector<uint64_t>()};
+    EXPECT_DEATH(conv.convert(empty), "zero-length limbs");
+    std::vector<std::vector<uint64_t>> shortCount = {
+        std::vector<uint64_t>(8, 1)};
+    EXPECT_DEATH(conv.convert(shortCount), "limb count mismatch");
+}
+
+} // namespace
+} // namespace anaheim

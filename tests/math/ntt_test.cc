@@ -173,5 +173,17 @@ TEST(Ntt, MultiPrimeAgreement)
     }
 }
 
+TEST(NttTableValidationTest, RejectsBadParametersAtBuild)
+{
+    // Non-power-of-two ring degrees fail at table build with a clear
+    // message instead of producing garbage transforms.
+    EXPECT_DEATH(NttTable(97, 12), "power of two");
+    EXPECT_DEATH(NttTable(97, 0), "power of two");
+    // 97 == 1 (mod 32) fails for N = 64 (needs q == 1 mod 128).
+    EXPECT_DEATH(NttTable(97, 64), "q == 1 \\(mod 2N\\)");
+    // Even or tiny moduli are rejected before the root search.
+    EXPECT_DEATH(NttTable(256, 16), "odd prime");
+}
+
 } // namespace
 } // namespace anaheim
