@@ -1,9 +1,11 @@
 #include "framework.h"
 
 #include <algorithm>
+#include <optional>
 #include <vector>
 
 #include "common/logging.h"
+#include "sim/fault.h"
 #include "trace/validate.h"
 
 namespace anaheim {
@@ -69,6 +71,21 @@ AnaheimFramework::opcodeFor(KernelType type)
     }
 }
 
+namespace {
+
+/** Operand words a PIM op streams through its word-read boundary:
+ *  every read operand limb, n words each. */
+size_t
+pimWordsRead(const KernelOp &op)
+{
+    size_t limbs = 0;
+    for (const auto &operand : op.reads)
+        limbs += operand.limbs;
+    return std::max(limbs, op.limbs) * op.n;
+}
+
+} // namespace
+
 RunResult
 AnaheimFramework::execute(const OpSequence &seq) const
 {
@@ -76,6 +93,20 @@ AnaheimFramework::execute(const OpSequence &seq) const
     RunResult result;
     double clock = 0.0;
     bool prevWasPim = false;
+
+    // Fault/ECC event model for the PIM datapath. Only constructed
+    // when faults are configured: the BER = 0 path is untouched.
+    std::optional<FaultModel> faultModel;
+    if (config_.resilience.ber > 0.0) {
+        FaultConfig faults;
+        faults.ber = config_.resilience.ber;
+        faults.seed = config_.resilience.faultSeed;
+        faultModel.emplace(faults);
+    }
+    // Stream ids keep every (op, retry attempt) draw distinct while
+    // staying reproducible across runs with the same seed.
+    const uint64_t retryStreams =
+        static_cast<uint64_t>(config_.resilience.maxPimRetries) + 1;
 
     // Fusion analysis: op i consumes its predecessor's intermediates
     // from cache when both run on the GPU in the same phase. ModSwitch
@@ -118,19 +149,78 @@ AnaheimFramework::execute(const OpSequence &seq) const
             // GPU<->PIM transition overhead (§V-C) applies once per PIM
             // kernel; consecutive PIM instructions share one kernel.
             const double transitionNs = prevWasPim ? 0.0 : 2.0e3;
-            prevWasPim = true;
+
+            // One initial attempt, plus replays charged at full price
+            // for every detected-uncorrectable ECC event, then GPU
+            // fallback when the retry budget runs out (§VI-A datapath
+            // riding raw DRAM arrays).
+            double pimNs = stats.timeNs + transitionNs;
+            double pimEnergyPj = stats.energyPj;
+            double pimChunks = stats.chunksMoved;
+            bool fellBack = false;
+            if (faultModel) {
+                ResilienceStats &res = result.resilience;
+                const size_t words = pimWordsRead(op);
+                for (uint64_t attempt = 0;; ++attempt) {
+                    const FaultEventCounts events = faultModel->sampleEvents(
+                        words, static_cast<uint64_t>(i) * retryStreams +
+                                   attempt);
+                    res.faultyWords += events.faulty;
+                    if (!config_.resilience.eccEnabled) {
+                        // Nothing detects the corruption: results are
+                        // poisoned, and there is no retry signal.
+                        res.silentErrors += events.faulty;
+                        break;
+                    }
+                    res.eccCorrected += events.singleBit;
+                    if (events.multiBit == 0)
+                        break;
+                    res.eccUncorrectable += events.multiBit;
+                    if (attempt >= config_.resilience.maxPimRetries) {
+                        fellBack = true;
+                        break;
+                    }
+                    ++res.pimRetries;
+                    pimNs += stats.timeNs;
+                    pimEnergyPj += stats.energyPj;
+                    pimChunks += stats.chunksMoved;
+                }
+            }
+
             GanttEntry entry;
             entry.phase = op.phase;
             entry.device = "PIM";
             entry.cls = kernelClass(op.type);
             entry.startNs = clock;
-            clock += stats.timeNs + transitionNs;
+            clock += pimNs;
             entry.endNs = clock;
             result.timeline.push_back(entry);
-            result.timeNsByCategory["PIM"] += stats.timeNs + transitionNs;
-            result.energyPj += stats.energyPj;
+            result.timeNsByCategory["PIM"] += pimNs;
+            result.energyPj += pimEnergyPj;
             result.pimInternalBytes +=
-                stats.chunksMoved * config_.dram.chunkBytes;
+                pimChunks * config_.dram.chunkBytes;
+            prevWasPim = true;
+
+            if (fellBack) {
+                // The segment's PIM result is untrustworthy even after
+                // the replays: re-run it on the GPU (unfused — its
+                // operands live in DRAM, not the cache).
+                ++result.resilience.gpuFallbacks;
+                const GpuKernelStats gpuStats = gpu_.run(op);
+                GanttEntry fallback;
+                fallback.phase = op.phase;
+                fallback.device = "GPU";
+                fallback.cls = kernelClass(op.type);
+                fallback.startNs = clock;
+                clock += gpuStats.timeNs;
+                fallback.endNs = clock;
+                result.timeline.push_back(fallback);
+                result.timeNsByCategory[kernelClassName(
+                    kernelClass(op.type))] += gpuStats.timeNs;
+                result.energyPj += gpuStats.energyPj;
+                result.gpuDramBytes += gpuStats.traffic.total();
+                prevWasPim = false;
+            }
             continue;
         }
 

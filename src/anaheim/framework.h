@@ -16,6 +16,7 @@
 
 #include "gpu/gpumodel.h"
 #include "pim/kernelmodel.h"
+#include "sim/fault.h"
 #include "trace/kernel.h"
 
 namespace anaheim {
@@ -30,6 +31,24 @@ struct FusionFlags {
     bool autFuse = true;
 };
 
+/**
+ * Reliability knobs for the PIM datapath (§VI-A operand reads ride raw
+ * DRAM arrays). With ber == 0 the resilience machinery is bypassed
+ * entirely and execution is bitwise identical to the fault-free model.
+ */
+struct ResilienceConfig {
+    /** Raw per-bit error probability per PIM codeword read. */
+    double ber = 0.0;
+    /** Fault-site seed; identical seeds reproduce identical runs. */
+    uint64_t faultSeed = 0x0ddfa117u;
+    /** On-die SEC-DED (39,32) at the PIM word-read boundary. Without
+     *  it, faults go undetected (no retry/fallback, silent errors). */
+    bool eccEnabled = true;
+    /** Replays of a PIM segment after a detected-uncorrectable ECC
+     *  event before giving up and falling back to the GPU. */
+    size_t maxPimRetries = 2;
+};
+
 struct AnaheimConfig {
     GpuConfig gpu;
     LibraryProfile library;
@@ -37,6 +56,7 @@ struct AnaheimConfig {
     PimConfig pim;
     bool pimEnabled = true;
     FusionFlags fusion;
+    ResilienceConfig resilience;
 
     /** A100 80GB with near-bank PIM (Table III column 1). */
     static AnaheimConfig a100NearBank();
@@ -54,6 +74,22 @@ struct GanttEntry {
     double endNs = 0.0;
 };
 
+/** Fault/ECC/recovery counters accumulated over one execution. */
+struct ResilienceStats {
+    /** PIM codeword reads with >= 1 flipped bit. */
+    uint64_t faultyWords = 0;
+    /** Single-bit upsets repaired by SEC-DED (data exact). */
+    uint64_t eccCorrected = 0;
+    /** Detected-uncorrectable (double-bit) ECC events. */
+    uint64_t eccUncorrectable = 0;
+    /** Corrupt words delivered as clean (all faults with ECC off). */
+    uint64_t silentErrors = 0;
+    /** PIM segment replays triggered by uncorrectable events. */
+    uint64_t pimRetries = 0;
+    /** PIM segments abandoned to the GPU after retries ran out. */
+    uint64_t gpuFallbacks = 0;
+};
+
 struct RunResult {
     double totalNs = 0.0;
     double energyPj = 0.0;
@@ -62,6 +98,7 @@ struct RunResult {
     std::map<std::string, double> timeNsByCategory;
     double gpuDramBytes = 0.0;
     double pimInternalBytes = 0.0;
+    ResilienceStats resilience;
     std::vector<GanttEntry> timeline;
 
     double totalSeconds() const { return totalNs * 1e-9; }

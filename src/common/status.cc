@@ -1,0 +1,25 @@
+#include "status.h"
+
+namespace anaheim {
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::Ok: return "Ok";
+      case ErrorCode::InvalidArgument: return "InvalidArgument";
+      case ErrorCode::ResourceExhausted: return "ResourceExhausted";
+      case ErrorCode::DataCorruption: return "DataCorruption";
+    }
+    return "Unknown";
+}
+
+std::string
+Status::toString() const
+{
+    if (ok())
+        return "Ok";
+    return std::string(errorCodeName(code_)) + ": " + message_;
+}
+
+} // namespace anaheim

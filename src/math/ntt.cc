@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "common/status.h"
 #include "modarith.h"
 #include "primes.h"
 
@@ -38,16 +39,16 @@ NttTable::NttTable(uint64_t q, size_t n) : q_(q), n_(n)
     // Fail at table build with actionable messages, not later with
     // garbage transforms: the ring degree must be a power of two and
     // the prime must satisfy the NTT-friendliness condition.
-    ANAHEIM_ASSERT(n > 0 && (n & (n - 1)) == 0,
-                   "NTT ring degree must be a nonzero power of two, got N=",
-                   n);
+    ANAHEIM_CHECK(n > 0 && (n & (n - 1)) == 0, InvalidArgument,
+                  "NTT ring degree must be a nonzero power of two, got N=",
+                  n);
     logN_ = log2Exact(n);
-    ANAHEIM_ASSERT(q > 2 && (q & 1) == 1,
-                   "NTT modulus must be an odd prime > 2, got q=", q);
-    ANAHEIM_ASSERT((q - 1) % (2 * n) == 0,
-                   "NTT prime must satisfy q == 1 (mod 2N) for a 2N-th "
-                   "root of unity, got q=", q, ", N=", n,
-                   " ((q-1) % 2N = ", (q - 1) % (2 * n), ")");
+    ANAHEIM_CHECK(q > 2 && (q & 1) == 1, InvalidArgument,
+                  "NTT modulus must be an odd prime > 2, got q=", q);
+    ANAHEIM_CHECK((q - 1) % (2 * n) == 0, InvalidArgument,
+                  "NTT prime must satisfy q == 1 (mod 2N) for a 2N-th "
+                  "root of unity, got q=", q, ", N=", n,
+                  " ((q-1) % 2N = ", (q - 1) % (2 * n), ")");
     const uint64_t psi = findPrimitiveRoot(q, n);
     const uint64_t psiInv = invMod(psi, q);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/status.h"
 #include "modarith.h"
 
 namespace anaheim {
@@ -56,7 +57,8 @@ std::vector<uint64_t>
 generateNttPrimes(size_t n, unsigned bits, size_t count,
                   const std::vector<uint64_t> &skip)
 {
-    ANAHEIM_ASSERT(bits >= 10 && bits <= 59, "prime bit width out of range");
+    ANAHEIM_CHECK(bits >= 10 && bits <= 59, InvalidArgument,
+                  "prime bit width out of range: ", bits);
     const uint64_t step = 2 * static_cast<uint64_t>(n);
     std::vector<uint64_t> primes;
     // Largest candidate == 1 (mod 2N) below 2^bits.
@@ -69,8 +71,9 @@ generateNttPrimes(size_t n, unsigned bits, size_t count,
         candidate -= step;
     }
     if (primes.size() < count) {
-        ANAHEIM_FATAL("could not find ", count, " NTT primes of ", bits,
-                      " bits for N=", n);
+        ANAHEIM_RAISE(ResourceExhausted, "could not find ", count,
+                      " NTT primes of ", bits, " bits for N=", n,
+                      " (found ", primes.size(), ")");
     }
     return primes;
 }

@@ -22,7 +22,8 @@ bool isPrime(uint64_t n);
 
 /**
  * Generate `count` distinct primes p == 1 (mod 2N) close to (and below)
- * 2^bits, scanning downward. Throws fatal() when the range is exhausted.
+ * 2^bits, scanning downward. Throws AnaheimError(ResourceExhausted)
+ * when the range is exhausted before `count` primes are found.
  *
  * @param n     Ring degree N.
  * @param bits  Target bit width (primes < 2^bits).

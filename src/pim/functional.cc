@@ -3,6 +3,7 @@
 #include <array>
 
 #include "common/logging.h"
+#include "common/status.h"
 
 namespace anaheim {
 
@@ -48,45 +49,56 @@ PimFunctionalUnit::laneSub(uint32_t a, uint32_t b) const
 PimVector
 PimFunctionalUnit::move(const PimVector &a) const
 {
-    return a;
+    ANAHEIM_CHECK(!a.empty(), InvalidArgument, "Move with empty operand");
+    PimVector out(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        out[i] = read(a, i);
+    return out;
 }
 
 PimVector
 PimFunctionalUnit::neg(const PimVector &a) const
 {
+    ANAHEIM_CHECK(!a.empty(), InvalidArgument, "Neg with empty operand");
     PimVector out(a.size());
     for (size_t i = 0; i < a.size(); ++i)
-        out[i] = laneSub(0, a[i]);
+        out[i] = laneSub(0, read(a, i));
     return out;
 }
 
 PimVector
 PimFunctionalUnit::add(const PimVector &a, const PimVector &b) const
 {
-    ANAHEIM_ASSERT(a.size() == b.size(), "operand size mismatch");
+    ANAHEIM_CHECK(!a.empty() && a.size() == b.size(), InvalidArgument,
+                  "Add operand size mismatch: ", a.size(), " vs ",
+                  b.size());
     PimVector out(a.size());
     for (size_t i = 0; i < a.size(); ++i)
-        out[i] = laneAdd(a[i], b[i]);
+        out[i] = laneAdd(read(a, i), read(b, i, 1));
     return out;
 }
 
 PimVector
 PimFunctionalUnit::sub(const PimVector &a, const PimVector &b) const
 {
-    ANAHEIM_ASSERT(a.size() == b.size(), "operand size mismatch");
+    ANAHEIM_CHECK(!a.empty() && a.size() == b.size(), InvalidArgument,
+                  "Sub operand size mismatch: ", a.size(), " vs ",
+                  b.size());
     PimVector out(a.size());
     for (size_t i = 0; i < a.size(); ++i)
-        out[i] = laneSub(a[i], b[i]);
+        out[i] = laneSub(read(a, i), read(b, i, 1));
     return out;
 }
 
 PimVector
 PimFunctionalUnit::mult(const PimVector &a, const PimVector &b) const
 {
-    ANAHEIM_ASSERT(a.size() == b.size(), "operand size mismatch");
+    ANAHEIM_CHECK(!a.empty() && a.size() == b.size(), InvalidArgument,
+                  "Mult operand size mismatch: ", a.size(), " vs ",
+                  b.size());
     PimVector out(a.size());
     for (size_t i = 0; i < a.size(); ++i)
-        out[i] = laneMul(a[i], b[i]);
+        out[i] = laneMul(read(a, i), read(b, i, 1));
     return out;
 }
 
@@ -94,9 +106,12 @@ PimVector
 PimFunctionalUnit::mac(const PimVector &a, const PimVector &b,
                        const PimVector &c) const
 {
+    ANAHEIM_CHECK(c.size() == a.size(), InvalidArgument,
+                  "Mac accumulator size mismatch: ", c.size(), " vs ",
+                  a.size());
     PimVector out = mult(a, b);
     for (size_t i = 0; i < out.size(); ++i)
-        out[i] = laneAdd(out[i], c[i]);
+        out[i] = laneAdd(out[i], read(c, i, 2));
     return out;
 }
 
@@ -110,22 +125,24 @@ PimFunctionalUnit::pMult(const PimVector &a, const PimVector &b,
 PimVector
 PimFunctionalUnit::cAdd(const PimVector &a, uint32_t constant) const
 {
+    ANAHEIM_CHECK(!a.empty(), InvalidArgument, "CAdd with empty operand");
     PimVector out(a.size());
     for (size_t i = 0; i < a.size(); ++i)
-        out[i] = laneAdd(a[i], constant);
+        out[i] = laneAdd(read(a, i), constant);
     return out;
 }
 
 PimVector
 PimFunctionalUnit::cMult(const PimVector &a, uint32_t constant) const
 {
+    ANAHEIM_CHECK(!a.empty(), InvalidArgument, "CMult with empty operand");
     // The broadcast constant enters Montgomery form once; each lane
     // then pays a single reduction instead of a full round trip.
     const uint32_t cMont = prepareConstant(constant);
     PimVector out(a.size());
     for (size_t i = 0; i < a.size(); ++i) {
         out[i] = static_cast<uint32_t>(
-            mont_.mulModPrepared((a[i] & 0x0fffffffu) % q_, cMont));
+            mont_.mulModPrepared((read(a, i) & 0x0fffffffu) % q_, cMont));
     }
     return out;
 }
@@ -134,12 +151,15 @@ PimVector
 PimFunctionalUnit::cMac(const PimVector &a, const PimVector &b,
                         uint32_t constant) const
 {
+    ANAHEIM_CHECK(!a.empty() && a.size() == b.size(), InvalidArgument,
+                  "CMac operand size mismatch: ", a.size(), " vs ",
+                  b.size());
     const uint32_t cMont = prepareConstant(constant);
     PimVector out(a.size());
     for (size_t i = 0; i < a.size(); ++i) {
         const uint32_t prod = static_cast<uint32_t>(
-            mont_.mulModPrepared((a[i] & 0x0fffffffu) % q_, cMont));
-        out[i] = laneAdd(prod, b[i]);
+            mont_.mulModPrepared((read(a, i) & 0x0fffffffu) % q_, cMont));
+        out[i] = laneAdd(prod, read(b, i, 1));
     }
     return out;
 }
@@ -148,6 +168,10 @@ std::array<PimVector, 3>
 PimFunctionalUnit::tensor(const PimVector &a, const PimVector &b,
                           const PimVector &c, const PimVector &d) const
 {
+    ANAHEIM_CHECK(!a.empty() && a.size() == b.size() &&
+                      a.size() == c.size() && a.size() == d.size(),
+                  InvalidArgument, "Tensor operand size mismatch: ",
+                  a.size(), "/", b.size(), "/", c.size(), "/", d.size());
     std::array<PimVector, 3> out;
     out[0] = mult(a, c);
     out[2] = mult(b, d);
@@ -159,6 +183,9 @@ PimVector
 PimFunctionalUnit::modDownEp(const PimVector &a, const PimVector &b,
                              uint32_t constant) const
 {
+    ANAHEIM_CHECK(!a.empty() && a.size() == b.size(), InvalidArgument,
+                  "ModDownEp operand size mismatch: ", a.size(), " vs ",
+                  b.size());
     return cMult(sub(a, b), constant);
 }
 
@@ -167,9 +194,10 @@ PimFunctionalUnit::pAccum(const std::vector<PimVector> &a,
                           const std::vector<PimVector> &b,
                           const std::vector<PimVector> &p) const
 {
-    ANAHEIM_ASSERT(!a.empty() && a.size() == b.size() &&
-                       a.size() == p.size(),
-                   "PAccum fan-in mismatch");
+    ANAHEIM_CHECK(!a.empty() && a.size() == b.size() &&
+                      a.size() == p.size(),
+                  InvalidArgument, "PAccum fan-in mismatch: ", a.size(),
+                  "/", b.size(), "/", p.size());
     PimVector x(a[0].size(), 0);
     PimVector y(a[0].size(), 0);
     for (size_t k = 0; k < a.size(); ++k) {

@@ -20,6 +20,7 @@
 
 #include "isa.h"
 #include "math/montgomery.h"
+#include "sim/readpath.h"
 
 namespace anaheim {
 
@@ -33,6 +34,15 @@ class PimFunctionalUnit
     explicit PimFunctionalUnit(uint64_t q);
 
     uint64_t modulus() const { return q_; }
+
+    /**
+     * Route every operand word read through a fault-injection + ECC
+     * read path (non-owning; pass nullptr to detach). With no path
+     * attached, reads are direct and the results are bitwise identical
+     * to the fault-free model.
+     */
+    void attachReadPath(PimReadPath *path) { readPath_ = path; }
+    const PimReadPath *readPath() const { return readPath_; }
 
     /** @name Table II instructions (plain-domain semantics). */
     /// @{
@@ -72,8 +82,19 @@ class PimFunctionalUnit
      *  form once, for the keep-in-form cMult/cMac lane loops. */
     uint32_t prepareConstant(uint32_t constant) const;
 
+    /** One operand word entering the unit, via the resilient read path
+     *  when one is attached. `slot` is the operand's position within
+     *  the instruction (a, b, c, ... = 0, 1, 2, ...), so different
+     *  operands never share fault sites. */
+    uint32_t read(const PimVector &a, size_t i, size_t slot = 0) const
+    {
+        return readPath_ ? readPath_->readWord(a[i], operandWord(slot, i))
+                         : a[i];
+    }
+
     uint64_t q_;
     Montgomery mont_;
+    PimReadPath *readPath_ = nullptr;
 };
 
 } // namespace anaheim

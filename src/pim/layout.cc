@@ -1,6 +1,7 @@
 #include "layout.h"
 
 #include "common/logging.h"
+#include "common/status.h"
 
 namespace anaheim {
 
@@ -28,8 +29,8 @@ ColumnPartitionLayout::ColumnPartitionLayout(const DramConfig &config,
 PolyGroupDesc
 ColumnPartitionLayout::allocate(size_t polys, size_t limbs)
 {
-    ANAHEIM_ASSERT(polys >= 1 && polys <= columnGroups_,
-                   "PolyGroup wider than the column groups: ", polys);
+    ANAHEIM_CHECK(polys >= 1 && polys <= columnGroups_, InvalidArgument,
+                  "PolyGroup wider than the column groups: ", polys);
     PolyGroupDesc desc;
     desc.id = nextId_++;
     desc.polys = polys;
@@ -47,8 +48,13 @@ ColumnPartitionLayout::allocate(size_t polys, size_t limbs)
         }
     }
     nextRow_ += limbs * rowsPerRg_;
-    if (nextRow_ > rowCapacity_)
-        ANAHEIM_FATAL("PolyGroup allocation exceeds bank rows: ", nextRow_);
+    if (nextRow_ > rowCapacity_) {
+        nextRow_ -= limbs * rowsPerRg_; // roll back the failed claim
+        --nextId_;
+        ANAHEIM_RAISE(ResourceExhausted,
+                      "PolyGroup allocation exceeds bank rows: need ",
+                      nextRow_ + limbs * rowsPerRg_, " of ", rowCapacity_);
+    }
     return desc;
 }
 

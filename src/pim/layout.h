@@ -56,7 +56,10 @@ class ColumnPartitionLayout
 
     /**
      * Allocate a PolyGroup of `polys` polynomials x `limbs` limbs.
-     * Throws fatal() when the bank capacity is exhausted.
+     * Throws AnaheimError(ResourceExhausted) when the bank capacity is
+     * exhausted (the allocator state is left unchanged, so a caller
+     * can catch and place the group elsewhere) and
+     * AnaheimError(InvalidArgument) when `polys` exceeds the CGs.
      */
     PolyGroupDesc allocate(size_t polys, size_t limbs);
 

@@ -1,6 +1,7 @@
 #include "bconv.h"
 
 #include "common/logging.h"
+#include "common/status.h"
 #include "common/parallel.h"
 #include "math/modarith.h"
 
@@ -11,7 +12,8 @@ BasisConverter::BasisConverter(const RnsBasis &source, const RnsBasis &target)
 {
     const size_t ls = source_.size();
     const size_t lt = target_.size();
-    ANAHEIM_ASSERT(ls > 0 && lt > 0, "empty basis in BConv");
+    ANAHEIM_CHECK(ls > 0 && lt > 0, InvalidArgument,
+                  "empty basis in BConv");
 
     qHatInv_.resize(ls);
     qHatModP_.assign(ls, std::vector<uint64_t>(lt));
@@ -42,16 +44,18 @@ BasisConverter::convert(
 {
     const size_t ls = source_.size();
     const size_t lt = target_.size();
-    ANAHEIM_ASSERT(input.size() == ls, "BConv limb count mismatch: got ",
-                   input.size(), ", source basis has ", ls);
+    ANAHEIM_CHECK(input.size() == ls, InvalidArgument,
+                  "BConv limb count mismatch: got ", input.size(),
+                  ", source basis has ", ls);
     const size_t n = input[0].size();
-    ANAHEIM_ASSERT(n > 0, "BConv input has zero-length limbs");
+    ANAHEIM_CHECK(n > 0, InvalidArgument,
+                  "BConv input has zero-length limbs");
     // A ragged input (limb i shorter than limb 0) would read out of
     // bounds in stage 2; validate every limb length up front.
     for (size_t i = 1; i < ls; ++i) {
-        ANAHEIM_ASSERT(input[i].size() == n, "BConv ragged input: limb ",
-                       i, " has ", input[i].size(),
-                       " coefficients, expected ", n);
+        ANAHEIM_CHECK(input[i].size() == n, InvalidArgument,
+                      "BConv ragged input: limb ", i, " has ",
+                      input[i].size(), " coefficients, expected ", n);
     }
 
     // Stage 1: y_i = a_i * qHatInv_i mod q_i. Source limbs are

@@ -1,0 +1,131 @@
+#include "fault.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "ecc.h"
+
+namespace anaheim {
+
+namespace {
+
+/** splitmix64 finalizer: decorrelates structured coordinate inputs. */
+uint64_t
+mix(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+uint64_t
+siteKey(uint64_t seed, size_t limb, size_t word, uint64_t epoch)
+{
+    uint64_t key = mix(seed);
+    key = mix(key ^ (static_cast<uint64_t>(limb) + 1));
+    key = mix(key ^ (static_cast<uint64_t>(word) + 1));
+    key = mix(key ^ (epoch + 1));
+    return key;
+}
+
+/**
+ * Deterministic draw of a count with the given expectation: Knuth
+ * Poisson sampling for small expectations, a clamped normal
+ * approximation for large ones (both fed by the caller's Rng).
+ */
+uint64_t
+sampleCount(Rng &rng, double expected)
+{
+    if (expected <= 0.0)
+        return 0;
+    if (expected < 64.0) {
+        const double limit = std::exp(-expected);
+        uint64_t count = 0;
+        double product = rng.uniformReal();
+        while (product > limit) {
+            ++count;
+            product *= rng.uniformReal();
+        }
+        return count;
+    }
+    const double draw = expected + std::sqrt(expected) * rng.gaussian();
+    return draw <= 0.0 ? 0 : static_cast<uint64_t>(std::llround(draw));
+}
+
+} // namespace
+
+FaultModel::FaultModel(FaultConfig config) : config_(std::move(config))
+{
+    ANAHEIM_CHECK(config_.ber >= 0.0 && config_.ber < 1.0,
+                  InvalidArgument,
+                  "bit-error rate must be in [0, 1), got ", config_.ber);
+    for (const TargetedFault &target : config_.targets) {
+        ANAHEIM_CHECK(target.bitMask != 0, InvalidArgument,
+                      "targeted fault with empty bit mask at limb ",
+                      target.limb, ", word ", target.word);
+    }
+}
+
+uint64_t
+FaultModel::corrupt(uint64_t codeword, size_t limb, size_t word,
+                    uint64_t epoch, unsigned bits) const
+{
+    if (config_.ber > 0.0) {
+        Rng rng(siteKey(config_.seed, limb, word, epoch));
+        for (unsigned bit = 0; bit < bits; ++bit) {
+            if (rng.uniformReal() < config_.ber)
+                codeword ^= uint64_t{1} << bit;
+        }
+    }
+    const uint64_t width =
+        bits >= 64 ? ~uint64_t{0} : (uint64_t{1} << bits) - 1;
+    for (const TargetedFault &target : config_.targets) {
+        if (target.limb != limb || target.word != word)
+            continue;
+        const uint64_t mask = target.bitMask & width;
+        switch (target.kind) {
+          case FaultKind::Transient:
+            codeword ^= mask;
+            break;
+          case FaultKind::StuckAtZero:
+            codeword &= ~mask;
+            break;
+          case FaultKind::StuckAtOne:
+            codeword |= mask;
+            break;
+        }
+    }
+    return codeword;
+}
+
+double
+FaultModel::wordFaultProbability() const
+{
+    if (config_.ber <= 0.0)
+        return 0.0;
+    return 1.0 - std::pow(1.0 - config_.ber, SecDed3932::kCodeBits);
+}
+
+FaultEventCounts
+FaultModel::sampleEvents(size_t words, uint64_t streamId) const
+{
+    FaultEventCounts counts;
+    if (config_.ber <= 0.0 || words == 0)
+        return counts;
+    const double n = SecDed3932::kCodeBits;
+    const double pNone = std::pow(1.0 - config_.ber, n);
+    const double pSingle =
+        n * config_.ber * std::pow(1.0 - config_.ber, n - 1.0);
+    const double pMulti = 1.0 - pNone - pSingle;
+
+    Rng rng(siteKey(config_.seed, 0xfa117, streamId, 0));
+    const double total = static_cast<double>(words);
+    counts.singleBit = sampleCount(rng, total * pSingle);
+    counts.multiBit = sampleCount(rng, total * std::max(pMulti, 0.0));
+    counts.faulty = counts.singleBit + counts.multiBit;
+    return counts;
+}
+
+} // namespace anaheim

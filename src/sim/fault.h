@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Deterministic, seedable fault injection for the PIM datapath.
+ *
+ * Two injection modes, both reproducible from a single seed:
+ *
+ *  - BER-driven: every bit of a codeword read flips independently with
+ *    probability `ber`. The per-bit draws are keyed by
+ *    (seed, limb, word, epoch), so the same seed reproduces the same
+ *    fault sites regardless of read order, and bumping the epoch
+ *    models a replay in which transient faults re-sample (a retried
+ *    read usually succeeds, like a real transient upset).
+ *  - Targeted: explicit (limb, word, bit-mask) faults, either
+ *    transient (XOR) or stuck-at (persist across epochs by
+ *    construction). Used by tests to place exactly one or two flipped
+ *    bits under the ECC decoder.
+ *
+ * The model also exposes an event-level view for the timing framework
+ * (FaultModel::sampleEvents): instead of corrupting real words, it
+ * draws how many of an op's codeword reads suffered single-/multi-bit
+ * faults, deterministically per (seed, stream id), so
+ * AnaheimFramework::execute can charge retries and fall back to the
+ * GPU without running functional data through the trace.
+ */
+
+#ifndef ANAHEIM_SIM_FAULT_H
+#define ANAHEIM_SIM_FAULT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace anaheim {
+
+enum class FaultKind {
+    Transient,  ///< XOR the mask into the read (re-read may differ)
+    StuckAtZero,///< masked cells always read 0
+    StuckAtOne, ///< masked cells always read 1
+};
+
+/** One deliberately placed fault. */
+struct TargetedFault {
+    size_t limb = 0;
+    size_t word = 0;       ///< word index within the limb
+    uint64_t bitMask = 0;  ///< codeword bits affected
+    FaultKind kind = FaultKind::Transient;
+};
+
+struct FaultConfig {
+    /** Raw per-bit error probability per codeword read. */
+    double ber = 0.0;
+    /** Seed for the fault-site PRNG; identical seeds reproduce
+     *  identical fault sites. */
+    uint64_t seed = 0x0ddfa117u;
+    std::vector<TargetedFault> targets;
+
+    bool enabled() const { return ber > 0.0 || !targets.empty(); }
+};
+
+/** Per-codeword fault-class counts for one sampled read stream. */
+struct FaultEventCounts {
+    uint64_t faulty = 0;    ///< codewords with >= 1 flipped bit
+    uint64_t singleBit = 0; ///< exactly one flipped bit (SEC repairs)
+    uint64_t multiBit = 0;  ///< >= 2 flipped bits (DED territory)
+};
+
+class FaultModel
+{
+  public:
+    explicit FaultModel(FaultConfig config);
+
+    const FaultConfig &config() const { return config_; }
+    bool enabled() const { return config_.enabled(); }
+
+    /**
+     * Corrupt a `bits`-wide codeword read at (limb, word) during
+     * `epoch`. Deterministic in (seed, limb, word, epoch); pure.
+     */
+    uint64_t corrupt(uint64_t codeword, size_t limb, size_t word,
+                     uint64_t epoch, unsigned bits) const;
+
+    /**
+     * Event-level draw: of `words` codeword reads in stream `streamId`
+     * (e.g. op index × retry attempt), how many were faulty and how.
+     * Deterministic in (seed, streamId); does not mutate the model.
+     */
+    FaultEventCounts sampleEvents(size_t words, uint64_t streamId) const;
+
+    /** P(a 39-bit codeword has >= 1 flipped bit) at the configured
+     *  BER. */
+    double wordFaultProbability() const;
+
+  private:
+    FaultConfig config_;
+};
+
+} // namespace anaheim
+
+#endif // ANAHEIM_SIM_FAULT_H

@@ -1,0 +1,58 @@
+#include "readpath.h"
+
+namespace anaheim {
+
+PimReadPath::PimReadPath(const FaultConfig &faults, bool eccEnabled)
+    : model_(faults), ecc_(eccEnabled)
+{
+}
+
+uint32_t
+PimReadPath::readWord(uint32_t stored, size_t word)
+{
+    ++counters_.wordsRead;
+    if (!model_.enabled())
+        return stored;
+
+    if (!ecc_) {
+        // Raw datapath: faults land directly on the 32 data bits and
+        // nothing detects them.
+        const uint32_t read = static_cast<uint32_t>(model_.corrupt(
+            stored, limb_, word, epoch_, SecDed3932::kDataBits));
+        if (read != stored) {
+            ++counters_.faultyWords;
+            ++counters_.silent;
+        }
+        return read;
+    }
+
+    const uint64_t codeword = SecDed3932::encode(stored);
+    const uint64_t rawRead = model_.corrupt(codeword, limb_, word, epoch_,
+                                            SecDed3932::kCodeBits);
+    if (rawRead == codeword)
+        return stored;
+    ++counters_.faultyWords;
+
+    const EccDecodeResult decoded = SecDed3932::decode(rawRead);
+    switch (decoded.outcome) {
+      case EccOutcome::Clean:
+        // >= 2 flips aliased to a valid codeword: silent corruption.
+        if (decoded.data != stored)
+            ++counters_.silent;
+        break;
+      case EccOutcome::Corrected:
+        ++counters_.corrected;
+        // A >= 3-flip pattern can masquerade as a single-bit error and
+        // "correct" to the wrong word.
+        if (decoded.data != stored)
+            ++counters_.silent;
+        break;
+      case EccOutcome::Uncorrectable:
+        ++counters_.uncorrectable;
+        uncorrectableSeen_ = true;
+        break;
+    }
+    return decoded.data;
+}
+
+} // namespace anaheim

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The resilient word-read path for PimFunctionalUnit.
+ *
+ * Every operand word a PIM instruction consumes (array reads and
+ * data-buffer entries alike) passes through readWord(), which models
+ * the full on-die pipeline: ECC-encode the stored word, ride the raw
+ * array through the fault model, SEC-DED-decode on the way into the
+ * MMAC unit. Counters classify each read against the ground truth the
+ * simulator knows:
+ *
+ *  - corrected:      single-bit upset repaired, data exact;
+ *  - uncorrectable:  detected double-bit upset, data poisoned (and
+ *    uncorrectableSeen() latches so the caller can retry/fall back);
+ *  - silent:         corrupt data delivered as clean — every faulty
+ *    word with ECC off, and >= 3-bit aliasing with ECC on.
+ *
+ * With no read path attached, PimFunctionalUnit reads words directly:
+ * the BER = 0 golden path is bitwise identical to the pre-fault-model
+ * code and pays no overhead.
+ */
+
+#ifndef ANAHEIM_SIM_READPATH_H
+#define ANAHEIM_SIM_READPATH_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "ecc.h"
+#include "fault.h"
+
+namespace anaheim {
+
+/** Classification counters maintained by PimReadPath. */
+struct ReadPathCounters {
+    uint64_t wordsRead = 0;
+    uint64_t faultyWords = 0;    ///< codewords with >= 1 flipped bit
+    uint64_t corrected = 0;      ///< SEC repaired, data exact
+    uint64_t uncorrectable = 0;  ///< DED flagged, data poisoned
+    uint64_t silent = 0;         ///< corrupt data delivered as clean
+};
+
+/**
+ * Word coordinate of element `i` of the instruction's operand slot
+ * `slot` (a, b, c, d, ... = 0, 1, 2, 3, ...). Distinct slots live at
+ * distinct array addresses, so they never share fault sites.
+ */
+constexpr size_t
+operandWord(size_t slot, size_t i)
+{
+    return (slot << 24) | i;
+}
+
+class PimReadPath
+{
+  public:
+    PimReadPath(const FaultConfig &faults, bool eccEnabled);
+
+    bool eccEnabled() const { return ecc_; }
+    const FaultModel &faultModel() const { return model_; }
+
+    /** Set the limb coordinate of subsequent reads (the functional
+     *  unit processes one limb at a time). */
+    void setLimb(size_t limb) { limb_ = limb; }
+    size_t limb() const { return limb_; }
+
+    /** Advance the replay epoch: transient BER faults re-sample,
+     *  stuck-at targeted faults persist. Models a retried read. */
+    void nextEpoch() { ++epoch_; }
+    uint64_t epoch() const { return epoch_; }
+
+    /** Read one stored word at `word` within the current limb through
+     *  fault injection and (optionally) SEC-DED decode. */
+    uint32_t readWord(uint32_t stored, size_t word);
+
+    const ReadPathCounters &counters() const { return counters_; }
+    void resetCounters() { counters_ = ReadPathCounters{}; }
+
+    /** True once any read since the last clear was uncorrectable. */
+    bool uncorrectableSeen() const { return uncorrectableSeen_; }
+    void clearUncorrectableSeen() { uncorrectableSeen_ = false; }
+
+  private:
+    FaultModel model_;
+    bool ecc_;
+    size_t limb_ = 0;
+    uint64_t epoch_ = 0;
+    ReadPathCounters counters_;
+    bool uncorrectableSeen_ = false;
+};
+
+} // namespace anaheim
+
+#endif // ANAHEIM_SIM_READPATH_H

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "kernel.h"
 
 namespace anaheim {
@@ -25,7 +26,12 @@ struct TraceIssue {
 /** Collect every structural problem in the sequence (empty == valid).*/
 std::vector<TraceIssue> validateTrace(const OpSequence &seq);
 
-/** Fatal-exit on the first problem; use at trace-construction time. */
+/** Status form: Ok when the trace is valid, InvalidArgument naming the
+ *  first problem (and the total count) otherwise. */
+Status checkTraceStatus(const OpSequence &seq);
+
+/** Throw AnaheimError(InvalidArgument) on the first problem; use at
+ *  trace-construction time. Callers may catch and recover. */
 void checkTrace(const OpSequence &seq);
 
 } // namespace anaheim

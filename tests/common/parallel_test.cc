@@ -21,6 +21,7 @@
 #include "math/primes.h"
 #include "poly/polynomial.h"
 #include "rns/bconv.h"
+#include "support/error_matchers.h"
 
 namespace anaheim {
 namespace {
@@ -261,23 +262,24 @@ TEST_F(ParallelDeterminismTest, KeySwitchMatchesSerial)
     EXPECT_TRUE(d1s == d1p);
 }
 
-TEST(BConvValidationTest, RaggedInputPanics)
+TEST(BConvValidationTest, RaggedInputIsRejected)
 {
-    ThreadGuard guard;
-    setParallelThreads(1); // keep the death-test child single-threaded
     const auto primes = generateNttPrimes(8, 30, 3);
     const RnsBasis source({primes[0], primes[1]}, 8);
     const RnsBasis target({primes[2]}, 8);
     const BasisConverter conv(source, target);
     std::vector<std::vector<uint64_t>> ragged = {
         std::vector<uint64_t>(8, 1), std::vector<uint64_t>(4, 1)};
-    EXPECT_DEATH(conv.convert(ragged), "ragged input");
+    EXPECT_ANAHEIM_ERROR(conv.convert(ragged), InvalidArgument,
+                         "ragged input");
     std::vector<std::vector<uint64_t>> empty = {std::vector<uint64_t>(),
                                                 std::vector<uint64_t>()};
-    EXPECT_DEATH(conv.convert(empty), "zero-length limbs");
+    EXPECT_ANAHEIM_ERROR(conv.convert(empty), InvalidArgument,
+                         "zero-length limbs");
     std::vector<std::vector<uint64_t>> shortCount = {
         std::vector<uint64_t>(8, 1)};
-    EXPECT_DEATH(conv.convert(shortCount), "limb count mismatch");
+    EXPECT_ANAHEIM_ERROR(conv.convert(shortCount), InvalidArgument,
+                         "limb count mismatch");
 }
 
 } // namespace

@@ -106,6 +106,19 @@ TEST(MemoryController, SequentialStreamIsRowHitDominated)
     EXPECT_GT(controller.rowHitRate(), 0.9);
 }
 
+TEST(MemoryController, RowHitRateIsZeroBeforeAnyDrain)
+{
+    // Regression: with no accesses the hit rate must be 0, not 0/0.
+    const DramConfig config = DramConfig::hbm2A100();
+    const MemoryController idle(config, config.banksPerDie);
+    EXPECT_EQ(idle.rowHitRate(), 0.0);
+
+    // Enqueued-but-not-drained requests still count no accesses.
+    MemoryController pending(config, config.banksPerDie);
+    pending.enqueue(mapAddress(config, 0, false));
+    EXPECT_EQ(pending.rowHitRate(), 0.0);
+}
+
 TEST(MemoryController, FrFcfsPrefersRowHits)
 {
     const DramConfig config = DramConfig::hbm2A100();

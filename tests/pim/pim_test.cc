@@ -6,6 +6,7 @@
 #include "pim/functional.h"
 #include "pim/kernelmodel.h"
 #include "pim/layout.h"
+#include "support/error_matchers.h"
 
 namespace anaheim {
 namespace {
@@ -267,6 +268,54 @@ TEST_F(PimModelTest, CustomHbmHidesActPreButStreamsSlower)
         customSmall.execute(PimOpcode::PAccum, 4, 68, 1 << 16).timeNs /
         custom.execute(PimOpcode::PAccum, 4, 68, 1 << 16).timeNs;
     EXPECT_GT(nearPenalty, customPenalty);
+}
+
+
+TEST_F(PimFunctionalTest, UnaryOpsRejectEmptyOperands)
+{
+    const PimVector empty;
+    EXPECT_ANAHEIM_ERROR(unit_.move(empty), InvalidArgument,
+                         "empty operand");
+    EXPECT_ANAHEIM_ERROR(unit_.neg(empty), InvalidArgument,
+                         "empty operand");
+    EXPECT_ANAHEIM_ERROR(unit_.cAdd(empty, 3), InvalidArgument,
+                         "empty operand");
+    EXPECT_ANAHEIM_ERROR(unit_.cMult(empty, 3), InvalidArgument,
+                         "empty operand");
+}
+
+TEST_F(PimFunctionalTest, BinaryOpsRejectSizeMismatches)
+{
+    const auto a = randomVec(64);
+    const auto shorter = randomVec(32);
+    EXPECT_ANAHEIM_ERROR(unit_.add(a, shorter), InvalidArgument,
+                         "size mismatch");
+    EXPECT_ANAHEIM_ERROR(unit_.sub(a, shorter), InvalidArgument,
+                         "size mismatch");
+    EXPECT_ANAHEIM_ERROR(unit_.mult(a, shorter), InvalidArgument,
+                         "size mismatch");
+    EXPECT_ANAHEIM_ERROR(unit_.cMac(a, shorter, 5), InvalidArgument,
+                         "size mismatch");
+    EXPECT_ANAHEIM_ERROR(unit_.mac(a, a, shorter), InvalidArgument,
+                         "size mismatch");
+}
+
+TEST_F(PimFunctionalTest, TensorAndModDownRejectSizeMismatches)
+{
+    const auto a = randomVec(64);
+    const auto b = randomVec(64);
+    const auto shorter = randomVec(32);
+    EXPECT_ANAHEIM_ERROR(unit_.tensor(a, b, a, shorter), InvalidArgument,
+                         "Tensor operand size mismatch");
+    EXPECT_ANAHEIM_ERROR(unit_.tensor(a, shorter, a, b), InvalidArgument,
+                         "Tensor operand size mismatch");
+    EXPECT_ANAHEIM_ERROR(unit_.modDownEp(a, shorter, 7), InvalidArgument,
+                         "ModDownEp operand size mismatch");
+    EXPECT_ANAHEIM_ERROR(unit_.pAccum({a}, {a, b}, {a}), InvalidArgument,
+                         "fan-in mismatch");
+    // Well-formed calls still succeed after a rejection.
+    EXPECT_EQ(unit_.tensor(a, b, a, b)[0].size(), 64u);
+    EXPECT_EQ(unit_.modDownEp(a, b, 7).size(), 64u);
 }
 
 } // namespace

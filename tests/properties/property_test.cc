@@ -10,6 +10,7 @@
 
 #include "anaheim/framework.h"
 #include "anaheim/workloads.h"
+#include "support/error_matchers.h"
 #include "ckks/encryptor.h"
 #include "ckks/evaluator.h"
 #include "common/rng.h"
@@ -166,21 +167,25 @@ TEST(GpuProperties, RooflineMonotonicInCompute)
 
 // ----------------------------------------------------------------- pim
 
-TEST(PimProperties, LayoutAllocationExhaustionIsFatal)
+TEST(PimProperties, LayoutAllocationExhaustionIsRecoverable)
 {
     ColumnPartitionLayout layout(DramConfig::hbm2A100(), 512, 1 << 16, 8);
-    EXPECT_DEATH(
-        {
-            for (int i = 0; i < 100000; ++i)
-                layout.allocate(1, 64);
-        },
-        "exceeds bank rows");
+    EXPECT_ANAHEIM_ERROR(
+        for (int i = 0; i < 100000; ++i) layout.allocate(1, 64),
+        ResourceExhausted, "exceeds bank rows");
+    // The failed allocation left the allocator usable: capacity that
+    // was not claimed can still be handed out.
+    const size_t used = layout.rowsUsed();
+    EXPECT_LE(used, layout.rowCapacity());
+    EXPECT_NO_THROW(layout.allocate(
+        1, (layout.rowCapacity() - used) / layout.rowsPerRowGroup()));
 }
 
 TEST(PimProperties, PolyGroupWidthBoundedByColumnGroups)
 {
     ColumnPartitionLayout layout(DramConfig::hbm2A100(), 512, 1 << 16, 8);
-    EXPECT_DEATH(layout.allocate(9, 1), "wider than the column groups");
+    EXPECT_ANAHEIM_ERROR(layout.allocate(9, 1), InvalidArgument,
+                         "wider than the column groups");
 }
 
 // ----------------------------------------------------------- framework

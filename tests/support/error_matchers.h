@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Test helpers for the recoverable error layer: run a statement,
+ * capture the AnaheimError it throws as a Status, and assert on the
+ * code and message. Replaces the EXPECT_DEATH pattern for conditions
+ * that used to exit(1) and are now recoverable — these run in-process,
+ * so they are fast and sanitizer-friendly.
+ */
+
+#ifndef ANAHEIM_TESTS_SUPPORT_ERROR_MATCHERS_H
+#define ANAHEIM_TESTS_SUPPORT_ERROR_MATCHERS_H
+
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace anaheim::test_support {
+
+/** Run `fn`; return the thrown AnaheimError as a Status, or Ok. */
+template <typename Fn>
+Status
+captureStatus(Fn &&fn)
+{
+    try {
+        std::forward<Fn>(fn)();
+    } catch (const AnaheimError &error) {
+        return error.status();
+    }
+    return Status::okStatus();
+}
+
+} // namespace anaheim::test_support
+
+/** Expect `stmt` to throw AnaheimError with the given ErrorCode member
+ *  name and a message containing `substr`. */
+#define EXPECT_ANAHEIM_ERROR(stmt, code_, substr)                            \
+    do {                                                                     \
+        const ::anaheim::Status capturedStatus_ =                            \
+            ::anaheim::test_support::captureStatus([&] { stmt; });           \
+        EXPECT_EQ(capturedStatus_.code(), ::anaheim::ErrorCode::code_)       \
+            << "status was: " << capturedStatus_.toString();                 \
+        EXPECT_NE(capturedStatus_.message().find(substr),                    \
+                  std::string::npos)                                         \
+            << "status was: " << capturedStatus_.toString();                 \
+    } while (0)
+
+#endif // ANAHEIM_TESTS_SUPPORT_ERROR_MATCHERS_H

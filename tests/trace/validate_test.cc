@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "anaheim/workloads.h"
+#include "support/error_matchers.h"
 #include "trace/validate.h"
 
 namespace anaheim {
@@ -58,11 +59,18 @@ TEST(TraceValidate, DetectsDegreeMismatch)
     EXPECT_FALSE(validateTrace(seq).empty());
 }
 
-TEST(TraceValidateDeath, CheckTraceIsFatalOnBadTrace)
+TEST(TraceValidate, CheckTraceThrowsRecoverableErrorOnBadTrace)
 {
     OpSequence seq = buildHAdd(TraceParams{});
     seq.ops[0].writes.clear();
-    EXPECT_DEATH(checkTrace(seq), "invalid trace");
+    EXPECT_ANAHEIM_ERROR(checkTrace(seq), InvalidArgument,
+                         "invalid trace");
+    const Status status = checkTraceStatus(seq);
+    EXPECT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("writes nothing"), std::string::npos);
+    // A valid trace passes both forms without throwing.
+    EXPECT_TRUE(checkTraceStatus(buildHAdd(TraceParams{})).ok());
+    EXPECT_NO_THROW(checkTrace(buildHAdd(TraceParams{})));
 }
 
 } // namespace
