@@ -13,8 +13,9 @@
 using namespace anaheim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonScope json("ablation_scaling", argc, argv);
     bench::header("Ablation — PIM scalability and layout choices");
 
     // 1. Die groups: limb-level parallelism (§VI-B "high scalability").

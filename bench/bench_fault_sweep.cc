@@ -44,6 +44,7 @@ struct Options {
     bool runEccOff = true;
     size_t words = 1u << 16;
     bool smoke = false;
+    std::string jsonPath;
 };
 
 Options
@@ -64,6 +65,8 @@ parseOptions(int argc, char **argv)
             opts.runEccOff = false;
         } else if (arg == "--ecc=off") {
             opts.runEccOn = false;
+        } else if (arg == "--json" && i + 1 < argc) {
+            opts.jsonPath = argv[++i];
         } else {
             std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
             std::exit(2);
@@ -174,6 +177,9 @@ int
 main(int argc, char **argv)
 {
     const Options opts = parseOptions(argc, argv);
+    bench::JsonScope json("fault_sweep", argc, argv);
+    json.report().metric("smoke", opts.smoke ? "yes" : "no");
+    json.report().metric("fault_seed", static_cast<double>(opts.seed));
     functionalSweep(opts);
     frameworkSweep(opts);
     if (opts.smoke)

@@ -106,8 +106,9 @@ sweep(AnaheimConfig gpuConfig, const char *name)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonScope json("fig10_sensitivity", argc, argv);
     bench::header("Fig. 10 — fusion and data-layout sensitivity "
                   "(bootstrapping)");
     sweep(AnaheimConfig::a100NearBank(), "A100 80GB near-bank");

@@ -13,8 +13,9 @@
 using namespace anaheim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonScope json("fig1_lintrans", argc, argv);
     bench::header("Fig. 1 table — linear-transform algorithm comparison "
                   "(CoeffToSlot, D=4, K=8 per transform)");
 

@@ -25,8 +25,9 @@ timeOf(const OpSequence &seq, const LibraryProfile &library)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonScope json("fig2a_basic_ops", argc, argv);
     bench::header("Fig. 2a — basic CKKS function times on A100 80GB "
                   "(N=2^16, L=54, alpha=14)");
 

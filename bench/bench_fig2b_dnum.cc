@@ -56,8 +56,9 @@ sweep(const AnaheimConfig &base, const char *gpuName)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonScope json("fig2b_dnum", argc, argv);
     bench::header("Fig. 2b — T_boot,eff breakdown vs decomposition "
                   "number D (hoisting, Cheddar, no PIM)");
     sweep(AnaheimConfig::a100NearBank(), "A100 80GB");

@@ -13,8 +13,9 @@
 using namespace anaheim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonScope json("fig2c_minks", argc, argv);
     bench::header("Fig. 2c — T_boot,eff for MinKS / Hoisting / Base "
                   "(D=4, A100 80GB, no PIM)");
 

@@ -49,8 +49,9 @@ sweep(const AnaheimConfig &base, const char *gpuName)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonScope json("fig3_fftiter", argc, argv);
     bench::header("Fig. 3 — T_boot,eff vs fftIter (hoisting, no PIM)");
     sweep(AnaheimConfig::a100NearBank(), "A100 80GB");
     sweep(AnaheimConfig::rtx4090NearBank(), "RTX 4090");

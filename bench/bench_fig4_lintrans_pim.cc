@@ -49,8 +49,9 @@ printGantt(const char *label, const RunResult &result)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonScope json("fig4_lintrans_pim", argc, argv);
     bench::header("Fig. 4a — linear transform (K=8, hoisting) on A100: "
                   "GPU-only vs 4x-BW DRAM vs PIM");
 
@@ -75,6 +76,10 @@ main()
     std::printf("  speedups: 4x-BW %.2fx, PIM %.2fx\n",
                 resultGpu.totalNs / result4x.totalNs,
                 resultGpu.totalNs / resultPim.totalNs);
+    json.report().metric("lt_speedup_4xbw",
+                         resultGpu.totalNs / result4x.totalNs);
+    json.report().metric("lt_speedup_pim",
+                         resultGpu.totalNs / resultPim.totalNs);
     bench::note("paper: 4x BW helps element-wise ops 2.84x but barely "
                 "touches ModSwitch; PIM obtains similar gains without "
                 "raising external bandwidth");

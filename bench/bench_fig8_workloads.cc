@@ -13,8 +13,9 @@
 using namespace anaheim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonScope json("fig8_workloads", argc, argv);
     bench::header("Fig. 8 — workload speedup / energy / EDP gains from "
                   "Anaheim");
 

@@ -65,8 +65,9 @@ sweep(const DramConfig &dram, const PimConfig &base, const char *name)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonScope json("fig9_pim_micro", argc, argv);
     bench::header("Fig. 9 — PIM instruction microbenchmark vs buffer "
                   "entries B");
     sweep(DramConfig::hbm2A100(), PimConfig::nearBankA100(),

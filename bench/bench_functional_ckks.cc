@@ -163,4 +163,30 @@ BENCHMARK(BM_PimFunctionalPAccum);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): the shared `--json <path>`
+// flag the other benches take is translated into google-benchmark's own
+// JSON reporter flags so the output lands in one machine-readable file.
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> storage;
+    std::vector<char *> args;
+    for (int i = 0; i < argc; ++i) {
+        if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+            storage.push_back("--benchmark_out=" + std::string(argv[i + 1]));
+            storage.push_back("--benchmark_out_format=json");
+            ++i;
+        } else {
+            args.push_back(argv[i]);
+        }
+    }
+    for (auto &flag : storage)
+        args.push_back(flag.data());
+    int count = static_cast<int>(args.size());
+    ::benchmark::Initialize(&count, args.data());
+    if (::benchmark::ReportUnrecognizedArguments(count, args.data()))
+        return 1;
+    ::benchmark::RunSpecifiedBenchmarks();
+    ::benchmark::Shutdown();
+    return 0;
+}

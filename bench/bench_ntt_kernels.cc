@@ -1,0 +1,179 @@
+/**
+ * @file
+ * NTT kernel microbenchmark: division-based reference butterflies vs the
+ * Harvey/Shoup lazy-reduction kernels, at N = 2^12 .. 2^16.
+ *
+ * Reports ns per butterfly (a transform is N/2 * log2 N butterflies) and
+ * full-transform throughput for both directions, plus the speedup of the
+ * lazy path — the acceptance gate for the kernel rewrite is >= 2x on the
+ * full forward transform at N = 2^16. Before timing, the two paths are
+ * cross-checked bitwise on the same input.
+ *
+ * Emits BENCH_ntt.json (override with --json <path>) so the perf
+ * trajectory of the kernels is machine-readable across PRs.
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "math/ntt.h"
+#include "math/primes.h"
+
+namespace anaheim {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** Best-of-3 wall time of fn(), in nanoseconds. */
+template <typename Fn>
+double
+bestNs(Fn &&fn)
+{
+    double best = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+        const auto start = Clock::now();
+        fn();
+        const double ns =
+            std::chrono::duration<double, std::nano>(Clock::now() - start)
+                .count();
+        best = std::min(best, ns);
+    }
+    return best;
+}
+
+struct KernelTiming {
+    double nsPerTransform = 0.0;
+    double nsPerButterfly = 0.0;
+    double transformsPerSec = 0.0;
+};
+
+KernelTiming
+time_kernel(const std::function<void(uint64_t *)> &kernel,
+            std::vector<uint64_t> data, size_t n, size_t reps)
+{
+    // Transforms run in place, repeatedly: outputs are canonical
+    // residues, which are valid inputs again, so both paths execute the
+    // identical instruction mix with no copy overhead in the loop.
+    KernelTiming t;
+    const double ns = bestNs([&] {
+        for (size_t r = 0; r < reps; ++r)
+            kernel(data.data());
+    });
+    const double butterflies =
+        0.5 * static_cast<double>(n) * std::log2(static_cast<double>(n));
+    t.nsPerTransform = ns / static_cast<double>(reps);
+    t.nsPerButterfly = t.nsPerTransform / butterflies;
+    t.transformsPerSec = 1e9 / t.nsPerTransform;
+    return t;
+}
+
+} // namespace
+} // namespace anaheim
+
+int
+main(int argc, char **argv)
+{
+    using namespace anaheim;
+
+    std::string jsonPath = bench::jsonPathFromArgs(argc, argv);
+    if (jsonPath.empty())
+        jsonPath = "BENCH_ntt.json"; // the tracked perf-trajectory file
+
+    bench::header("NTT kernels: Harvey/Shoup lazy reduction vs "
+                  "division-based reference");
+    bench::note("40-bit NTT primes; best-of-3; a transform is "
+                "N/2*log2(N) butterflies");
+
+    bench::JsonReport report("ntt_kernels");
+    report.metric("prime_bits", 40);
+
+    std::printf("\n  %-6s %-9s  %13s  %13s  %8s   %13s\n", "logN",
+                "kernel", "fwd ns/bfly", "inv ns/bfly", "fwd x",
+                "fwd xforms/s");
+
+    bool identical = true;
+    double speedupAt64k = 0.0;
+    for (unsigned logN = 12; logN <= 16; ++logN) {
+        const size_t n = size_t{1} << logN;
+        const uint64_t q = generateNttPrimes(n, 40, 1)[0];
+        const auto table = NttTable::shared(q, n);
+        Rng rng(logN);
+        const auto input = sampleUniform(rng, n, q);
+
+        // Bitwise cross-check before timing, both directions.
+        {
+            auto lazy = input, ref = input;
+            table->forwardLazy(lazy.data());
+            table->forwardReference(ref.data());
+            identical = identical && lazy == ref;
+            table->inverseLazy(lazy.data());
+            table->inverseReference(ref.data());
+            identical = identical && lazy == ref;
+        }
+
+        const size_t reps = std::max<size_t>(1, (size_t{1} << 22) / n);
+        const auto refFwd = time_kernel(
+            [&](uint64_t *d) { table->forwardReference(d); }, input, n,
+            reps);
+        const auto refInv = time_kernel(
+            [&](uint64_t *d) { table->inverseReference(d); }, input, n,
+            reps);
+        const auto lazyFwd = time_kernel(
+            [&](uint64_t *d) { table->forwardLazy(d); }, input, n, reps);
+        const auto lazyInv = time_kernel(
+            [&](uint64_t *d) { table->inverseLazy(d); }, input, n, reps);
+
+        const double fwdSpeedup =
+            refFwd.nsPerTransform / lazyFwd.nsPerTransform;
+        const double invSpeedup =
+            refInv.nsPerTransform / lazyInv.nsPerTransform;
+        if (logN == 16)
+            speedupAt64k = fwdSpeedup;
+
+        std::printf("  %-6u %-9s  %13.2f  %13.2f  %8s   %13.0f\n", logN,
+                    "reference", refFwd.nsPerButterfly,
+                    refInv.nsPerButterfly, "", refFwd.transformsPerSec);
+        std::printf("  %-6s %-9s  %13.2f  %13.2f  %7.2fx   %13.0f\n", "",
+                    "shoup", lazyFwd.nsPerButterfly,
+                    lazyInv.nsPerButterfly, fwdSpeedup,
+                    lazyFwd.transformsPerSec);
+
+        report.beginRow();
+        report.rowMetric("logn", logN);
+        report.rowMetric("n", static_cast<double>(n));
+        report.rowMetric("q", static_cast<double>(q));
+        report.rowMetric("ref_fwd_ns_per_butterfly",
+                         refFwd.nsPerButterfly);
+        report.rowMetric("ref_inv_ns_per_butterfly",
+                         refInv.nsPerButterfly);
+        report.rowMetric("shoup_fwd_ns_per_butterfly",
+                         lazyFwd.nsPerButterfly);
+        report.rowMetric("shoup_inv_ns_per_butterfly",
+                         lazyInv.nsPerButterfly);
+        report.rowMetric("ref_fwd_transforms_per_sec",
+                         refFwd.transformsPerSec);
+        report.rowMetric("shoup_fwd_transforms_per_sec",
+                         lazyFwd.transformsPerSec);
+        report.rowMetric("fwd_speedup", fwdSpeedup);
+        report.rowMetric("inv_speedup", invSpeedup);
+    }
+
+    bench::note("");
+    bench::note(std::string("lazy output bitwise identical to "
+                            "reference: ") +
+                (identical ? "yes" : "NO"));
+    std::printf("  full-transform forward speedup at N=2^16: %.2fx "
+                "(acceptance gate: >= 2x)\n",
+                speedupAt64k);
+
+    report.metric("bitwise_identical", identical ? "yes" : "no");
+    report.metric("fwd_speedup_at_2e16", speedupAt64k);
+    report.write(jsonPath);
+    return identical ? 0 : 1;
+}

@@ -97,10 +97,11 @@ printTable(const std::vector<size_t> &threadCounts,
 } // namespace anaheim
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace anaheim;
 
+    bench::JsonScope json("parallel_scaling", argc, argv);
     bench::header("Parallel scaling of host CKKS hot paths "
                   "(N = 2^14, L = 8)");
     bench::note("best-of-3 wall time; speedup relative to 1 thread; "
@@ -184,6 +185,18 @@ main()
     setParallelThreads(defaultThreadCount());
 
     printTable(threadCounts, rows);
+    for (const auto &row : rows) {
+        json.report().beginRow();
+        json.report().rowMetric("op", row.name);
+        for (size_t cfg = 0; cfg < threadCounts.size(); ++cfg) {
+            json.report().rowMetric(
+                "ms_" + std::to_string(threadCounts[cfg]) + "thr",
+                row.results[cfg].ms);
+            json.report().rowMetric(
+                "identical_" + std::to_string(threadCounts[cfg]) + "thr",
+                row.results[cfg].identical ? "yes" : "no");
+        }
+    }
     bench::note("");
     bench::note("limb/column partitioning only — no accumulation-order "
                 "changes, so 'identical' must read yes everywhere");

@@ -1,16 +1,22 @@
 /**
  * @file
- * Shared table-printing helpers for the figure-regeneration benches.
- * Every bench prints the same rows/series the paper reports, with the
- * paper's published values alongside where available so shape fidelity
- * is auditable (EXPERIMENTS.md records the comparison).
+ * Shared helpers for the figure-regeneration benches: table printing and
+ * machine-readable JSON output. Every bench prints the same rows/series
+ * the paper reports, with the paper's published values alongside where
+ * available so shape fidelity is auditable (EXPERIMENTS.md records the
+ * comparison), and accepts `--json <path>` to additionally emit its key
+ * metrics as a JSON document so the perf trajectory stays comparable
+ * across PRs (e.g. BENCH_ntt.json from bench_ntt_kernels).
  */
 
 #ifndef ANAHEIM_BENCH_UTIL_H
 #define ANAHEIM_BENCH_UTIL_H
 
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace anaheim::bench {
 
@@ -29,6 +35,176 @@ note(const std::string &text)
 {
     std::printf("  %s\n", text.c_str());
 }
+
+/** Path following a `--json` flag in argv, or "" when absent. */
+inline std::string
+jsonPathFromArgs(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::string(argv[i]) == "--json")
+            return argv[i + 1];
+    }
+    return "";
+}
+
+/**
+ * Tiny structured-result collector: top-level metrics plus an optional
+ * array of row objects, serialized as one JSON document. Values are
+ * either numbers or strings; insertion order is preserved so diffs of
+ * successive runs stay readable.
+ *
+ *   JsonReport report("ntt_kernels");
+ *   report.metric("machine_threads", 4);
+ *   report.beginRow();
+ *   report.rowMetric("n", 4096);
+ *   report.rowMetric("speedup", 3.1);
+ *   report.write(path); // no-op when path is empty
+ */
+class JsonReport
+{
+  public:
+    explicit JsonReport(std::string benchName)
+        : benchName_(std::move(benchName))
+    {
+    }
+
+    void
+    metric(const std::string &key, double value)
+    {
+        metrics_.emplace_back(key, encodeNumber(value));
+    }
+
+    void
+    metric(const std::string &key, const std::string &value)
+    {
+        metrics_.emplace_back(key, encodeString(value));
+    }
+
+    /** Start a new entry in the "rows" array; subsequent rowMetric()
+     *  calls populate it. */
+    void beginRow() { rows_.emplace_back(); }
+
+    void
+    rowMetric(const std::string &key, double value)
+    {
+        rows_.back().emplace_back(key, encodeNumber(value));
+    }
+
+    void
+    rowMetric(const std::string &key, const std::string &value)
+    {
+        rows_.back().emplace_back(key, encodeString(value));
+    }
+
+    /** Serialize to `path`; returns false (silently) for an empty path,
+     *  prints a warning and returns false when the file can't open. */
+    bool
+    write(const std::string &path) const
+    {
+        if (path.empty())
+            return false;
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "bench: cannot write JSON to %s\n",
+                         path.c_str());
+            return false;
+        }
+        std::fprintf(f, "{\n  \"bench\": %s",
+                     encodeString(benchName_).c_str());
+        for (const auto &[key, encoded] : metrics_) {
+            std::fprintf(f, ",\n  %s: %s", encodeString(key).c_str(),
+                         encoded.c_str());
+        }
+        if (!rows_.empty()) {
+            std::fprintf(f, ",\n  \"rows\": [");
+            for (size_t r = 0; r < rows_.size(); ++r) {
+                std::fprintf(f, "%s\n    {", r == 0 ? "" : ",");
+                for (size_t k = 0; k < rows_[r].size(); ++k) {
+                    std::fprintf(f, "%s%s: %s", k == 0 ? "" : ", ",
+                                 encodeString(rows_[r][k].first).c_str(),
+                                 rows_[r][k].second.c_str());
+                }
+                std::fprintf(f, "}");
+            }
+            std::fprintf(f, "\n  ]");
+        }
+        std::fprintf(f, "\n}\n");
+        std::fclose(f);
+        std::printf("  JSON written to %s\n", path.c_str());
+        return true;
+    }
+
+  private:
+    static std::string
+    encodeNumber(double value)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.10g", value);
+        return buf;
+    }
+
+    static std::string
+    encodeString(const std::string &value)
+    {
+        std::string out = "\"";
+        for (char c : value) {
+            if (c == '"' || c == '\\')
+                out += '\\';
+            out += c;
+        }
+        out += '"';
+        return out;
+    }
+
+    std::string benchName_;
+    std::vector<std::pair<std::string, std::string>> metrics_;
+    std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+};
+
+/**
+ * One-line `--json` support for a bench main: declares a JsonReport,
+ * times the whole run, and on destruction appends `total_ms` and writes
+ * the document to the path given by `--json <path>` (no-op without the
+ * flag). Benches add richer metrics through report().
+ *
+ *   int main(int argc, char **argv) {
+ *       bench::JsonScope json("fig1_lintrans", argc, argv);
+ *       ...
+ *       json.report().metric("speedup", s); // optional extras
+ *   }
+ */
+class JsonScope
+{
+  public:
+    JsonScope(std::string benchName, int argc, char **argv)
+        : report_(std::move(benchName)),
+          path_(jsonPathFromArgs(argc, argv)),
+          start_(std::chrono::steady_clock::now())
+    {
+    }
+
+    ~JsonScope()
+    {
+        if (path_.empty())
+            return;
+        const double totalMs =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - start_)
+                .count();
+        report_.metric("total_ms", totalMs);
+        report_.write(path_);
+    }
+
+    JsonScope(const JsonScope &) = delete;
+    JsonScope &operator=(const JsonScope &) = delete;
+
+    JsonReport &report() { return report_; }
+
+  private:
+    JsonReport report_;
+    std::string path_;
+    std::chrono::steady_clock::time_point start_;
+};
 
 } // namespace anaheim::bench
 

@@ -30,6 +30,7 @@ CkksContext::CkksContext(const CkksParams &params) : params_(params)
 
     pModQ_.resize(qPrimes.size());
     pInvModQ_.resize(qPrimes.size());
+    pInvModQPrepared_.resize(qPrimes.size());
     for (size_t i = 0; i < qPrimes.size(); ++i) {
         const uint64_t qi = qPrimes[i];
         uint64_t pMod = 1;
@@ -37,6 +38,7 @@ CkksContext::CkksContext(const CkksParams &params) : params_(params)
             pMod = mulMod(pMod, p % qi, qi);
         pModQ_[i] = pMod;
         pInvModQ_[i] = invMod(pMod, qi);
+        pInvModQPrepared_[i] = ShoupMul(pInvModQ_[i], qi);
     }
 }
 

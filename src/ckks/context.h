@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "math/modarith.h"
 #include "params.h"
 #include "rns/basis.h"
 #include "rns/bconv.h"
@@ -52,6 +53,12 @@ class CkksContext
     const std::vector<uint64_t> &pModQ() const { return pModQ_; }
     /** P^-1 mod q_i for each Q prime (ModDown scaling). */
     const std::vector<uint64_t> &pInvModQ() const { return pInvModQ_; }
+    /** Shoup-prepared companions of pInvModQ(): ModDown broadcasts
+     *  P^-1 across every coefficient of limb i each keyswitch. */
+    const std::vector<ShoupMul> &pInvModQPrepared() const
+    {
+        return pInvModQPrepared_;
+    }
 
     /**
      * Cached converter between arbitrary sub-bases of this context.
@@ -68,6 +75,7 @@ class CkksContext
     RnsBasis qpBasis_;
     std::vector<uint64_t> pModQ_;
     std::vector<uint64_t> pInvModQ_;
+    std::vector<ShoupMul> pInvModQPrepared_;
     mutable std::map<
         std::pair<std::vector<uint64_t>, std::vector<uint64_t>>,
         std::unique_ptr<BasisConverter>>

@@ -228,7 +228,7 @@ CkksEvaluator::rescale(const Ciphertext &x) const
         Polynomial dst(basis.slice(0, level - 1), Domain::Eval);
         for (size_t i = 0; i + 1 < level; ++i) {
             const uint64_t qi = basis.prime(i);
-            const uint64_t qLastInv = invMod(qLast % qi, qi);
+            const ShoupMul qLastInv(invMod(qLast % qi, qi), qi);
             // Centered lift of the last limb into q_i for lower noise.
             std::vector<uint64_t> lifted(last.size());
             for (size_t c = 0; c < last.size(); ++c) {
@@ -241,8 +241,8 @@ CkksEvaluator::rescale(const Ciphertext &x) const
             const auto &limb = src->limb(i);
             auto &dstLimb = dst.limb(i);
             for (size_t c = 0; c < limb.size(); ++c) {
-                dstLimb[c] = mulMod(subMod(limb[c], lifted[c], qi),
-                                    qLastInv, qi);
+                dstLimb[c] = qLastInv.mul(subMod(limb[c], lifted[c], qi),
+                                          qi);
             }
         }
         if (src == &x.b)

@@ -112,11 +112,11 @@ KeySwitcher::modDown(const Polynomial &extended) const
     parallelFor(0, level, [&](size_t i) {
         const uint64_t qi = qBasis.prime(i);
         qBasis.table(i).forward(converted[i]);
-        const uint64_t pInv = context_.pInvModQ()[i];
+        const ShoupMul &pInv = context_.pInvModQPrepared()[i];
         const auto &src = extended.limb(i);
         auto &dst = out.limb(i);
         for (size_t c = 0; c < dst.size(); ++c) {
-            dst[c] = mulMod(subMod(src[c], converted[i][c], qi), pInv, qi);
+            dst[c] = pInv.mul(subMod(src[c], converted[i][c], qi), qi);
         }
     });
     return out;

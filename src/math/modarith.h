@@ -52,6 +52,81 @@ macMod(uint64_t a, uint64_t b, uint64_t c, uint64_t q)
     return addMod(mulMod(a, b, q), c, q);
 }
 
+/**
+ * Shoup precomputation for a fixed multiplicand w < q: floor(w * 2^64 / q).
+ * With it, a * w mod q costs one mulhi, two multiplies, and at most one
+ * conditional subtraction — no division (see ShoupMul).
+ */
+inline uint64_t
+shoupPrecompute(uint64_t w, uint64_t q)
+{
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(w) << 64) / q);
+}
+
+/**
+ * a * w mod q with a precomputed Shoup constant, reduced only to [0, 2q):
+ * the lazy form Harvey-style NTT butterflies consume directly. Valid for
+ * any 64-bit a, w < q, q < 2^63. Writing w*2^64 = wPrecon*q + b with
+ * 0 <= b < q, the returned value is a*w - floor(a*wPrecon/2^64)*q =
+ * (q*(a*wPrecon mod 2^64) + a*b) / 2^64 < q + a*q/2^64 < 2q.
+ */
+inline uint64_t
+mulModShoupLazy(uint64_t a, uint64_t w, uint64_t wPrecon, uint64_t q)
+{
+    const uint64_t quot = static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(a) * wPrecon) >> 64);
+    return a * w - quot * q;
+}
+
+/** a * w mod q with a precomputed Shoup constant, fully reduced. */
+inline uint64_t
+mulModShoup(uint64_t a, uint64_t w, uint64_t wPrecon, uint64_t q)
+{
+    const uint64_t r = mulModShoupLazy(a, w, wPrecon, q);
+    return r >= q ? r - q : r;
+}
+
+/**
+ * Prepared fixed multiplicand for division-free modular products: carries
+ * w together with its Shoup companion floor(w * 2^64 / q). Prepare once,
+ * then every a * w mod q on the broadcast path costs one mulhi + one
+ * multiply + at most one conditional subtraction — the same pattern the
+ * 28-bit Montgomery path exposes as mulModPrepared. Requires w < q and
+ * q < 2^63; the modulus is passed at multiply time so tables of prepared
+ * constants stay two words per entry.
+ */
+class ShoupMul
+{
+  public:
+    ShoupMul() = default;
+    ShoupMul(uint64_t w, uint64_t q)
+        : w_(w), wPrecon_(shoupPrecompute(w, q))
+    {
+    }
+
+    uint64_t operand() const { return w_; }
+    uint64_t precon() const { return wPrecon_; }
+
+    /** a * w mod q, fully reduced; any 64-bit a. */
+    uint64_t
+    mul(uint64_t a, uint64_t q) const
+    {
+        return mulModShoup(a, w_, wPrecon_, q);
+    }
+
+    /** a * w mod q reduced only to [0, 2q); any 64-bit a. */
+    uint64_t
+    mulLazy(uint64_t a, uint64_t q) const
+    {
+        return mulModShoupLazy(a, w_, wPrecon_, q);
+    }
+
+  private:
+    uint64_t w_ = 0;
+    uint64_t wPrecon_ = 0;
+};
+
 /** a^e mod q by square-and-multiply. */
 uint64_t powMod(uint64_t a, uint64_t e, uint64_t q);
 

@@ -1,5 +1,9 @@
 #include "ntt.h"
 
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <string>
 #include <unordered_map>
 
 #include "common/logging.h"
@@ -21,15 +25,34 @@ log2Exact(size_t n)
     return log;
 }
 
-size_t
-bitReverse(size_t value, unsigned bits)
+/**
+ * Bit-reversal permutation table for indices [0, n): rev[i] is i with its
+ * low `bits` bits reversed. Built in O(n) by the standard recurrence
+ * rev[i] = rev[i/2]/2 | (i&1) << (bits-1), replacing the old
+ * O(log N)-per-index loop that ran 2N times per table build.
+ */
+std::vector<uint32_t>
+bitReversalTable(size_t n, unsigned bits)
 {
-    size_t result = 0;
-    for (unsigned i = 0; i < bits; ++i) {
-        result = (result << 1) | (value & 1);
-        value >>= 1;
+    std::vector<uint32_t> rev(n, 0);
+    for (size_t i = 1; i < n; ++i) {
+        rev[i] = static_cast<uint32_t>((rev[i >> 1] >> 1) |
+                                       ((i & 1) << (bits - 1)));
     }
-    return result;
+    return rev;
+}
+
+/** True when ANAHEIM_NTT_REFERENCE forces the oracle kernels; read once
+ *  so every table in the process dispatches consistently. */
+bool
+referenceKernelsForced()
+{
+    static const bool forced = [] {
+        const char *env = std::getenv("ANAHEIM_NTT_REFERENCE");
+        return env != nullptr && env[0] != '\0' &&
+               std::string(env) != "0";
+    }();
+    return forced;
 }
 
 } // namespace
@@ -49,6 +72,8 @@ NttTable::NttTable(uint64_t q, size_t n) : q_(q), n_(n)
                   "NTT prime must satisfy q == 1 (mod 2N) for a 2N-th "
                   "root of unity, got q=", q, ", N=", n,
                   " ((q-1) % 2N = ", (q - 1) % (2 * n), ")");
+    barrett_ = Barrett(q);
+    lazy_ = q < kLazyModulusBound && !referenceKernelsForced();
     const uint64_t psi = findPrimitiveRoot(q, n);
     const uint64_t psiInv = invMod(psi, q);
 
@@ -63,11 +88,19 @@ NttTable::NttTable(uint64_t q, size_t n) : q_(q), n_(n)
         power = mulMod(power, psi, q);
         powerInv = mulMod(powerInv, psiInv, q);
     }
+    const auto rev = bitReversalTable(n, logN_ == 0 ? 1 : logN_);
     for (size_t i = 0; i < n; ++i) {
-        fwdTwiddles_[i] = fwd[bitReverse(i, logN_)];
-        invTwiddles_[i] = inv[bitReverse(i, logN_)];
+        fwdTwiddles_[i] = fwd[rev[i]];
+        invTwiddles_[i] = inv[rev[i]];
+    }
+    fwdTwiddlesShoup_.resize(n);
+    invTwiddlesShoup_.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+        fwdTwiddlesShoup_[i] = shoupPrecompute(fwdTwiddles_[i], q);
+        invTwiddlesShoup_[i] = shoupPrecompute(invTwiddles_[i], q);
     }
     nInv_ = invMod(n, q);
+    nInvShoup_ = shoupPrecompute(nInv_, q);
 
     // Determine which power of psi each output slot evaluates at, by
     // transforming the monomial X and looking the results up in a
@@ -97,8 +130,44 @@ NttTable::NttTable(uint64_t q, size_t n) : q_(q), n_(n)
     }
 }
 
+std::shared_ptr<const NttTable>
+NttTable::shared(uint64_t q, size_t n)
+{
+    static std::mutex mutex;
+    static std::map<std::pair<uint64_t, size_t>,
+                    std::shared_ptr<const NttTable>>
+        cache;
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = cache.find({q, n});
+    if (it == cache.end()) {
+        it = cache
+                 .emplace(std::make_pair(q, n),
+                          std::make_shared<const NttTable>(q, n))
+                 .first;
+    }
+    return it->second;
+}
+
 void
 NttTable::forward(uint64_t *data) const
+{
+    if (lazy_)
+        forwardLazy(data);
+    else
+        forwardReference(data);
+}
+
+void
+NttTable::inverse(uint64_t *data) const
+{
+    if (lazy_)
+        inverseLazy(data);
+    else
+        inverseReference(data);
+}
+
+void
+NttTable::forwardReference(uint64_t *data) const
 {
     // Cooley–Tukey DIT, merged with the psi^i pre-scaling that makes the
     // transform negacyclic (Longa–Naehrig formulation).
@@ -121,7 +190,7 @@ NttTable::forward(uint64_t *data) const
 }
 
 void
-NttTable::inverse(uint64_t *data) const
+NttTable::inverseReference(uint64_t *data) const
 {
     // Gentleman–Sande DIF with folded psi^-i post-scaling and 1/N.
     const uint64_t q = q_;
@@ -144,6 +213,82 @@ NttTable::inverse(uint64_t *data) const
     }
     for (size_t i = 0; i < n_; ++i)
         data[i] = mulMod(data[i], nInv_, q);
+}
+
+void
+NttTable::forwardLazy(uint64_t *data) const
+{
+    // Harvey's lazy Cooley–Tukey: inputs of each butterfly stay < 4q,
+    // outputs < 4q, and the only reductions are one conditional
+    // subtraction of 2q on u and the implicit < 2q bound of the Shoup
+    // product. With q < 2^59 every intermediate is < 2^61.
+    const uint64_t q = q_;
+    const uint64_t twoQ = 2 * q;
+    size_t t = n_;
+    for (size_t m = 1; m < n_; m <<= 1) {
+        t >>= 1;
+        for (size_t i = 0; i < m; ++i) {
+            const size_t j1 = 2 * i * t;
+            const size_t j2 = j1 + t;
+            const uint64_t w = fwdTwiddles_[m + i];
+            const uint64_t wShoup = fwdTwiddlesShoup_[m + i];
+            for (size_t j = j1; j < j2; ++j) {
+                uint64_t u = data[j]; // < 4q
+                if (u >= twoQ)
+                    u -= twoQ; // < 2q
+                const uint64_t v =
+                    mulModShoupLazy(data[j + t], w, wShoup, q); // < 2q
+                data[j] = u + v;               // < 4q
+                data[j + t] = u + twoQ - v;    // < 4q
+            }
+        }
+    }
+    // Single normalization pass from [0, 4q) to the canonical [0, q),
+    // making the output bit-identical to the reference kernel's.
+    for (size_t i = 0; i < n_; ++i) {
+        uint64_t v = data[i];
+        if (v >= twoQ)
+            v -= twoQ;
+        if (v >= q)
+            v -= q;
+        data[i] = v;
+    }
+}
+
+void
+NttTable::inverseLazy(uint64_t *data) const
+{
+    // Lazy Gentleman–Sande: all values stay < 2q throughout (sums are
+    // folded back below 2q, twiddle products are lazy Shoup products).
+    const uint64_t q = q_;
+    const uint64_t twoQ = 2 * q;
+    size_t t = 1;
+    for (size_t m = n_; m > 1; m >>= 1) {
+        const size_t h = m >> 1;
+        size_t j1 = 0;
+        for (size_t i = 0; i < h; ++i) {
+            const size_t j2 = j1 + t;
+            const uint64_t w = invTwiddles_[h + i];
+            const uint64_t wShoup = invTwiddlesShoup_[h + i];
+            for (size_t j = j1; j < j2; ++j) {
+                const uint64_t u = data[j];     // < 2q
+                const uint64_t v = data[j + t]; // < 2q
+                uint64_t s = u + v;             // < 4q
+                if (s >= twoQ)
+                    s -= twoQ; // < 2q
+                data[j] = s;
+                data[j + t] =
+                    mulModShoupLazy(u + twoQ - v, w, wShoup, q); // < 2q
+            }
+            j1 += 2 * t;
+        }
+        t <<= 1;
+    }
+    // Final pass folds in N^-1 through its prepared operand and fully
+    // reduces: mulModShoup is exact for any 64-bit input, so the < 2q
+    // residues land on the same canonical values the reference computes.
+    for (size_t i = 0; i < n_; ++i)
+        data[i] = mulModShoup(data[i], nInv_, nInvShoup_, q);
 }
 
 void

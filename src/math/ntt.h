@@ -7,6 +7,24 @@
  * uses Gentleman–Sande with the inverse powers and the final 1/N scaling
  * folded in. Complexity N/2 log N butterflies per limb, matching the
  * FFT-based cost model the paper assumes (0.5 * N log N multiplies).
+ *
+ * Two butterfly implementations coexist (DESIGN.md §11):
+ *
+ * - The **Harvey lazy-reduction kernels** (default for q < 2^59): every
+ *   twiddle carries a precomputed Shoup companion, so a butterfly costs
+ *   one mulhi + two multiplies instead of a 128-bit product and a
+ *   hardware division. Intermediate values are kept only partially
+ *   reduced (< 4q forward, < 2q inverse) and a single final pass
+ *   normalizes to [0, q), folding in N^-1 on the inverse path via a
+ *   prepared operand.
+ * - The **reference kernels** (`forwardReference`/`inverseReference`):
+ *   the original fully-reduced mulMod loops, kept compiled as the
+ *   bitwise-identity oracle. Setting the `ANAHEIM_NTT_REFERENCE`
+ *   environment variable (to anything but "0") forces every transform
+ *   through them; they are also the automatic fallback for q >= 2^59,
+ *   where the lazy < 4q invariant would approach the word boundary.
+ *
+ * Both paths produce bit-identical outputs in [0, q).
  */
 
 #ifndef ANAHEIM_MATH_NTT_H
@@ -14,7 +32,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
+
+#include "modarith.h"
 
 namespace anaheim {
 
@@ -26,20 +47,47 @@ namespace anaheim {
 class NttTable
 {
   public:
+    /** Largest modulus the lazy kernels accept: with q < 2^59 the < 4q
+     *  forward invariant stays below 2^61, far from 64-bit overflow. */
+    static constexpr uint64_t kLazyModulusBound = uint64_t{1} << 59;
+
     /**
      * @param q Prime with q == 1 (mod 2N).
      * @param n Ring degree, a power of two.
      */
     NttTable(uint64_t q, size_t n);
 
+    /**
+     * Process-wide cache of tables keyed by (q, n). Contexts, tests and
+     * benches frequently rebuild bases over the same primes; the cache
+     * makes repeated construction (twiddle powers, primitive-root
+     * search, eval-exponent probing) a hash lookup. Thread-safe.
+     */
+    static std::shared_ptr<const NttTable> shared(uint64_t q, size_t n);
+
     uint64_t modulus() const { return q_; }
     size_t degree() const { return n_; }
+
+    /** Barrett reducer for this table's prime, for element-wise kernels
+     *  that need full products of two variable operands. */
+    const Barrett &barrett() const { return barrett_; }
+
+    /** True when forward()/inverse() dispatch to the lazy kernels. */
+    bool usesLazyKernels() const { return lazy_; }
 
     /** In-place forward negacyclic NTT (natural order in and out). */
     void forward(uint64_t *data) const;
 
     /** In-place inverse negacyclic NTT. */
     void inverse(uint64_t *data) const;
+
+    /** Reference (fully-reduced mulMod) kernels: the identity oracle. */
+    void forwardReference(uint64_t *data) const;
+    void inverseReference(uint64_t *data) const;
+
+    /** Harvey lazy-reduction kernels; require q < kLazyModulusBound. */
+    void forwardLazy(uint64_t *data) const;
+    void inverseLazy(uint64_t *data) const;
 
     /** Convenience overloads on vectors (size must equal N). */
     void forward(std::vector<uint64_t> &data) const;
@@ -72,8 +120,15 @@ class NttTable
     std::vector<uint64_t> fwdTwiddles_;
     /** psi^-bitrev(i): inverse twiddles. */
     std::vector<uint64_t> invTwiddles_;
+    /** floor(twiddle * 2^64 / q): Shoup companions, same indexing. */
+    std::vector<uint64_t> fwdTwiddlesShoup_;
+    std::vector<uint64_t> invTwiddlesShoup_;
     /** N^-1 mod q. */
     uint64_t nInv_;
+    /** floor(nInv * 2^64 / q). */
+    uint64_t nInvShoup_;
+    Barrett barrett_;
+    bool lazy_;
     std::vector<uint32_t> evalExponents_;
     std::vector<int32_t> slotOfExponent_;
 };

@@ -79,8 +79,7 @@ Polynomial::mulEq(const Polynomial &other)
 {
     checkCompatible(other);
     parallelFor(0, limbs_.size(), [&](size_t i) {
-        const uint64_t q = basis_.prime(i);
-        const Barrett barrett(q);
+        const Barrett &barrett = basis_.table(i).barrett();
         auto &dst = limbs_[i];
         const auto &src = other.limbs_[i];
         for (size_t c = 0; c < dst.size(); ++c)
@@ -96,7 +95,7 @@ Polynomial::macEq(const Polynomial &a, const Polynomial &b)
     checkCompatible(b);
     parallelFor(0, limbs_.size(), [&](size_t i) {
         const uint64_t q = basis_.prime(i);
-        const Barrett barrett(q);
+        const Barrett &barrett = basis_.table(i).barrett();
         auto &dst = limbs_[i];
         const auto &sa = a.limbs_[i];
         const auto &sb = b.limbs_[i];
@@ -124,9 +123,9 @@ Polynomial::mulScalarEq(const std::vector<uint64_t> &scalarPerLimb)
                    "scalar vector size mismatch");
     parallelFor(0, limbs_.size(), [&](size_t i) {
         const uint64_t q = basis_.prime(i);
-        const uint64_t s = scalarPerLimb[i] % q;
+        const ShoupMul prepared(scalarPerLimb[i] % q, q);
         for (auto &coeff : limbs_[i])
-            coeff = mulMod(coeff, s, q);
+            coeff = prepared.mul(coeff, q);
     });
     return *this;
 }
@@ -136,9 +135,9 @@ Polynomial::mulConstEq(uint64_t constant)
 {
     parallelFor(0, limbs_.size(), [&](size_t i) {
         const uint64_t q = basis_.prime(i);
-        const uint64_t s = constant % q;
+        const ShoupMul prepared(constant % q, q);
         for (auto &coeff : limbs_[i])
-            coeff = mulMod(coeff, s, q);
+            coeff = prepared.mul(coeff, q);
     });
     return *this;
 }

@@ -10,8 +10,12 @@ RnsBasis::RnsBasis(std::vector<uint64_t> primes, size_t n)
     : primes_(std::move(primes)), n_(n)
 {
     tables_.reserve(primes_.size());
+    // Tables come from the process-wide (q, n) cache: contexts, tests
+    // and benches rebuild bases over the same primes constantly, and a
+    // table build (root search + twiddles + eval-exponent probing) is
+    // far more expensive than a map lookup.
     for (uint64_t q : primes_)
-        tables_.push_back(std::make_shared<NttTable>(q, n));
+        tables_.push_back(NttTable::shared(q, n));
 }
 
 RnsBasis

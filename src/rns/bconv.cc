@@ -16,16 +16,18 @@ BasisConverter::BasisConverter(const RnsBasis &source, const RnsBasis &target)
                   "empty basis in BConv");
 
     qHatInv_.resize(ls);
-    qHatModP_.assign(ls, std::vector<uint64_t>(lt));
+    qHatModP_.assign(ls, std::vector<ShoupMul>(lt));
     for (size_t i = 0; i < ls; ++i) {
         const uint64_t qi = source_.prime(i);
         // qHat_i = prod_{k != i} q_k, computed mod q_i and mod each p_j.
+        // Both factors are broadcast against whole limbs at convert
+        // time, so each is stored with its Shoup companion.
         uint64_t hatModQi = 1;
         for (size_t k = 0; k < ls; ++k) {
             if (k != i)
                 hatModQi = mulMod(hatModQi, source_.prime(k) % qi, qi);
         }
-        qHatInv_[i] = invMod(hatModQi, qi);
+        qHatInv_[i] = ShoupMul(invMod(hatModQi, qi), qi);
         for (size_t j = 0; j < lt; ++j) {
             const uint64_t pj = target_.prime(j);
             uint64_t hatModPj = 1;
@@ -33,7 +35,7 @@ BasisConverter::BasisConverter(const RnsBasis &source, const RnsBasis &target)
                 if (k != i)
                     hatModPj = mulMod(hatModPj, source_.prime(k) % pj, pj);
             }
-            qHatModP_[i][j] = hatModPj;
+            qHatModP_[i][j] = ShoupMul(hatModPj, pj);
         }
     }
 }
@@ -63,9 +65,10 @@ BasisConverter::convert(
     std::vector<std::vector<uint64_t>> scaled(ls);
     parallelFor(0, ls, [&](size_t i) {
         const uint64_t qi = source_.prime(i);
+        const ShoupMul &factor = qHatInv_[i];
         scaled[i].resize(n);
         for (size_t c = 0; c < n; ++c)
-            scaled[i][c] = mulMod(input[i][c], qHatInv_[i], qi);
+            scaled[i][c] = factor.mul(input[i][c], qi);
     });
 
     // Stage 2: out_j = sum_i y_i * (qHat_i mod p_j) mod p_j. Target
@@ -74,13 +77,12 @@ BasisConverter::convert(
     std::vector<std::vector<uint64_t>> output(lt);
     parallelFor(0, lt, [&](size_t j) {
         const uint64_t pj = target_.prime(j);
-        const Barrett barrett(pj);
         output[j].assign(n, 0);
         for (size_t i = 0; i < ls; ++i) {
-            const uint64_t factor = qHatModP_[i][j];
+            const ShoupMul &factor = qHatModP_[i][j];
             for (size_t c = 0; c < n; ++c) {
-                output[j][c] = addMod(
-                    output[j][c], barrett.mulMod(scaled[i][c], factor), pj);
+                output[j][c] = addMod(output[j][c],
+                                      factor.mul(scaled[i][c], pj), pj);
             }
         }
     });
@@ -106,8 +108,8 @@ BasisConverter::convertScalar(const std::vector<uint64_t> &residues) const
         uint64_t acc = 0;
         for (size_t i = 0; i < ls; ++i) {
             const uint64_t scaled =
-                mulMod(residues[i], qHatInv_[i], source_.prime(i));
-            acc = addMod(acc, mulMod(scaled, qHatModP_[i][j], pj), pj);
+                qHatInv_[i].mul(residues[i], source_.prime(i));
+            acc = addMod(acc, qHatModP_[i][j].mul(scaled, pj), pj);
         }
         result[j] = acc;
     }

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "basis.h"
+#include "math/modarith.h"
 
 namespace anaheim {
 
@@ -52,10 +53,12 @@ class BasisConverter
   private:
     RnsBasis source_;
     RnsBasis target_;
-    /** (Q/q_i)^-1 mod q_i for each source prime. */
-    std::vector<uint64_t> qHatInv_;
-    /** (Q/q_i) mod p_j, indexed [i][j]. */
-    std::vector<std::vector<uint64_t>> qHatModP_;
+    /** (Q/q_i)^-1 mod q_i for each source prime, Shoup-prepared: the
+     *  stage-1 scaling is a broadcast of a fixed constant per limb. */
+    std::vector<ShoupMul> qHatInv_;
+    /** (Q/q_i) mod p_j, indexed [i][j], Shoup-prepared against p_j for
+     *  the stage-2 inner product. */
+    std::vector<std::vector<ShoupMul>> qHatModP_;
 };
 
 } // namespace anaheim

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "math/modarith.h"
 #include "math/ntt.h"
@@ -8,6 +11,18 @@
 
 namespace anaheim {
 namespace {
+
+/** Primes across every bit width a context can request, per degree. */
+std::vector<uint64_t>
+contextGradePrimes(size_t n)
+{
+    std::vector<uint64_t> primes;
+    for (unsigned bits : {28, 30, 40, 50, 59}) {
+        const auto batch = generateNttPrimes(n, bits, 1);
+        primes.push_back(batch[0]);
+    }
+    return primes;
+}
 
 class NttTest : public ::testing::TestWithParam<size_t>
 {
@@ -124,9 +139,114 @@ TEST_P(NttTest, ExponentMapIsABijection)
     }
 }
 
+TEST_P(NttTest, LazyKernelsMatchReferenceBitwise)
+{
+    // The tentpole invariant: for every context-grade prime, the Harvey
+    // lazy-reduction kernels and the division-based reference kernels
+    // produce bit-identical outputs, in both directions, including when
+    // chained (forward then inverse on the lazy path).
+    // Under ANAHEIM_NTT_REFERENCE the default dispatch goes to the
+    // oracle, but the lazy kernels themselves stay testable directly.
+    const char *refEnv = std::getenv("ANAHEIM_NTT_REFERENCE");
+    const bool refForced = refEnv != nullptr && refEnv[0] != '\0' &&
+                           std::string(refEnv) != "0";
+    for (uint64_t q : contextGradePrimes(n())) {
+        const NttTable table(q, n());
+        ASSERT_EQ(table.usesLazyKernels(), !refForced) << "q=" << q;
+        Rng rng(q ^ n());
+        for (int rep = 0; rep < 4; ++rep) {
+            const auto data = sampleUniform(rng, n(), q);
+
+            auto lazyFwd = data;
+            auto refFwd = data;
+            table.forwardLazy(lazyFwd.data());
+            table.forwardReference(refFwd.data());
+            EXPECT_EQ(lazyFwd, refFwd) << "forward, q=" << q;
+
+            auto lazyInv = data;
+            auto refInv = data;
+            table.inverseLazy(lazyInv.data());
+            table.inverseReference(refInv.data());
+            EXPECT_EQ(lazyInv, refInv) << "inverse, q=" << q;
+
+            auto roundTrip = data;
+            table.forwardLazy(roundTrip.data());
+            table.inverseLazy(roundTrip.data());
+            EXPECT_EQ(roundTrip, data) << "round trip, q=" << q;
+        }
+    }
+}
+
+TEST_P(NttTest, LazyKernelsMatchReferenceUnderThreads)
+{
+    // Same identity with limb-level parallelism on top: one task per
+    // prime at 4 threads, mirroring how Polynomial::toEval dispatches.
+    const auto primes = contextGradePrimes(n());
+    std::vector<std::vector<uint64_t>> lazyOut(primes.size());
+    std::vector<std::vector<uint64_t>> refOut(primes.size());
+    for (size_t i = 0; i < primes.size(); ++i) {
+        Rng rng(primes[i] + i);
+        lazyOut[i] = sampleUniform(rng, n(), primes[i]);
+        refOut[i] = lazyOut[i];
+    }
+    setParallelThreads(4);
+    parallelFor(0, primes.size(), [&](size_t i) {
+        const NttTable &table = *NttTable::shared(primes[i], n());
+        table.forwardLazy(lazyOut[i].data());
+        table.inverseLazy(lazyOut[i].data());
+        table.forwardLazy(lazyOut[i].data());
+    });
+    setParallelThreads(1);
+    for (size_t i = 0; i < primes.size(); ++i) {
+        const NttTable &table = *NttTable::shared(primes[i], n());
+        table.forwardReference(refOut[i].data());
+        table.inverseReference(refOut[i].data());
+        table.forwardReference(refOut[i].data());
+        EXPECT_EQ(lazyOut[i], refOut[i]) << "prime " << primes[i];
+    }
+    setParallelThreads(defaultThreadCount());
+}
+
 INSTANTIATE_TEST_SUITE_P(Degrees, NttTest,
                          ::testing::Values<size_t>(4, 16, 64, 256, 1024,
                                                    4096));
+
+TEST(NttTable, SharedCacheReturnsOneInstancePerKey)
+{
+    const size_t n = 64;
+    // Generated against 2N so the same prime is NTT-friendly for both
+    // degrees the test builds tables at.
+    const uint64_t q = generateNttPrimes(2 * n, 30, 1)[0];
+    const auto a = NttTable::shared(q, n);
+    const auto b = NttTable::shared(q, n);
+    EXPECT_EQ(a.get(), b.get()) << "same (q, n) must share one table";
+    const auto c = NttTable::shared(q, 2 * n);
+    EXPECT_NE(a.get(), c.get());
+    const uint64_t q2 = generateNttPrimes(n, 31, 1)[0];
+    const auto d = NttTable::shared(q2, n);
+    EXPECT_NE(a.get(), d.get());
+    EXPECT_EQ(a->modulus(), q);
+    EXPECT_EQ(a->degree(), n);
+}
+
+TEST(NttTable, LargeModulusFallsBackToReferenceKernels)
+{
+    // The lazy kernels are gated at q < 2^59; a larger NTT-friendly
+    // prime must still transform correctly through the reference path.
+    const size_t n = 64;
+    uint64_t q = (uint64_t{1} << 59) + 1;
+    while (q % (2 * n) != 1 || !isPrime(q))
+        q += 2;
+    ASSERT_GE(q, NttTable::kLazyModulusBound);
+    const NttTable table(q, n);
+    EXPECT_FALSE(table.usesLazyKernels());
+    Rng rng(12);
+    const auto data = sampleUniform(rng, n, q);
+    auto copy = data;
+    table.forward(copy);
+    table.inverse(copy);
+    EXPECT_EQ(copy, data);
+}
 
 // Reference negacyclic square of small signed coefficients mod q.
 std::vector<uint64_t>
