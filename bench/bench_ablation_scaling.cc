@@ -8,12 +8,13 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "common/status.h"
 #include "pim/kernelmodel.h"
 
 using namespace anaheim;
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     bench::JsonScope json("ablation_scaling", argc, argv);
     bench::header("Ablation — PIM scalability and layout choices");
@@ -81,4 +82,14 @@ main(int argc, char **argv)
                 "for area, not speed); CP slowdown grows with operand "
                 "count (worst for PAccum/Tensor), matching §VI-C");
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    // Recoverable library errors (bad traces, infeasible
+    // parameters) surface as AnaheimError; report them
+    // cleanly instead of aborting.
+    return runGuardedMain("bench_ablation_scaling",
+                          [&] { return run(argc, argv); });
 }

@@ -28,6 +28,7 @@
 #include "anaheim/framework.h"
 #include "bench_util.h"
 #include "common/rng.h"
+#include "common/status.h"
 #include "math/primes.h"
 #include "pim/functional.h"
 #include "sim/readpath.h"
@@ -76,7 +77,7 @@ parseOptions(int argc, char **argv)
 }
 
 void
-functionalSweep(const Options &opts)
+functionalSweep(const Options &opts, bench::JsonReport &report)
 {
     bench::header("Functional PIM read path: word outcomes per BER "
                   "(SEC-DED (39,32), " +
@@ -120,6 +121,20 @@ functionalSweep(const Options &opts)
                         static_cast<unsigned long long>(c.uncorrectable),
                         static_cast<unsigned long long>(c.silent),
                         outputErrors);
+            report.beginRow();
+            report.rowMetric("sweep", "functional");
+            report.rowMetric("ber", ber);
+            report.rowMetric("ecc", ecc ? "on" : "off");
+            report.rowMetric("words_read",
+                             static_cast<double>(c.wordsRead));
+            report.rowMetric("faulty_words",
+                             static_cast<double>(c.faultyWords));
+            report.rowMetric("corrected", static_cast<double>(c.corrected));
+            report.rowMetric("uncorrectable",
+                             static_cast<double>(c.uncorrectable));
+            report.rowMetric("silent", static_cast<double>(c.silent));
+            report.rowMetric("output_errors",
+                             static_cast<double>(outputErrors));
         }
     }
     bench::note("with ECC on, every single-bit upset is repaired in "
@@ -128,7 +143,7 @@ functionalSweep(const Options &opts)
 }
 
 void
-frameworkSweep(const Options &opts)
+frameworkSweep(const Options &opts, bench::JsonReport &report)
 {
     bench::header("Framework HMULT under faults: retry/fallback cost "
                   "per BER (A100 near-bank PIM)");
@@ -152,6 +167,10 @@ frameworkSweep(const Options &opts)
             config.resilience.eccEnabled = ecc;
             const RunResult run = AnaheimFramework(config).execute(seq);
             const auto &r = run.resilience;
+            const double timeOvhd =
+                100.0 * (run.totalNs - base.totalNs) / base.totalNs;
+            const double energyOvhd =
+                100.0 * (run.energyPj - base.energyPj) / base.energyPj;
             std::printf(
                 "%-10.1e %-4s %10llu %10llu %10llu %8llu %10llu %9.2f%% "
                 "%9.2f%%\n",
@@ -161,8 +180,25 @@ frameworkSweep(const Options &opts)
                 static_cast<unsigned long long>(r.silentErrors),
                 static_cast<unsigned long long>(r.pimRetries),
                 static_cast<unsigned long long>(r.gpuFallbacks),
-                100.0 * (run.totalNs - base.totalNs) / base.totalNs,
-                100.0 * (run.energyPj - base.energyPj) / base.energyPj);
+                timeOvhd, energyOvhd);
+            report.beginRow();
+            report.rowMetric("sweep", "framework");
+            report.rowMetric("ber", ber);
+            report.rowMetric("ecc", ecc ? "on" : "off");
+            report.rowMetric("faulty_words",
+                             static_cast<double>(r.faultyWords));
+            report.rowMetric("ecc_corrected",
+                             static_cast<double>(r.eccCorrected));
+            report.rowMetric("ecc_uncorrectable",
+                             static_cast<double>(r.eccUncorrectable));
+            report.rowMetric("silent_errors",
+                             static_cast<double>(r.silentErrors));
+            report.rowMetric("pim_retries",
+                             static_cast<double>(r.pimRetries));
+            report.rowMetric("gpu_fallbacks",
+                             static_cast<double>(r.gpuFallbacks));
+            report.rowMetric("time_overhead_pct", timeOvhd);
+            report.rowMetric("energy_overhead_pct", energyOvhd);
         }
     }
     bench::note("ECC off never detects, so timing matches the clean run "
@@ -176,13 +212,17 @@ frameworkSweep(const Options &opts)
 int
 main(int argc, char **argv)
 {
-    const Options opts = parseOptions(argc, argv);
-    bench::JsonScope json("fault_sweep", argc, argv);
-    json.report().metric("smoke", opts.smoke ? "yes" : "no");
-    json.report().metric("fault_seed", static_cast<double>(opts.seed));
-    functionalSweep(opts);
-    frameworkSweep(opts);
-    if (opts.smoke)
-        bench::note("smoke mode: reduced vector sizes and BER list");
-    return 0;
+    // An out-of-range --ber / --fault-seed raises AnaheimError from the
+    // fault-model validation; report it cleanly instead of aborting.
+    return runGuardedMain("bench_fault_sweep", [&] {
+        const Options opts = parseOptions(argc, argv);
+        bench::JsonScope json("fault_sweep", argc, argv);
+        json.report().metric("smoke", opts.smoke ? "yes" : "no");
+        json.report().metric("fault_seed", static_cast<double>(opts.seed));
+        functionalSweep(opts, json.report());
+        frameworkSweep(opts, json.report());
+        if (opts.smoke)
+            bench::note("smoke mode: reduced vector sizes and BER list");
+        return 0;
+    });
 }

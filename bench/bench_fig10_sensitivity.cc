@@ -9,6 +9,7 @@
 
 #include "anaheim/framework.h"
 #include "bench_util.h"
+#include "common/status.h"
 #include "trace/builders.h"
 
 using namespace anaheim;
@@ -105,8 +106,8 @@ sweep(AnaheimConfig gpuConfig, const char *name)
 
 } // namespace
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     bench::JsonScope json("fig10_sensitivity", argc, argv);
     bench::header("Fig. 10 — fusion and data-layout sensitivity "
@@ -119,4 +120,14 @@ main(int argc, char **argv)
                 "1.01-1.09x; w/o CP the element-wise time is 2.24x "
                 "(A100) / 2.11x (4090) slower, nullifying the gains");
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    // Recoverable library errors (bad traces, infeasible
+    // parameters) surface as AnaheimError; report them
+    // cleanly instead of aborting.
+    return runGuardedMain("bench_fig10_sensitivity",
+                          [&] { return run(argc, argv); });
 }

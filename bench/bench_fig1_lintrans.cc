@@ -7,13 +7,14 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "common/status.h"
 #include "common/units.h"
 #include "trace/counting.h"
 
 using namespace anaheim;
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     bench::JsonScope json("fig1_lintrans", argc, argv);
     bench::header("Fig. 1 table — linear-transform algorithm comparison "
@@ -60,4 +61,14 @@ main(int argc, char **argv)
                 "(hoist/MinKS) %.2fx\n",
                 baseNtt / hoistNtt, hoistEvk / minKsEvk);
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    // Recoverable library errors (bad traces, infeasible
+    // parameters) surface as AnaheimError; report them
+    // cleanly instead of aborting.
+    return runGuardedMain("bench_fig1_lintrans",
+                          [&] { return run(argc, argv); });
 }

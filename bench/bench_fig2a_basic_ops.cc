@@ -7,6 +7,7 @@
 
 #include "anaheim/framework.h"
 #include "bench_util.h"
+#include "common/status.h"
 #include "trace/builders.h"
 
 using namespace anaheim;
@@ -24,8 +25,8 @@ timeOf(const OpSequence &seq, const LibraryProfile &library)
 
 } // namespace
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     bench::JsonScope json("fig2a_basic_ops", argc, argv);
     bench::header("Fig. 2a — basic CKKS function times on A100 80GB "
@@ -73,4 +74,14 @@ main(int argc, char **argv)
                 "Phantom, driven by 1.80-1.81x faster (I)NTT; HADD/PMULT "
                 "are bandwidth-bound and library-insensitive");
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    // Recoverable library errors (bad traces, infeasible
+    // parameters) surface as AnaheimError; report them
+    // cleanly instead of aborting.
+    return runGuardedMain("bench_fig2a_basic_ops",
+                          [&] { return run(argc, argv); });
 }

@@ -7,6 +7,7 @@
 
 #include "anaheim/framework.h"
 #include "bench_util.h"
+#include "common/status.h"
 #include "trace/builders.h"
 
 using namespace anaheim;
@@ -55,8 +56,8 @@ sweep(const AnaheimConfig &base, const char *gpuName)
 
 } // namespace
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     bench::JsonScope json("fig2b_dnum", argc, argv);
     bench::header("Fig. 2b — T_boot,eff breakdown vs decomposition "
@@ -68,4 +69,14 @@ main(int argc, char **argv)
                 "on A100 and 68-69%% on RTX 4090 regardless of D; the "
                 "4090 goes OoM at D=6");
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    // Recoverable library errors (bad traces, infeasible
+    // parameters) surface as AnaheimError; report them
+    // cleanly instead of aborting.
+    return runGuardedMain("bench_fig2b_dnum",
+                          [&] { return run(argc, argv); });
 }

@@ -8,12 +8,13 @@
 
 #include "anaheim/framework.h"
 #include "bench_util.h"
+#include "common/status.h"
 #include "trace/builders.h"
 
 using namespace anaheim;
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     bench::JsonScope json("fig2c_minks", argc, argv);
     bench::header("Fig. 2c — T_boot,eff for MinKS / Hoisting / Base "
@@ -56,4 +57,14 @@ main(int argc, char **argv)
                 "DRAM regardless); hoisting wins while raising the "
                 "element-wise share from ~28%% to 45-48%%");
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    // Recoverable library errors (bad traces, infeasible
+    // parameters) surface as AnaheimError; report them
+    // cleanly instead of aborting.
+    return runGuardedMain("bench_fig2c_minks",
+                          [&] { return run(argc, argv); });
 }

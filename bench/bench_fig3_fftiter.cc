@@ -8,6 +8,7 @@
 
 #include "anaheim/framework.h"
 #include "bench_util.h"
+#include "common/status.h"
 #include "trace/builders.h"
 
 using namespace anaheim;
@@ -48,8 +49,8 @@ sweep(const AnaheimConfig &base, const char *gpuName)
 
 } // namespace
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     bench::JsonScope json("fig3_fftiter", argc, argv);
     bench::header("Fig. 3 — T_boot,eff vs fftIter (hoisting, no PIM)");
@@ -60,4 +61,14 @@ main(int argc, char **argv)
                 "degrades T_boot,eff because L_eff drops faster than "
                 "the element-wise share");
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    // Recoverable library errors (bad traces, infeasible
+    // parameters) surface as AnaheimError; report them
+    // cleanly instead of aborting.
+    return runGuardedMain("bench_fig3_fftiter",
+                          [&] { return run(argc, argv); });
 }

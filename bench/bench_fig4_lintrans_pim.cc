@@ -11,6 +11,7 @@
 #include "anaheim/framework.h"
 #include "anaheim/workloads.h"
 #include "bench_util.h"
+#include "common/status.h"
 #include "common/units.h"
 #include "trace/builders.h"
 
@@ -48,8 +49,8 @@ printGantt(const char *label, const RunResult &result)
 
 } // namespace
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     bench::JsonScope json("fig4_lintrans_pim", argc, argv);
     bench::header("Fig. 4a — linear transform (K=8, hoisting) on A100: "
@@ -127,4 +128,14 @@ main(int argc, char **argv)
                 bootPim.gpuDramBytes / idealBytes,
                 bootGpu.energyJoules() / bootPim.energyJoules());
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    // Recoverable library errors (bad traces, infeasible
+    // parameters) surface as AnaheimError; report them
+    // cleanly instead of aborting.
+    return runGuardedMain("bench_fig4_lintrans_pim",
+                          [&] { return run(argc, argv); });
 }

@@ -9,11 +9,12 @@
 #include "anaheim/framework.h"
 #include "anaheim/workloads.h"
 #include "bench_util.h"
+#include "common/status.h"
 
 using namespace anaheim;
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     bench::JsonScope json("fig8_workloads", argc, argv);
     bench::header("Fig. 8 — workload speedup / energy / EDP gains from "
@@ -69,4 +70,14 @@ main(int argc, char **argv)
                 "cHBM), 1.06-1.49x (4090 NB); EDP 1.62-3.14x; HELR gains "
                 "least (ModSwitch-dominated, 196-slot bootstrap)");
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    // Recoverable library errors (bad traces, infeasible
+    // parameters) surface as AnaheimError; report them
+    // cleanly instead of aborting.
+    return runGuardedMain("bench_fig8_workloads",
+                          [&] { return run(argc, argv); });
 }

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "common/status.h"
 #include "pim/kernelmodel.h"
 
 using namespace anaheim;
@@ -64,8 +65,8 @@ sweep(const DramConfig &dram, const PimConfig &base, const char *name)
 
 } // namespace
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     bench::JsonScope json("fig9_pim_micro", argc, argv);
     bench::header("Fig. 9 — PIM instruction microbenchmark vs buffer "
@@ -82,4 +83,14 @@ main(int argc, char **argv)
                 "(7.26/3.98/3.63x and 10.33/4.31/6.20x); gains saturate "
                 "with B, fastest for custom-HBM");
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    // Recoverable library errors (bad traces, infeasible
+    // parameters) surface as AnaheimError; report them
+    // cleanly instead of aborting.
+    return runGuardedMain("bench_fig9_pim_micro",
+                          [&] { return run(argc, argv); });
 }

@@ -10,6 +10,7 @@
 #include "ckks/encryptor.h"
 #include "ckks/evaluator.h"
 #include "common/rng.h"
+#include "common/status.h"
 #include "math/ntt.h"
 #include "math/primes.h"
 #include "pim/functional.h"
@@ -166,8 +167,8 @@ BENCHMARK(BM_PimFunctionalPAccum);
 // Custom main instead of BENCHMARK_MAIN(): the shared `--json <path>`
 // flag the other benches take is translated into google-benchmark's own
 // JSON reporter flags so the output lands in one machine-readable file.
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     std::vector<std::string> storage;
     std::vector<char *> args;
@@ -189,4 +190,14 @@ main(int argc, char **argv)
     ::benchmark::RunSpecifiedBenchmarks();
     ::benchmark::Shutdown();
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    // Recoverable library errors (bad traces, infeasible
+    // parameters) surface as AnaheimError; report them
+    // cleanly instead of aborting.
+    return runGuardedMain("bench_functional_ckks",
+                          [&] { return run(argc, argv); });
 }

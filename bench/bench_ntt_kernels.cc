@@ -22,6 +22,7 @@
 
 #include "bench_util.h"
 #include "common/rng.h"
+#include "common/status.h"
 #include "math/ntt.h"
 #include "math/primes.h"
 
@@ -76,8 +77,8 @@ time_kernel(const std::function<void(uint64_t *)> &kernel,
 } // namespace
 } // namespace anaheim
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     using namespace anaheim;
 
@@ -176,4 +177,14 @@ main(int argc, char **argv)
     report.metric("fwd_speedup_at_2e16", speedupAt64k);
     report.write(jsonPath);
     return identical ? 0 : 1;
+}
+
+int
+main(int argc, char **argv)
+{
+    // Recoverable library errors (bad traces, infeasible
+    // parameters) surface as AnaheimError; report them
+    // cleanly instead of aborting.
+    return anaheim::runGuardedMain("bench_ntt_kernels",
+                          [&] { return run(argc, argv); });
 }

@@ -20,6 +20,7 @@
 #include "ckks/keyswitch.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "common/status.h"
 #include "poly/polynomial.h"
 #include "rns/bconv.h"
 
@@ -96,8 +97,8 @@ printTable(const std::vector<size_t> &threadCounts,
 } // namespace
 } // namespace anaheim
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     using namespace anaheim;
 
@@ -201,4 +202,14 @@ main(int argc, char **argv)
     bench::note("limb/column partitioning only — no accumulation-order "
                 "changes, so 'identical' must read yes everywhere");
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    // Recoverable library errors (bad traces, infeasible
+    // parameters) surface as AnaheimError; report them
+    // cleanly instead of aborting.
+    return anaheim::runGuardedMain("bench_parallel_scaling",
+                          [&] { return run(argc, argv); });
 }

@@ -12,12 +12,13 @@
 
 #include "boot/bootstrapper.h"
 #include "ckks/encryptor.h"
+#include "common/status.h"
 
 using namespace anaheim;
 using Complex = std::complex<double>;
 
-int
-main()
+static int
+run()
 {
     const CkksContext context(CkksParams::bootstrapParams(1 << 11));
     const CkksEncoder encoder(context);
@@ -83,4 +84,10 @@ main()
     std::printf("post-bootstrap square: max error %.3e at level %zu\n",
                 worst, ct.level);
     return 0;
+}
+
+int
+main()
+{
+    return runGuardedMain("bootstrap_demo", run);
 }

@@ -12,13 +12,14 @@
 #include <cstdio>
 
 #include "ckks/encryptor.h"
+#include "common/status.h"
 #include "lintrans/lintrans.h"
 
 using namespace anaheim;
 using Complex = std::complex<double>;
 
-int
-main()
+static int
+run()
 {
     const CkksContext context(CkksParams::testParams(1 << 11, 6, 2));
     const CkksEncoder encoder(context);
@@ -80,4 +81,10 @@ main()
     std::printf("note: MinKS trades one evk for extra rotations — the\n"
                 "ASIC-vs-GPU algorithm choice discussed in the paper.\n");
     return 0;
+}
+
+int
+main()
+{
+    return runGuardedMain("encrypted_matvec", run);
 }

@@ -16,12 +16,13 @@
 
 #include "anaheim/framework.h"
 #include "anaheim/workloads.h"
+#include "common/status.h"
 #include "common/units.h"
 
 using namespace anaheim;
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     const std::string workload = argc > 1 ? argv[1] : "boot";
     const std::string configName = argc > 2 ? argv[2] : "a100";
@@ -88,4 +89,10 @@ main(int argc, char **argv)
                 base.energyJoules() / pim.energyJoules(),
                 base.edp() / pim.edp());
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return runGuardedMain("pim_explorer", [&] { return run(argc, argv); });
 }

@@ -13,12 +13,13 @@
 
 #include "boot/polyeval.h"
 #include "ckks/encryptor.h"
+#include "common/status.h"
 
 using namespace anaheim;
 using Complex = std::complex<double>;
 
-int
-main()
+static int
+run()
 {
     const CkksContext context(CkksParams::testParams(1 << 11, 12, 3));
     const CkksEncoder encoder(context);
@@ -81,4 +82,10 @@ main()
                 worst, std::min<size_t>(batch, 512));
     std::printf("done — the server never saw a feature or a score.\n");
     return 0;
+}
+
+int
+main()
+{
+    return runGuardedMain("private_inference", run);
 }

@@ -12,12 +12,13 @@
 
 #include "ckks/encryptor.h"
 #include "ckks/evaluator.h"
+#include "common/status.h"
 
 using namespace anaheim;
 using Complex = std::complex<double>;
 
-int
-main()
+static int
+run()
 {
     // Small, fast parameters: N = 2^12 (2048 slots), 8 levels.
     const CkksContext context(CkksParams::testParams(1 << 12, 8, 2));
@@ -72,4 +73,10 @@ main()
 
     std::printf("done.\n");
     return 0;
+}
+
+int
+main()
+{
+    return runGuardedMain("quickstart", run);
 }

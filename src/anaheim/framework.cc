@@ -84,6 +84,40 @@ pimWordsRead(const KernelOp &op)
     return std::max(limbs, op.limbs) * op.n;
 }
 
+/** Result words a PIM op pushes back through the write drivers. */
+size_t
+pimWordsWritten(const KernelOp &op)
+{
+    size_t limbs = 0;
+    for (const auto &operand : op.writes)
+        limbs += operand.limbs;
+    return limbs * op.n;
+}
+
+/** Live ciphertext footprint: the working/intermediate operand bytes
+ *  of the widest op (Evk / plaintext constants are reproducible from
+ *  the keys and never need checkpointing or scrubbing). */
+double
+liveFootprintBytes(const OpSequence &seq)
+{
+    double live = 0.0;
+    for (const KernelOp &op : seq.ops) {
+        double bytes = 0.0;
+        for (const auto &operand : op.reads) {
+            if (operand.kind == OperandKind::Working ||
+                operand.kind == OperandKind::Intermediate)
+                bytes += operand.limbs * limbBytes(op.n);
+        }
+        for (const auto &operand : op.writes) {
+            if (operand.kind == OperandKind::Working ||
+                operand.kind == OperandKind::Intermediate)
+                bytes += operand.limbs * limbBytes(op.n);
+        }
+        live = std::max(live, bytes);
+    }
+    return live;
+}
+
 } // namespace
 
 RunResult
@@ -93,20 +127,28 @@ AnaheimFramework::execute(const OpSequence &seq) const
     RunResult result;
     double clock = 0.0;
     bool prevWasPim = false;
+    const ResilienceConfig &rc = config_.resilience;
 
     // Fault/ECC event model for the PIM datapath. Only constructed
-    // when faults are configured: the BER = 0 path is untouched.
+    // when faults are configured: the all-rates-zero path is untouched.
     std::optional<FaultModel> faultModel;
-    if (config_.resilience.ber > 0.0) {
+    {
         FaultConfig faults;
-        faults.ber = config_.resilience.ber;
-        faults.seed = config_.resilience.faultSeed;
-        faultModel.emplace(faults);
+        faults.ber = rc.ber;
+        faults.laneBer = rc.laneBer;
+        faults.retentionBerPerWindow = rc.retentionBerPerWindow;
+        faults.seed = rc.faultSeed;
+        if (faults.enabled())
+            faultModel.emplace(faults);
     }
-    // Stream ids keep every (op, retry attempt) draw distinct while
-    // staying reproducible across runs with the same seed.
+    // Stream ids keep every (generation, op, retry attempt) draw
+    // distinct while staying reproducible across runs with the same
+    // seed. Generation 0 reproduces the pre-checkpoint stream layout;
+    // each rollback bumps the generation so replayed segments resample
+    // their transient faults.
     const uint64_t retryStreams =
-        static_cast<uint64_t>(config_.resilience.maxPimRetries) + 1;
+        static_cast<uint64_t>(rc.maxPimRetries) + 1;
+    const uint64_t opStreams = static_cast<uint64_t>(seq.ops.size()) + 1;
 
     // Fusion analysis: op i consumes its predecessor's intermediates
     // from cache when both run on the GPU in the same phase. ModSwitch
@@ -138,7 +180,177 @@ AnaheimFramework::execute(const OpSequence &seq) const
         return elementWiseChain ? config_.fusion.extraFuse : true;
     };
 
-    for (size_t i = 0; i < seq.ops.size(); ++i) {
+    // Detect-and-recover state. With the default config (all rates 0,
+    // scrub / checksums / checkpointing off) none of this ever charges
+    // time or energy, so execution is bitwise identical to the plain
+    // fault-free schedule.
+    ResilienceStats &res = result.resilience;
+    const bool checksumOn = rc.checksumEnabled;
+    std::optional<ScrubEngine> scrubber;
+    if (rc.scrub.enabled)
+        scrubber.emplace(config_.dram, rc.scrub);
+    const DramEnergy &denergy = config_.dram.energy;
+    // GB/s is bytes-per-ns at the 1e9 scale, so bytes / bw is ns.
+    const double extBw = config_.dram.externalBwGBs;
+    const double liveBytes = liveFootprintBytes(seq);
+    const size_t residentWords = static_cast<size_t>(liveBytes / 4.0);
+    const double windowNs = static_cast<double>(config_.dram.timing.tREFI) *
+                            config_.dram.timing.tCkNs;
+
+    uint64_t generation = 0;
+    size_t checkpointIndex = 0; ///< trace inputs are always restorable
+    size_t segmentsSinceCkpt = 0;
+    uint64_t retentionWindow = 0;
+    double nextScrubNs = scrubber ? rc.scrub.intervalNs : 0.0;
+    // Corruption in flight: silent corrupt words a checksum could still
+    // catch, and retention decay awaiting a scrub or verify pass.
+    uint64_t pendingSilent = 0;
+    uint64_t pendingRetCorrectable = 0;
+    uint64_t pendingRetUncorrectable = 0;
+
+    // Maintenance phases get their own Gantt entries and breakdown
+    // categories so recovery overhead is visible in the timeline.
+    auto chargePhase = [&](const char *phase, const char *device,
+                           double durNs, double energyPj) {
+        GanttEntry entry;
+        entry.phase = phase;
+        entry.device = device;
+        entry.cls = KernelClass::ElementWise;
+        entry.startNs = clock;
+        clock += durNs;
+        entry.endNs = clock;
+        result.timeline.push_back(entry);
+        result.timeNsByCategory[phase] += durNs;
+        result.energyPj += energyPj;
+    };
+    auto addSilent = [&](uint64_t words) {
+        if (words == 0)
+            return;
+        if (checksumOn)
+            pendingSilent += words;
+        else
+            res.silentErrors += words;
+    };
+    // Whether a rollback is still available (vs surfacing the event as
+    // unrecovered / falling back to the GPU).
+    auto canRollBack = [&]() {
+        return rc.checkpoint.enabled &&
+               res.rollbacks < rc.checkpoint.maxRollbacks;
+    };
+    // Roll back to the last checkpoint: restore the live footprint from
+    // the snapshot region, drop all in-flight corruption, and resample
+    // the replayed segments' faults under a new generation.
+    auto rollBack = [&](size_t i) {
+        ++res.rollbacks;
+        ++generation;
+        res.replayedSegments += i - checkpointIndex;
+        chargePhase("Rollback", "DRAM",
+                    liveBytes > 0.0 ? 2.0 * liveBytes / extBw : 0.0,
+                    2.0 * liveBytes * denergy.globalIoPerBytePj);
+        pendingSilent = 0;
+        pendingRetCorrectable = 0;
+        pendingRetUncorrectable = 0;
+        segmentsSinceCkpt = 0;
+        prevWasPim = false;
+        return checkpointIndex;
+    };
+    // Verify the ciphertext checksums over `bytes` of residues; true
+    // when the data is clean.
+    auto verifyChecksums = [&](double bytes) {
+        ++res.checksumChecks;
+        chargePhase("Verify", "GPU", bytes / extBw,
+                    bytes * denergy.nearBankPerBytePj);
+        if (pendingSilent + pendingRetUncorrectable == 0)
+            return true;
+        ++res.checksumMismatches;
+        return false;
+    };
+    auto surfaceUnrecovered = [&]() {
+        ++res.unrecovered;
+        pendingSilent = 0;
+        pendingRetUncorrectable = 0;
+    };
+
+    size_t i = 0;
+    while (true) {
+        if (i >= seq.ops.size()) {
+            // End-of-trace boundary: the final outputs get one last
+            // verification before they are decrypted.
+            if (checksumOn) {
+                if (!verifyChecksums(liveBytes)) {
+                    if (canRollBack()) {
+                        i = rollBack(i);
+                        continue;
+                    }
+                    surfaceUnrecovered();
+                }
+            }
+            break;
+        }
+
+        // --- Time-driven maintenance ahead of op i ---
+        // Retention decay accumulates on the resident footprint per
+        // crossed refresh window; windows are keyed by absolute index,
+        // so replays never resample a window already paid for.
+        if (faultModel && rc.retentionBerPerWindow > 0.0 && windowNs > 0.0) {
+            const uint64_t window =
+                static_cast<uint64_t>(clock / windowNs);
+            while (retentionWindow < window) {
+                ++retentionWindow;
+                const FaultEventCounts decay = faultModel->sampleRetention(
+                    retentionWindow, residentWords);
+                res.retentionFaultyWords += decay.faulty;
+                if (!rc.eccEnabled) {
+                    // Raw arrays: decay is indistinguishable from data.
+                    addSilent(decay.faulty);
+                } else {
+                    pendingRetCorrectable += decay.singleBit;
+                    pendingRetUncorrectable += decay.multiBit;
+                }
+            }
+        }
+        if (scrubber && clock >= nextScrubNs) {
+            // One pass covers every missed interval (a long GPU kernel
+            // may straddle several).
+            while (clock >= nextScrubNs)
+                nextScrubNs += rc.scrub.intervalNs;
+            ++res.scrubPasses;
+            const ScrubPassStats pass = scrubber->pass(liveBytes);
+            chargePhase("Scrub", "DRAM", pass.timeNs, pass.energyPj);
+            res.scrubCorrected += pendingRetCorrectable;
+            pendingRetCorrectable = 0;
+            if (pendingRetUncorrectable > 0) {
+                res.scrubUncorrectable += pendingRetUncorrectable;
+                pendingRetUncorrectable = 0;
+                if (canRollBack()) {
+                    i = rollBack(i);
+                    continue;
+                }
+                surfaceUnrecovered();
+            }
+        }
+        if (rc.checkpoint.enabled && i > checkpointIndex &&
+            segmentsSinceCkpt >= rc.checkpoint.intervalSegments) {
+            // Verify before snapshotting: never checkpoint corrupt
+            // state, or rollback would replay the corruption forever.
+            if (checksumOn && !verifyChecksums(liveBytes)) {
+                if (canRollBack()) {
+                    i = rollBack(i);
+                    continue;
+                }
+                surfaceUnrecovered();
+                segmentsSinceCkpt = 0; // retry next interval
+            } else {
+                ++res.checkpoints;
+                chargePhase(
+                    "Checkpoint", "DRAM",
+                    liveBytes > 0.0 ? 2.0 * liveBytes / extBw : 0.0,
+                    2.0 * liveBytes * denergy.globalIoPerBytePj);
+                checkpointIndex = i;
+                segmentsSinceCkpt = 0;
+            }
+        }
+
         const KernelOp &op = seq.ops[i];
         const bool onPim = onPimFlags[i];
 
@@ -151,39 +363,59 @@ AnaheimFramework::execute(const OpSequence &seq) const
             const double transitionNs = prevWasPim ? 0.0 : 2.0e3;
 
             // One initial attempt, plus replays charged at full price
-            // for every detected-uncorrectable ECC event, then GPU
-            // fallback when the retry budget runs out (§VI-A datapath
-            // riding raw DRAM arrays).
+            // for every detected-uncorrectable ECC event; when the
+            // retry budget runs out, roll back to the last checkpoint
+            // if one is available, else fall back to the GPU (§VI-A
+            // datapath riding raw DRAM arrays).
             double pimNs = stats.timeNs + transitionNs;
             double pimEnergyPj = stats.energyPj;
             double pimChunks = stats.chunksMoved;
             bool fellBack = false;
+            bool needRollback = false;
             if (faultModel) {
-                ResilienceStats &res = result.resilience;
-                const size_t words = pimWordsRead(op);
-                for (uint64_t attempt = 0;; ++attempt) {
-                    const FaultEventCounts events = faultModel->sampleEvents(
-                        words, static_cast<uint64_t>(i) * retryStreams +
-                                   attempt);
-                    res.faultyWords += events.faulty;
-                    if (!config_.resilience.eccEnabled) {
-                        // Nothing detects the corruption: results are
-                        // poisoned, and there is no retry signal.
-                        res.silentErrors += events.faulty;
-                        break;
+                const uint64_t opStream = generation * opStreams + i;
+                if (rc.ber > 0.0) {
+                    // Storage sites: operand reads plus the result
+                    // write-back ride the same ECC boundary.
+                    const size_t words =
+                        pimWordsRead(op) + pimWordsWritten(op);
+                    for (uint64_t attempt = 0;; ++attempt) {
+                        const FaultEventCounts events =
+                            faultModel->sampleEvents(
+                                words, opStream * retryStreams + attempt);
+                        res.faultyWords += events.faulty;
+                        if (!rc.eccEnabled) {
+                            // Nothing at the word boundary detects the
+                            // corruption: no retry signal; checksums
+                            // are the only remaining net.
+                            addSilent(events.faulty);
+                            break;
+                        }
+                        res.eccCorrected += events.singleBit;
+                        if (events.multiBit == 0)
+                            break;
+                        res.eccUncorrectable += events.multiBit;
+                        if (attempt >= rc.maxPimRetries) {
+                            if (canRollBack())
+                                needRollback = true;
+                            else
+                                fellBack = true;
+                            break;
+                        }
+                        ++res.pimRetries;
+                        pimNs += stats.timeNs;
+                        pimEnergyPj += stats.energyPj;
+                        pimChunks += stats.chunksMoved;
                     }
-                    res.eccCorrected += events.singleBit;
-                    if (events.multiBit == 0)
-                        break;
-                    res.eccUncorrectable += events.multiBit;
-                    if (attempt >= config_.resilience.maxPimRetries) {
-                        fellBack = true;
-                        break;
-                    }
-                    ++res.pimRetries;
-                    pimNs += stats.timeNs;
-                    pimEnergyPj += stats.energyPj;
-                    pimChunks += stats.chunksMoved;
+                }
+                if (rc.laneBer > 0.0 && !needRollback && !fellBack) {
+                    // Post-multiply lane flips: no ECC reaches the
+                    // 28-bit datapath, so every hit is silent here.
+                    const FaultEventCounts lane =
+                        faultModel->sampleLaneEvents(
+                            static_cast<size_t>(op.modMults()), opStream);
+                    res.laneFaults += lane.faulty;
+                    addSilent(lane.faulty);
                 }
             }
 
@@ -201,11 +433,17 @@ AnaheimFramework::execute(const OpSequence &seq) const
                 pimChunks * config_.dram.chunkBytes;
             prevWasPim = true;
 
+            if (needRollback) {
+                // Replay the whole segment group from the snapshot —
+                // op i included, hence the +1 before rewinding.
+                i = rollBack(i + 1);
+                continue;
+            }
             if (fellBack) {
                 // The segment's PIM result is untrustworthy even after
                 // the replays: re-run it on the GPU (unfused — its
                 // operands live in DRAM, not the cache).
-                ++result.resilience.gpuFallbacks;
+                ++res.gpuFallbacks;
                 const GpuKernelStats gpuStats = gpu_.run(op);
                 GanttEntry fallback;
                 fallback.phase = op.phase;
@@ -220,7 +458,21 @@ AnaheimFramework::execute(const OpSequence &seq) const
                 result.energyPj += gpuStats.energyPj;
                 result.gpuDramBytes += gpuStats.traffic.total();
                 prevWasPim = false;
+            } else if (checksumOn && i + 1 < seq.ops.size() &&
+                       !onPimFlags[i + 1]) {
+                // Coherence write-back boundary (§V-C): the GPU is
+                // about to consume this segment's outputs — verify
+                // their checksums before corruption can propagate.
+                if (!verifyChecksums(op.writeBytes())) {
+                    if (canRollBack()) {
+                        i = rollBack(i + 1);
+                        continue;
+                    }
+                    surfaceUnrecovered();
+                }
             }
+            ++i;
+            ++segmentsSinceCkpt;
             continue;
         }
 
@@ -254,6 +506,8 @@ AnaheimFramework::execute(const OpSequence &seq) const
             stats.timeNs;
         result.energyPj += stats.energyPj;
         result.gpuDramBytes += stats.traffic.total();
+        ++i;
+        ++segmentsSinceCkpt;
     }
 
     result.totalNs = clock;

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "dram/scrub.h"
 #include "gpu/gpumodel.h"
 #include "pim/kernelmodel.h"
 #include "sim/fault.h"
@@ -31,22 +32,55 @@ struct FusionFlags {
     bool autFuse = true;
 };
 
+/** Segment-group checkpointing of the live ciphertext footprint. A
+ *  snapshot every `intervalSegments` trace segments lets detected
+ *  corruption (uncorrectable ECC, scrub hits, checksum mismatches)
+ *  roll back and replay from the last clean state instead of
+ *  abandoning the whole PIM segment to the GPU. */
+struct CheckpointConfig {
+    bool enabled = false;
+    /** Trace segments (ops) between snapshots. */
+    size_t intervalSegments = 16;
+    /** Rollbacks allowed per run before corruption is surfaced as
+     *  unrecovered (bounds replay storms on persistent faults). */
+    size_t maxRollbacks = 8;
+};
+
 /**
  * Reliability knobs for the PIM datapath (§VI-A operand reads ride raw
- * DRAM arrays). With ber == 0 the resilience machinery is bypassed
- * entirely and execution is bitwise identical to the fault-free model.
+ * DRAM arrays). With every rate at 0 and scrub / checksums /
+ * checkpointing disabled (the defaults), the resilience machinery is
+ * bypassed entirely and execution is bitwise identical to the
+ * fault-free model.
  */
 struct ResilienceConfig {
-    /** Raw per-bit error probability per PIM codeword read. */
+    /** Raw per-bit error probability per PIM codeword access on the
+     *  storage sites (operand reads and result write-backs). */
     double ber = 0.0;
+    /** Per-bit transient-flip probability per MMAC lane multiply on
+     *  the 28-bit post-multiply datapath. No ECC reaches it: every
+     *  lane fault is silent until a ciphertext checksum catches it. */
+    double laneBer = 0.0;
+    /** Per-bit retention-decay probability per refresh window for the
+     *  resident ciphertext footprint. */
+    double retentionBerPerWindow = 0.0;
     /** Fault-site seed; identical seeds reproduce identical runs. */
     uint64_t faultSeed = 0x0ddfa117u;
     /** On-die SEC-DED (39,32) at the PIM word-read boundary. Without
      *  it, faults go undetected (no retry/fallback, silent errors). */
     bool eccEnabled = true;
     /** Replays of a PIM segment after a detected-uncorrectable ECC
-     *  event before giving up and falling back to the GPU. */
+     *  event before recovering (checkpoint rollback when enabled,
+     *  else GPU fallback). */
     size_t maxPimRetries = 2;
+    /** Per-limb rolling checksums over the ciphertext residues,
+     *  verified at coherence write-back boundaries. The only detector
+     *  that sees lane faults and ECC-off corruption. */
+    bool checksumEnabled = false;
+    /** Periodic ECC scrub passes over the live footprint. */
+    ScrubConfig scrub;
+    /** Segment-group checkpoint / rollback replay. */
+    CheckpointConfig checkpoint;
 };
 
 struct AnaheimConfig {
@@ -68,7 +102,7 @@ struct AnaheimConfig {
 
 struct GanttEntry {
     std::string phase;
-    std::string device; ///< "GPU" or "PIM"
+    std::string device; ///< "GPU", "PIM" or "DRAM" (maintenance)
     KernelClass cls;
     double startNs = 0.0;
     double endNs = 0.0;
@@ -88,6 +122,30 @@ struct ResilienceStats {
     uint64_t pimRetries = 0;
     /** PIM segments abandoned to the GPU after retries ran out. */
     uint64_t gpuFallbacks = 0;
+    /** MMAC lane multiplies hit by a post-multiply transient flip
+     *  (always silent at the unit; only checksums can catch them). */
+    uint64_t laneFaults = 0;
+    /** Resident words hit by retention decay between refreshes. */
+    uint64_t retentionFaultyWords = 0;
+    /** Periodic scrub passes executed. */
+    uint64_t scrubPasses = 0;
+    /** Single-bit retention decays repaired in place by a scrub. */
+    uint64_t scrubCorrected = 0;
+    /** Uncorrectable (multi-bit) words surfaced by a scrub pass. */
+    uint64_t scrubUncorrectable = 0;
+    /** Ciphertext checksum verifications performed. */
+    uint64_t checksumChecks = 0;
+    /** Verifications that caught corrupt residues. */
+    uint64_t checksumMismatches = 0;
+    /** Checkpoint snapshots taken. */
+    uint64_t checkpoints = 0;
+    /** Rollbacks to the last checkpoint. */
+    uint64_t rollbacks = 0;
+    /** Trace segments re-executed by rollback replays. */
+    uint64_t replayedSegments = 0;
+    /** Detected corruption events with no recovery path left
+     *  (checkpointing off or rollback budget exhausted). */
+    uint64_t unrecovered = 0;
 };
 
 struct RunResult {

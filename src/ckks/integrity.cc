@@ -1,0 +1,41 @@
+#include "integrity.h"
+
+namespace anaheim {
+
+CiphertextChecksum
+sealCiphertext(const Ciphertext &ct)
+{
+    CiphertextChecksum seal;
+    seal.b = polyChecksum(ct.b);
+    seal.a = polyChecksum(ct.a);
+    seal.level = ct.level;
+    seal.scale = ct.scale;
+    return seal;
+}
+
+Status
+verifyCiphertext(const Ciphertext &ct, const CiphertextChecksum &seal)
+{
+    if (ct.level != seal.level || ct.scale != seal.scale) {
+        return Status(ErrorCode::DataCorruption,
+                      detail::composeMessage(
+                          "ciphertext header mismatch: sealed at level ",
+                          seal.level, " scale ", seal.scale, ", found level ",
+                          ct.level, " scale ", ct.scale));
+    }
+    Status status = verifyPolyChecksum(ct.b, seal.b);
+    if (!status.ok()) {
+        return Status(ErrorCode::DataCorruption,
+                      detail::composeMessage("component b: ",
+                                             status.message()));
+    }
+    status = verifyPolyChecksum(ct.a, seal.a);
+    if (!status.ok()) {
+        return Status(ErrorCode::DataCorruption,
+                      detail::composeMessage("component a: ",
+                                             status.message()));
+    }
+    return Status::okStatus();
+}
+
+} // namespace anaheim

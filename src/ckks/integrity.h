@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Ciphertext-level integrity sealing over the per-limb rolling
+ * checksums of src/poly/checksum.h.
+ *
+ * A ciphertext is sealed when it is produced (encryptor output, end of
+ * a verified PIM segment, a restored checkpoint) and verified before
+ * its residues are trusted again — at coherence write-back boundaries,
+ * before a checkpoint snapshot, and before decryption. Verification
+ * failure reports DataCorruption with the component and limb, so a
+ * resilient caller can roll back to its last good snapshot and replay
+ * instead of propagating poisoned residues.
+ */
+
+#ifndef ANAHEIM_CKKS_INTEGRITY_H
+#define ANAHEIM_CKKS_INTEGRITY_H
+
+#include "ciphertext.h"
+#include "common/status.h"
+#include "poly/checksum.h"
+
+namespace anaheim {
+
+/** Integrity metadata of one ciphertext: digests of both components
+ *  plus the (level, scale) header it was sealed at. */
+struct CiphertextChecksum {
+    ChecksumTag b;
+    ChecksumTag a;
+    size_t level = 0;
+    double scale = 0.0;
+
+    bool operator==(const CiphertextChecksum &other) const
+    {
+        return b == other.b && a == other.a && level == other.level &&
+               scale == other.scale;
+    }
+};
+
+/** Seal: digest both components and capture the header. */
+CiphertextChecksum sealCiphertext(const Ciphertext &ct);
+
+/**
+ * Verify a ciphertext against its seal. Ok when both component
+ * digests and the header match; DataCorruption naming the failing
+ * component otherwise.
+ */
+Status verifyCiphertext(const Ciphertext &ct,
+                        const CiphertextChecksum &seal);
+
+} // namespace anaheim
+
+#endif // ANAHEIM_CKKS_INTEGRITY_H

@@ -1,5 +1,7 @@
 #include "status.h"
 
+#include <cstdio>
+
 namespace anaheim {
 
 const char *
@@ -20,6 +22,21 @@ Status::toString() const
     if (ok())
         return "Ok";
     return std::string(errorCodeName(code_)) + ": " + message_;
+}
+
+int
+runGuardedMain(const char *programName, const std::function<int()> &body)
+{
+    try {
+        return body();
+    } catch (const AnaheimError &error) {
+        std::fprintf(stderr, "%s: %s\n", programName,
+                     error.status().toString().c_str());
+    } catch (const std::exception &error) {
+        std::fprintf(stderr, "%s: unhandled exception: %s\n", programName,
+                     error.what());
+    }
+    return 1;
 }
 
 } // namespace anaheim

@@ -22,6 +22,7 @@
 #ifndef ANAHEIM_COMMON_STATUS_H
 #define ANAHEIM_COMMON_STATUS_H
 
+#include <functional>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -83,6 +84,20 @@ class AnaheimError : public std::runtime_error
   private:
     ErrorCode code_;
 };
+
+/**
+ * Run a CLI/bench/example body under a recoverable-error guard:
+ * AnaheimError escapes become a one-line "<program>: <Code>: <message>"
+ * diagnostic on stderr and a nonzero exit instead of std::terminate
+ * with a raw abort. Other std::exception escapes are reported the same
+ * way (internal-bug invariants keep going through ANAHEIM_PANIC).
+ *
+ *   int main(int argc, char **argv) {
+ *       return runGuardedMain("quickstart", [&] { ...; return 0; });
+ *   }
+ */
+int runGuardedMain(const char *programName,
+                   const std::function<int()> &body);
 
 } // namespace anaheim
 

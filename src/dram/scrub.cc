@@ -1,0 +1,52 @@
+#include "scrub.h"
+
+#include <cmath>
+
+#include "common/status.h"
+
+namespace anaheim {
+
+ScrubEngine::ScrubEngine(const DramConfig &dram, const ScrubConfig &config)
+    : dram_(dram), config_(config)
+{
+    ANAHEIM_CHECK(!config_.enabled || config_.intervalNs > 0.0,
+                  InvalidArgument,
+                  "scrub interval must be positive, got ",
+                  config_.intervalNs);
+}
+
+ScrubPassStats
+ScrubEngine::pass(double liveBytes) const
+{
+    ScrubPassStats stats;
+    if (liveBytes <= 0.0)
+        return stats;
+
+    // Every bank walks its slice of the live footprint in lockstep, so
+    // device time is one bank's row walk.
+    const double bytesPerBank =
+        liveBytes / static_cast<double>(dram_.totalBanks());
+    const double rowsPerBank = std::ceil(bytesPerBank / dram_.rowBytes);
+    const size_t chunksPerRow = dram_.chunksPerRow();
+
+    const DramTiming &t = dram_.timing;
+    // Per row: open (tRP + tRCD), stream every chunk through the
+    // near-bank ECC logic (tCCD each; the corrected write-back of the
+    // rare flipped chunk hides behind the read stream), close (tRAS
+    // floor is covered by the chunk stream for 32-chunk rows).
+    const double cyclesPerRow =
+        t.tRP + t.tRCD +
+        static_cast<double>(chunksPerRow) * static_cast<double>(t.tCCD);
+    stats.timeNs = rowsPerBank * cyclesPerRow * t.tCkNs;
+
+    // Energy scales with the *total* live footprint: every scrubbed
+    // row pays an ACT/PRE pair, every byte moves through the bank's
+    // local datapath only.
+    const double rowsTotal = std::ceil(liveBytes / dram_.rowBytes);
+    stats.energyPj = rowsTotal * dram_.energy.actPrePj +
+                     liveBytes * dram_.energy.nearBankPerBytePj;
+    stats.wordsScrubbed = static_cast<uint64_t>(liveBytes / 4.0);
+    return stats;
+}
+
+} // namespace anaheim

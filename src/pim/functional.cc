@@ -13,15 +13,16 @@ PimFunctionalUnit::PimFunctionalUnit(uint64_t q) : q_(q), mont_(q)
 }
 
 uint32_t
-PimFunctionalUnit::laneMul(uint32_t a, uint32_t b) const
+PimFunctionalUnit::laneMul(uint32_t a, uint32_t b, size_t i) const
 {
     // 32-bit storage words truncated to 28 bits at the unit boundary;
     // product through the Montgomery reduction circuit. mulMod keeps
     // one operand in Montgomery form internally, matching the scaling
-    // the hardware folds into constants.
+    // the hardware folds into constants. The product itself rides the
+    // uncoded MMAC datapath, so it passes the lane fault site.
     const uint32_t am = a & 0x0fffffffu;
     const uint32_t bm = b & 0x0fffffffu;
-    return static_cast<uint32_t>(mont_.mulMod(am % q_, bm % q_));
+    return lane(static_cast<uint32_t>(mont_.mulMod(am % q_, bm % q_)), i);
 }
 
 uint32_t
@@ -53,6 +54,7 @@ PimFunctionalUnit::move(const PimVector &a) const
     PimVector out(a.size());
     for (size_t i = 0; i < a.size(); ++i)
         out[i] = read(a, i);
+    writeOut(out);
     return out;
 }
 
@@ -63,6 +65,7 @@ PimFunctionalUnit::neg(const PimVector &a) const
     PimVector out(a.size());
     for (size_t i = 0; i < a.size(); ++i)
         out[i] = laneSub(0, read(a, i));
+    writeOut(out);
     return out;
 }
 
@@ -75,6 +78,7 @@ PimFunctionalUnit::add(const PimVector &a, const PimVector &b) const
     PimVector out(a.size());
     for (size_t i = 0; i < a.size(); ++i)
         out[i] = laneAdd(read(a, i), read(b, i, 1));
+    writeOut(out);
     return out;
 }
 
@@ -87,6 +91,7 @@ PimFunctionalUnit::sub(const PimVector &a, const PimVector &b) const
     PimVector out(a.size());
     for (size_t i = 0; i < a.size(); ++i)
         out[i] = laneSub(read(a, i), read(b, i, 1));
+    writeOut(out);
     return out;
 }
 
@@ -98,7 +103,8 @@ PimFunctionalUnit::mult(const PimVector &a, const PimVector &b) const
                   b.size());
     PimVector out(a.size());
     for (size_t i = 0; i < a.size(); ++i)
-        out[i] = laneMul(read(a, i), read(b, i, 1));
+        out[i] = laneMul(read(a, i), read(b, i, 1), i);
+    writeOut(out);
     return out;
 }
 
@@ -109,9 +115,17 @@ PimFunctionalUnit::mac(const PimVector &a, const PimVector &b,
     ANAHEIM_CHECK(c.size() == a.size(), InvalidArgument,
                   "Mac accumulator size mismatch: ", c.size(), " vs ",
                   a.size());
-    PimVector out = mult(a, b);
-    for (size_t i = 0; i < out.size(); ++i)
-        out[i] = laneAdd(out[i], read(c, i, 2));
+    ANAHEIM_CHECK(!a.empty() && a.size() == b.size(), InvalidArgument,
+                  "Mac operand size mismatch: ", a.size(), " vs ",
+                  b.size());
+    // Fused product + accumulate: one lane pass, one write-back (the
+    // intermediate product never touches the array).
+    PimVector out(a.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        out[i] = laneAdd(laneMul(read(a, i), read(b, i, 1), i),
+                         read(c, i, 2));
+    }
+    writeOut(out);
     return out;
 }
 
@@ -129,6 +143,7 @@ PimFunctionalUnit::cAdd(const PimVector &a, uint32_t constant) const
     PimVector out(a.size());
     for (size_t i = 0; i < a.size(); ++i)
         out[i] = laneAdd(read(a, i), constant);
+    writeOut(out);
     return out;
 }
 
@@ -141,9 +156,12 @@ PimFunctionalUnit::cMult(const PimVector &a, uint32_t constant) const
     const uint32_t cMont = prepareConstant(constant);
     PimVector out(a.size());
     for (size_t i = 0; i < a.size(); ++i) {
-        out[i] = static_cast<uint32_t>(
-            mont_.mulModPrepared((read(a, i) & 0x0fffffffu) % q_, cMont));
+        out[i] = lane(
+            static_cast<uint32_t>(mont_.mulModPrepared(
+                (read(a, i) & 0x0fffffffu) % q_, cMont)),
+            i);
     }
+    writeOut(out);
     return out;
 }
 
@@ -157,10 +175,13 @@ PimFunctionalUnit::cMac(const PimVector &a, const PimVector &b,
     const uint32_t cMont = prepareConstant(constant);
     PimVector out(a.size());
     for (size_t i = 0; i < a.size(); ++i) {
-        const uint32_t prod = static_cast<uint32_t>(
-            mont_.mulModPrepared((read(a, i) & 0x0fffffffu) % q_, cMont));
+        const uint32_t prod = lane(
+            static_cast<uint32_t>(mont_.mulModPrepared(
+                (read(a, i) & 0x0fffffffu) % q_, cMont)),
+            i);
         out[i] = laneAdd(prod, read(b, i, 1));
     }
+    writeOut(out);
     return out;
 }
 

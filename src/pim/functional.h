@@ -36,13 +36,14 @@ class PimFunctionalUnit
     uint64_t modulus() const { return q_; }
 
     /**
-     * Route every operand word read through a fault-injection + ECC
-     * read path (non-owning; pass nullptr to detach). With no path
-     * attached, reads are direct and the results are bitwise identical
-     * to the fault-free model.
+     * Route every operand word read, every result word stored, and
+     * every post-multiply lane value through a fault-injection + ECC
+     * datapath (non-owning; pass nullptr to detach). With no path
+     * attached, accesses are direct and the results are bitwise
+     * identical to the fault-free model.
      */
-    void attachReadPath(PimReadPath *path) { readPath_ = path; }
-    const PimReadPath *readPath() const { return readPath_; }
+    void attachReadPath(PimDataPath *path) { readPath_ = path; }
+    const PimDataPath *readPath() const { return readPath_; }
 
     /** @name Table II instructions (plain-domain semantics). */
     /// @{
@@ -75,14 +76,16 @@ class PimFunctionalUnit
     /// @}
 
   private:
-    uint32_t laneMul(uint32_t a, uint32_t b) const;
+    /** Modular product of two lane inputs at element `i`; the result
+     *  rides the MMAC transient fault site when a path is attached. */
+    uint32_t laneMul(uint32_t a, uint32_t b, size_t i) const;
     uint32_t laneAdd(uint32_t a, uint32_t b) const;
     uint32_t laneSub(uint32_t a, uint32_t b) const;
     /** Truncate/reduce a broadcast constant and lift it into Montgomery
      *  form once, for the keep-in-form cMult/cMac lane loops. */
     uint32_t prepareConstant(uint32_t constant) const;
 
-    /** One operand word entering the unit, via the resilient read path
+    /** One operand word entering the unit, via the resilient datapath
      *  when one is attached. `slot` is the operand's position within
      *  the instruction (a, b, c, ... = 0, 1, 2, ...), so different
      *  operands never share fault sites. */
@@ -92,9 +95,27 @@ class PimFunctionalUnit
                          : a[i];
     }
 
+    /** Post-multiply lane value at element `i` through the (uncoded)
+     *  MMAC transient fault site. */
+    uint32_t lane(uint32_t value, size_t i) const
+    {
+        return readPath_ ? readPath_->laneValue(value, i) : value;
+    }
+
+    /** Store an instruction's result vector through the write-back
+     *  drivers. `slot` separates multi-output instructions (x, y, z =
+     *  0, 1, 2) so outputs never share fault sites. */
+    void writeOut(PimVector &out, size_t slot = 0) const
+    {
+        if (readPath_ == nullptr)
+            return;
+        for (size_t i = 0; i < out.size(); ++i)
+            out[i] = readPath_->writeWord(out[i], operandWord(slot, i));
+    }
+
     uint64_t q_;
     Montgomery mont_;
-    PimReadPath *readPath_ = nullptr;
+    PimDataPath *readPath_ = nullptr;
 };
 
 } // namespace anaheim

@@ -1,0 +1,78 @@
+#include "checksum.h"
+
+#include "polynomial.h"
+
+namespace anaheim {
+
+namespace {
+
+/** splitmix64 finalizer: one corrupted residue avalanches through the
+ *  rest of the fold. */
+uint64_t
+mix(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+constexpr uint64_t kSeed = 0xcbf29ce484222325ULL;
+
+template <typename Word>
+uint64_t
+foldWords(const std::vector<Word> &words)
+{
+    uint64_t digest = kSeed;
+    for (const Word w : words)
+        digest = digest * kFnvPrime ^ mix(static_cast<uint64_t>(w));
+    return digest;
+}
+
+} // namespace
+
+uint64_t
+limbChecksum(const std::vector<uint64_t> &residues)
+{
+    return foldWords(residues);
+}
+
+uint64_t
+limbChecksum(const std::vector<uint32_t> &words)
+{
+    return foldWords(words);
+}
+
+ChecksumTag
+polyChecksum(const Polynomial &poly)
+{
+    ChecksumTag tag;
+    tag.perLimb.reserve(poly.limbCount());
+    for (size_t i = 0; i < poly.limbCount(); ++i)
+        tag.perLimb.push_back(limbChecksum(poly.limb(i)));
+    return tag;
+}
+
+Status
+verifyPolyChecksum(const Polynomial &poly, const ChecksumTag &tag)
+{
+    if (poly.limbCount() != tag.perLimb.size()) {
+        return Status(ErrorCode::DataCorruption,
+                      detail::composeMessage(
+                          "checksum limb count mismatch: polynomial has ",
+                          poly.limbCount(), " limbs, tag has ",
+                          tag.perLimb.size()));
+    }
+    for (size_t i = 0; i < poly.limbCount(); ++i) {
+        if (limbChecksum(poly.limb(i)) != tag.perLimb[i]) {
+            return Status(ErrorCode::DataCorruption,
+                          detail::composeMessage(
+                              "checksum mismatch in limb ", i, " of ",
+                              poly.limbCount()));
+        }
+    }
+    return Status::okStatus();
+}
+
+} // namespace anaheim

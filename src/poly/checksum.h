@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Cheap rolling integrity checksums over RNS residues.
+ *
+ * ECC guards individual stored words; it cannot see corruption that
+ * bypasses the code — MMAC lane flips, >= 3-bit aliasing, anything
+ * with ECC disabled. A per-limb rolling checksum over a polynomial's
+ * residues closes that gap at the ciphertext level: sealed when a
+ * value is produced, re-verified at coherence write-back boundaries
+ * before corruption can propagate into the next GPU segment.
+ *
+ * The checksum is an order-sensitive 64-bit FNV-style fold with a
+ * splitmix finalizer per element: one multiply + xor + mix per
+ * residue, position-sensitive (swapped residues change the digest),
+ * and any single-word change flips about half the digest bits. It is
+ * an integrity check against random corruption, not a MAC — there is
+ * no adversary inside the memory system.
+ */
+
+#ifndef ANAHEIM_POLY_CHECKSUM_H
+#define ANAHEIM_POLY_CHECKSUM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace anaheim {
+
+class Polynomial;
+
+/** Rolling 64-bit digest of one limb's residues. */
+uint64_t limbChecksum(const std::vector<uint64_t> &residues);
+
+/** Same digest over 32-bit words (the PIM storage view of a limb). */
+uint64_t limbChecksum(const std::vector<uint32_t> &words);
+
+/** Per-limb digests of one polynomial; attached to ciphertext
+ *  metadata by the integrity layer (src/ckks/integrity.h). */
+struct ChecksumTag {
+    std::vector<uint64_t> perLimb;
+
+    bool operator==(const ChecksumTag &other) const
+    {
+        return perLimb == other.perLimb;
+    }
+    bool operator!=(const ChecksumTag &other) const
+    {
+        return !(*this == other);
+    }
+};
+
+/** Seal: digest every limb of `poly`. */
+ChecksumTag polyChecksum(const Polynomial &poly);
+
+/**
+ * Verify `poly` against a previously sealed tag. Ok when every limb
+ * digest matches; DataCorruption naming the first mismatching limb
+ * otherwise (a limb-count change is also corruption).
+ */
+Status verifyPolyChecksum(const Polynomial &poly, const ChecksumTag &tag);
+
+} // namespace anaheim
+
+#endif // ANAHEIM_POLY_CHECKSUM_H

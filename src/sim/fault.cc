@@ -54,6 +54,28 @@ sampleCount(Rng &rng, double expected)
     return draw <= 0.0 ? 0 : static_cast<uint64_t>(std::llround(draw));
 }
 
+/** Per-codeword outcome probabilities at per-bit rate `ber` over `n`
+ *  bits: none / exactly-one / two-or-more flipped. */
+struct WordClassProbs {
+    double single = 0.0;
+    double multi = 0.0;
+};
+
+WordClassProbs
+wordClassProbs(double ber, double n)
+{
+    WordClassProbs probs;
+    const double pNone = std::pow(1.0 - ber, n);
+    probs.single = n * ber * std::pow(1.0 - ber, n - 1.0);
+    probs.multi = std::max(1.0 - pNone - probs.single, 0.0);
+    return probs;
+}
+
+/** Stream-class tags decorrelating the event-level draw families. */
+constexpr uint64_t kStorageStream = 0xfa117;
+constexpr uint64_t kLaneStream = 0x1a4e5;
+constexpr uint64_t kRetentionStream = 0x4e7e4;
+
 } // namespace
 
 FaultModel::FaultModel(FaultConfig config) : config_(std::move(config))
@@ -61,6 +83,15 @@ FaultModel::FaultModel(FaultConfig config) : config_(std::move(config))
     ANAHEIM_CHECK(config_.ber >= 0.0 && config_.ber < 1.0,
                   InvalidArgument,
                   "bit-error rate must be in [0, 1), got ", config_.ber);
+    ANAHEIM_CHECK(config_.laneBer >= 0.0 && config_.laneBer < 1.0,
+                  InvalidArgument,
+                  "lane bit-error rate must be in [0, 1), got ",
+                  config_.laneBer);
+    ANAHEIM_CHECK(config_.retentionBerPerWindow >= 0.0 &&
+                      config_.retentionBerPerWindow < 1.0,
+                  InvalidArgument,
+                  "retention bit-error rate must be in [0, 1), got ",
+                  config_.retentionBerPerWindow);
     for (const TargetedFault &target : config_.targets) {
         ANAHEIM_CHECK(target.bitMask != 0, InvalidArgument,
                       "targeted fault with empty bit mask at limb ",
@@ -72,10 +103,29 @@ uint64_t
 FaultModel::corrupt(uint64_t codeword, size_t limb, size_t word,
                     uint64_t epoch, unsigned bits) const
 {
-    if (config_.ber > 0.0) {
+    return corruptAtRate(codeword, config_.ber, limb, word, epoch, bits);
+}
+
+uint32_t
+FaultModel::corruptLane(uint32_t value, size_t limb, size_t word,
+                        uint64_t epoch) const
+{
+    // 28-bit Montgomery datapath; lane flips re-sample per epoch like
+    // any transient upset, so a replay usually computes cleanly.
+    return static_cast<uint32_t>(
+        corruptAtRate(value, config_.laneBer, limb,
+                      siteWord(FaultSite::MmacLane, word), epoch, 28));
+}
+
+uint64_t
+FaultModel::corruptAtRate(uint64_t codeword, double rate, size_t limb,
+                          size_t word, uint64_t epoch,
+                          unsigned bits) const
+{
+    if (rate > 0.0) {
         Rng rng(siteKey(config_.seed, limb, word, epoch));
         for (unsigned bit = 0; bit < bits; ++bit) {
-            if (rng.uniformReal() < config_.ber)
+            if (rng.uniformReal() < rate)
                 codeword ^= uint64_t{1} << bit;
         }
     }
@@ -114,16 +164,47 @@ FaultModel::sampleEvents(size_t words, uint64_t streamId) const
     FaultEventCounts counts;
     if (config_.ber <= 0.0 || words == 0)
         return counts;
-    const double n = SecDed3932::kCodeBits;
-    const double pNone = std::pow(1.0 - config_.ber, n);
-    const double pSingle =
-        n * config_.ber * std::pow(1.0 - config_.ber, n - 1.0);
-    const double pMulti = 1.0 - pNone - pSingle;
+    const WordClassProbs probs =
+        wordClassProbs(config_.ber, SecDed3932::kCodeBits);
 
-    Rng rng(siteKey(config_.seed, 0xfa117, streamId, 0));
+    Rng rng(siteKey(config_.seed, kStorageStream, streamId, 0));
     const double total = static_cast<double>(words);
-    counts.singleBit = sampleCount(rng, total * pSingle);
-    counts.multiBit = sampleCount(rng, total * std::max(pMulti, 0.0));
+    counts.singleBit = sampleCount(rng, total * probs.single);
+    counts.multiBit = sampleCount(rng, total * probs.multi);
+    counts.faulty = counts.singleBit + counts.multiBit;
+    return counts;
+}
+
+FaultEventCounts
+FaultModel::sampleLaneEvents(size_t laneOps, uint64_t streamId) const
+{
+    FaultEventCounts counts;
+    if (config_.laneBer <= 0.0 || laneOps == 0)
+        return counts;
+    // A lane fault of any multiplicity poisons the product the same
+    // way and nothing on the lane detects it: one class only.
+    const double pFault = 1.0 - std::pow(1.0 - config_.laneBer, 28.0);
+    Rng rng(siteKey(config_.seed, kLaneStream, streamId, 0));
+    counts.faulty =
+        sampleCount(rng, static_cast<double>(laneOps) * pFault);
+    return counts;
+}
+
+FaultEventCounts
+FaultModel::sampleRetention(uint64_t window, size_t words) const
+{
+    FaultEventCounts counts;
+    if (config_.retentionBerPerWindow <= 0.0 || words == 0)
+        return counts;
+    // Decay lands on full stored codewords (data + check bits), so the
+    // SEC-DED single/multi split applies: singles are correctable by
+    // the next scrub pass, multis are lost data.
+    const WordClassProbs probs = wordClassProbs(
+        config_.retentionBerPerWindow, SecDed3932::kCodeBits);
+    Rng rng(siteKey(config_.seed, kRetentionStream, window, 0));
+    const double total = static_cast<double>(words);
+    counts.singleBit = sampleCount(rng, total * probs.single);
+    counts.multiBit = sampleCount(rng, total * probs.multi);
     counts.faulty = counts.singleBit + counts.multiBit;
     return counts;
 }

@@ -15,12 +15,21 @@
  *    construction). Used by tests to place exactly one or two flipped
  *    bits under the ECC decoder.
  *
+ * Faults land on four disjoint *sites* of the datapath, each with its
+ * own coordinate namespace (FaultSite / siteWord): operand reads,
+ * coherence write-backs, the post-multiply MMAC lane datapath (no ECC
+ * reaches it: every lane flip is silent until a ciphertext checksum
+ * catches it), and DRAM cell retention decay sampled per refresh
+ * window. Storage sites share `ber`; the lane and retention sites
+ * carry their own rates (`laneBer`, `retentionBerPerWindow`).
+ *
  * The model also exposes an event-level view for the timing framework
- * (FaultModel::sampleEvents): instead of corrupting real words, it
- * draws how many of an op's codeword reads suffered single-/multi-bit
- * faults, deterministically per (seed, stream id), so
- * AnaheimFramework::execute can charge retries and fall back to the
- * GPU without running functional data through the trace.
+ * (FaultModel::sampleEvents / sampleLaneEvents / sampleRetention):
+ * instead of corrupting real words, it draws how many of an op's
+ * codeword accesses suffered single-/multi-bit faults,
+ * deterministically per (seed, stream id), so
+ * AnaheimFramework::execute can charge retries, scrubs and rollbacks
+ * without running functional data through the trace.
  */
 
 #ifndef ANAHEIM_SIM_FAULT_H
@@ -38,6 +47,29 @@ enum class FaultKind {
     StuckAtOne, ///< masked cells always read 1
 };
 
+/**
+ * Distinct fault-site classes of the PIM datapath. Each site tags the
+ * high bits of the word coordinate (siteWord), so a read, a write-back
+ * and a lane operation at the same array offset never share fault
+ * sites. OperandRead is tag 0: read-path coordinates are unchanged
+ * from the original read-only fault model, so existing seeds
+ * reproduce the same read-fault sites.
+ */
+enum class FaultSite : uint64_t {
+    OperandRead = 0, ///< operand word leaving the array into the unit
+    WriteBack = 1,   ///< result word riding the write drivers back
+    MmacLane = 2,    ///< post-multiply transient flip inside the lane
+    Retention = 3,   ///< cell decay between refreshes
+};
+
+/** Fold a fault site into a word coordinate (bits 56+ carry the
+ *  site tag; array offsets stay below 2^56). */
+constexpr size_t
+siteWord(FaultSite site, size_t word)
+{
+    return (static_cast<size_t>(site) << 56) | word;
+}
+
 /** One deliberately placed fault. */
 struct TargetedFault {
     size_t limb = 0;
@@ -47,14 +79,25 @@ struct TargetedFault {
 };
 
 struct FaultConfig {
-    /** Raw per-bit error probability per codeword read. */
+    /** Raw per-bit error probability per codeword access on the
+     *  storage sites (operand reads and write-backs). */
     double ber = 0.0;
+    /** Per-bit transient-flip probability per MMAC lane operation on
+     *  the 28-bit post-multiply datapath. No ECC covers it. */
+    double laneBer = 0.0;
+    /** Per-bit decay probability per refresh window for resident
+     *  cells (the Retention site). */
+    double retentionBerPerWindow = 0.0;
     /** Seed for the fault-site PRNG; identical seeds reproduce
      *  identical fault sites. */
     uint64_t seed = 0x0ddfa117u;
     std::vector<TargetedFault> targets;
 
-    bool enabled() const { return ber > 0.0 || !targets.empty(); }
+    bool enabled() const
+    {
+        return ber > 0.0 || laneBer > 0.0 || retentionBerPerWindow > 0.0 ||
+               !targets.empty();
+    }
 };
 
 /** Per-codeword fault-class counts for one sampled read stream. */
@@ -73,24 +116,57 @@ class FaultModel
     bool enabled() const { return config_.enabled(); }
 
     /**
-     * Corrupt a `bits`-wide codeword read at (limb, word) during
-     * `epoch`. Deterministic in (seed, limb, word, epoch); pure.
+     * Corrupt a `bits`-wide codeword access at (limb, word) during
+     * `epoch` with the storage BER. Deterministic in
+     * (seed, limb, word, epoch); pure. Callers distinguish reads from
+     * write-backs by folding a FaultSite tag into `word` (siteWord).
      */
     uint64_t corrupt(uint64_t codeword, size_t limb, size_t word,
                      uint64_t epoch, unsigned bits) const;
 
     /**
-     * Event-level draw: of `words` codeword reads in stream `streamId`
-     * (e.g. op index × retry attempt), how many were faulty and how.
-     * Deterministic in (seed, streamId); does not mutate the model.
+     * Transient flip on the 28-bit post-multiply lane datapath at
+     * (limb, word = lane-op index) during `epoch`, at `laneBer`.
+     * Targeted faults aimed at siteWord(MmacLane, word) also land
+     * here, so tests can place exact lane upsets.
+     */
+    uint32_t corruptLane(uint32_t value, size_t limb, size_t word,
+                         uint64_t epoch) const;
+
+    /**
+     * Event-level draw: of `words` codeword accesses in stream
+     * `streamId` (e.g. op index × retry attempt), how many were faulty
+     * and how. Deterministic in (seed, streamId); does not mutate the
+     * model.
      */
     FaultEventCounts sampleEvents(size_t words, uint64_t streamId) const;
+
+    /**
+     * Event-level lane draw: of `laneOps` modular multiplies in stream
+     * `streamId`, how many suffered a post-multiply flip. Only
+     * `faulty` is populated: the lane datapath has no ECC, so there is
+     * no single/multi split — every hit is silent at the unit.
+     */
+    FaultEventCounts sampleLaneEvents(size_t laneOps,
+                                      uint64_t streamId) const;
+
+    /**
+     * Event-level retention draw for one refresh `window` over `words`
+     * resident codewords: single-bit decays are scrub/ECC-correctable,
+     * multi-bit ones are uncorrectable data loss. Deterministic in
+     * (seed, window).
+     */
+    FaultEventCounts sampleRetention(uint64_t window, size_t words) const;
 
     /** P(a 39-bit codeword has >= 1 flipped bit) at the configured
      *  BER. */
     double wordFaultProbability() const;
 
   private:
+    uint64_t corruptAtRate(uint64_t codeword, double rate, size_t limb,
+                           size_t word, uint64_t epoch,
+                           unsigned bits) const;
+
     FaultConfig config_;
 };
 

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Ciphertext integrity-seal tests: seal/verify round trips, detection
+ * of corruption in either component, and header (level/scale)
+ * tampering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "ckks/encryptor.h"
+#include "ckks/integrity.h"
+
+namespace anaheim {
+namespace {
+
+class CiphertextIntegrityTest : public ::testing::Test
+{
+  protected:
+    CiphertextIntegrityTest()
+        : context_(CkksParams::testParams(1 << 8, 4, 2)),
+          encoder_(context_), keygen_(context_, 55),
+          encryptor_(context_, 56)
+    {
+    }
+
+    Ciphertext
+    encryptRamp()
+    {
+        std::vector<std::complex<double>> u(encoder_.slots());
+        for (size_t i = 0; i < u.size(); ++i)
+            u[i] = {0.5 * static_cast<double>(i) / u.size(), 0.0};
+        return encryptor_.encrypt(encoder_.encode(u, context_.maxLevel()),
+                                  keygen_.secretKey());
+    }
+
+    CkksContext context_;
+    CkksEncoder encoder_;
+    KeyGenerator keygen_;
+    CkksEncryptor encryptor_;
+};
+
+TEST_F(CiphertextIntegrityTest, SealVerifyRoundTrip)
+{
+    const Ciphertext ct = encryptRamp();
+    const CiphertextChecksum seal = sealCiphertext(ct);
+    EXPECT_TRUE(verifyCiphertext(ct, seal).ok());
+    EXPECT_EQ(seal, sealCiphertext(ct));
+    EXPECT_EQ(seal.level, ct.level);
+    EXPECT_EQ(seal.scale, ct.scale);
+}
+
+TEST_F(CiphertextIntegrityTest, DetectsCorruptionInEitherComponent)
+{
+    const Ciphertext clean = encryptRamp();
+    const CiphertextChecksum seal = sealCiphertext(clean);
+
+    Ciphertext hitB = clean;
+    hitB.b.limb(0)[3] ^= 1;
+    const Status statusB = verifyCiphertext(hitB, seal);
+    EXPECT_EQ(statusB.code(), ErrorCode::DataCorruption);
+    EXPECT_NE(statusB.message().find("component b"), std::string::npos)
+        << statusB.message();
+
+    Ciphertext hitA = clean;
+    hitA.a.limb(1)[7] ^= 0b10;
+    const Status statusA = verifyCiphertext(hitA, seal);
+    EXPECT_EQ(statusA.code(), ErrorCode::DataCorruption);
+    EXPECT_NE(statusA.message().find("component a"), std::string::npos)
+        << statusA.message();
+}
+
+TEST_F(CiphertextIntegrityTest, DetectsHeaderTampering)
+{
+    const Ciphertext clean = encryptRamp();
+    const CiphertextChecksum seal = sealCiphertext(clean);
+
+    Ciphertext tampered = clean;
+    tampered.scale *= 2.0;
+    const Status status = verifyCiphertext(tampered, seal);
+    EXPECT_EQ(status.code(), ErrorCode::DataCorruption);
+    EXPECT_NE(status.message().find("header"), std::string::npos)
+        << status.message();
+}
+
+} // namespace
+} // namespace anaheim

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * DRAM retention-decay and scrub tests: the BankEngine's per-window
+ * decay sampling (deterministic in the fault seed), the scrub visit
+ * that repairs correctable decay and surfaces uncorrectable loss, and
+ * the ScrubEngine pass cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/bank.h"
+#include "dram/scrub.h"
+#include "sim/fault.h"
+#include "support/error_matchers.h"
+
+namespace anaheim {
+namespace {
+
+DramTiming
+shortRefreshTiming()
+{
+    DramTiming timing;
+    timing.tCkNs = 1.0;
+    // A tiny refresh window so a short command stream crosses many.
+    timing.tREFI = 100;
+    timing.tRFC = 10;
+    return timing;
+}
+
+/** Issue enough row activity to push the bank past `rows` row cycles
+ *  (each ACT/RD/PRE round crosses tens of cycles). */
+void
+runRows(BankEngine &bank, int rows)
+{
+    for (int r = 0; r < rows; ++r) {
+        bank.activateRow();
+        bank.issue(DramCommand::Rd);
+        bank.issue(DramCommand::Pre);
+    }
+}
+
+TEST(BankRetention, NoFaultModelNoDecay)
+{
+    BankEngine bank(shortRefreshTiming());
+    runRows(bank, 50);
+    EXPECT_GT(bank.refreshes(), 0u);
+    EXPECT_EQ(bank.retention().windows, 0u);
+    EXPECT_EQ(bank.retention().faultyWords, 0u);
+}
+
+TEST(BankRetention, DecayAccumulatesPerWindowDeterministically)
+{
+    FaultConfig faults;
+    faults.retentionBerPerWindow = 2e-3;
+    faults.seed = 411;
+    const FaultModel model(faults);
+
+    auto run = [&] {
+        BankEngine bank(shortRefreshTiming());
+        bank.attachFaultModel(&model, /*residentWords=*/1 << 16);
+        runRows(bank, 50);
+        return bank.retention();
+    };
+    const RetentionCounters a = run();
+    const RetentionCounters b = run();
+
+    EXPECT_GT(a.windows, 0u);
+    EXPECT_GT(a.faultyWords, 0u);
+    EXPECT_GT(a.singleBit, a.multiBit); // singles dominate at low rates
+    EXPECT_EQ(a.faultyWords, a.singleBit + a.multiBit);
+    EXPECT_EQ(a.pendingCorrectable, a.singleBit);
+    EXPECT_EQ(a.pendingUncorrectable, a.multiBit);
+    // Same seed, same command stream: identical decay history.
+    EXPECT_EQ(a.windows, b.windows);
+    EXPECT_EQ(a.faultyWords, b.faultyWords);
+    EXPECT_EQ(a.singleBit, b.singleBit);
+    EXPECT_EQ(a.multiBit, b.multiBit);
+}
+
+TEST(BankRetention, ScrubRepairsCorrectableAndSurfacesUncorrectable)
+{
+    FaultConfig faults;
+    faults.retentionBerPerWindow = 5e-3; // high enough for multi-bit
+    faults.seed = 412;
+    const FaultModel model(faults);
+
+    BankEngine bank(shortRefreshTiming());
+    bank.attachFaultModel(&model, 1 << 16);
+    runRows(bank, 80);
+
+    const RetentionCounters before = bank.retention();
+    ASSERT_GT(before.pendingCorrectable, 0u);
+    ASSERT_GT(before.pendingUncorrectable, 0u);
+
+    const uint64_t surfaced = bank.scrub();
+    EXPECT_EQ(surfaced, before.pendingUncorrectable);
+    EXPECT_EQ(bank.retention().pendingCorrectable, 0u);
+    EXPECT_EQ(bank.retention().pendingUncorrectable, 0u);
+    // Cumulative history is preserved across the scrub.
+    EXPECT_EQ(bank.retention().faultyWords, before.faultyWords);
+    // More activity accumulates fresh pendings.
+    runRows(bank, 80);
+    EXPECT_GT(bank.retention().pendingCorrectable, 0u);
+}
+
+TEST(ScrubEngine, PassCostScalesWithFootprint)
+{
+    const DramConfig dram = DramConfig::hbm2A100();
+    ScrubConfig config;
+    config.enabled = true;
+    config.intervalNs = 10e3;
+    const ScrubEngine scrubber(dram, config);
+
+    const ScrubPassStats small = scrubber.pass(1e6);
+    const ScrubPassStats large = scrubber.pass(64e6);
+    EXPECT_GT(small.timeNs, 0.0);
+    EXPECT_GT(small.energyPj, 0.0);
+    EXPECT_GT(large.timeNs, small.timeNs);
+    EXPECT_GT(large.energyPj, small.energyPj);
+    EXPECT_EQ(large.wordsScrubbed, static_cast<uint64_t>(64e6 / 4));
+    // Identical inputs price identically (pure cost model).
+    EXPECT_DOUBLE_EQ(scrubber.pass(1e6).timeNs, small.timeNs);
+    // Empty footprint costs nothing.
+    EXPECT_DOUBLE_EQ(scrubber.pass(0.0).timeNs, 0.0);
+}
+
+TEST(ScrubEngine, RejectsNonPositiveInterval)
+{
+    ScrubConfig config;
+    config.enabled = true;
+    config.intervalNs = 0.0;
+    EXPECT_ANAHEIM_ERROR(ScrubEngine(DramConfig::hbm2A100(), config),
+                         InvalidArgument, "scrub interval");
+}
+
+} // namespace
+} // namespace anaheim

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Rolling per-limb checksum tests: determinism, sensitivity to value /
+ * position / limb-count changes, and the Status-typed verification
+ * used at coherence write-back boundaries.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "math/modarith.h"
+#include "math/primes.h"
+#include "poly/checksum.h"
+#include "poly/polynomial.h"
+
+namespace anaheim {
+namespace {
+
+RnsBasis
+makeBasis(size_t n, size_t count)
+{
+    return RnsBasis(generateNttPrimes(n, 30, count), n);
+}
+
+Polynomial
+randomPoly(const RnsBasis &basis, Rng &rng)
+{
+    Polynomial p(basis, Domain::Eval);
+    for (size_t i = 0; i < basis.size(); ++i)
+        p.limb(i) = sampleUniform(rng, basis.degree(), basis.prime(i));
+    return p;
+}
+
+TEST(LimbChecksum, DeterministicAndValueSensitive)
+{
+    Rng rng(101);
+    std::vector<uint64_t> limb(512);
+    for (auto &w : limb)
+        w = rng.next();
+
+    const uint64_t digest = limbChecksum(limb);
+    EXPECT_EQ(digest, limbChecksum(limb));
+
+    auto flipped = limb;
+    flipped[200] ^= 1; // one LSB flip must change the digest
+    EXPECT_NE(digest, limbChecksum(flipped));
+}
+
+TEST(LimbChecksum, PositionSensitive)
+{
+    std::vector<uint64_t> limb{1, 2, 3, 4};
+    std::vector<uint64_t> swapped{1, 3, 2, 4};
+    EXPECT_NE(limbChecksum(limb), limbChecksum(swapped));
+}
+
+TEST(LimbChecksum, WordWidthViewsAgree)
+{
+    // The 32-bit (PIM storage) view digests the same residues the
+    // 64-bit view does, element for element.
+    std::vector<uint64_t> wide{7, 1u << 20, 268369920};
+    std::vector<uint32_t> narrow{7, 1u << 20, 268369920};
+    EXPECT_EQ(limbChecksum(wide), limbChecksum(narrow));
+}
+
+TEST(PolyChecksum, SealVerifyRoundTrip)
+{
+    const auto basis = makeBasis(64, 3);
+    Rng rng(102);
+    const auto p = randomPoly(basis, rng);
+    const ChecksumTag tag = polyChecksum(p);
+    EXPECT_EQ(tag.perLimb.size(), p.limbCount());
+    EXPECT_TRUE(verifyPolyChecksum(p, tag).ok());
+    EXPECT_EQ(tag, polyChecksum(p));
+}
+
+TEST(PolyChecksum, CorruptResidueReportsDataCorruptionWithLimb)
+{
+    const auto basis = makeBasis(64, 3);
+    Rng rng(103);
+    auto p = randomPoly(basis, rng);
+    const ChecksumTag tag = polyChecksum(p);
+
+    p.limb(1)[17] ^= 0b100; // silent corruption in limb 1
+    const Status status = verifyPolyChecksum(p, tag);
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), ErrorCode::DataCorruption);
+    EXPECT_NE(status.message().find("limb 1"), std::string::npos)
+        << status.message();
+}
+
+TEST(PolyChecksum, LimbCountMismatchIsCorruption)
+{
+    const auto basis = makeBasis(64, 3);
+    Rng rng(104);
+    const auto p = randomPoly(basis, rng);
+    ChecksumTag tag = polyChecksum(p);
+    tag.perLimb.pop_back();
+    const Status status = verifyPolyChecksum(p, tag);
+    EXPECT_EQ(status.code(), ErrorCode::DataCorruption);
+    EXPECT_NE(status.message().find("limb count"), std::string::npos);
+}
+
+} // namespace
+} // namespace anaheim

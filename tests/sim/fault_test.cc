@@ -13,6 +13,7 @@
 #include "common/rng.h"
 #include "math/primes.h"
 #include "pim/functional.h"
+#include "poly/checksum.h"
 #include "sim/ecc.h"
 #include "sim/fault.h"
 #include "sim/readpath.h"
@@ -160,6 +161,64 @@ TEST(FaultModel, EventSamplingIsDeterministicAndScales)
     EXPECT_EQ(clean.sampleEvents(1 << 20, 7).faulty, 0u);
 }
 
+TEST(FaultModel, DatapathSitesAreDisjoint)
+{
+    // Three targeted faults at the *same array offset* but different
+    // fault sites must never shadow each other.
+    FaultConfig config;
+    config.targets.push_back(
+        {0, siteWord(FaultSite::WriteBack, 9), 0b1, FaultKind::Transient});
+    config.targets.push_back(
+        {0, siteWord(FaultSite::MmacLane, 9), 0b10, FaultKind::Transient});
+    const FaultModel model(config);
+
+    // The operand-read site (tag 0) at offset 9 stays clean...
+    EXPECT_EQ(model.corrupt(0, 0, 9, 0, 39), 0u);
+    // ...the write-back site sees only its own mask...
+    EXPECT_EQ(model.corrupt(0, 0, siteWord(FaultSite::WriteBack, 9), 0, 39),
+              0b1u);
+    // ...and the lane site (corruptLane folds the tag itself) its own.
+    EXPECT_EQ(model.corruptLane(0, 0, 9, 0), 0b10u);
+}
+
+TEST(FaultModel, LaneEventSamplingIsDeterministicAndUnclassified)
+{
+    FaultConfig config;
+    config.laneBer = 1e-6;
+    config.seed = 77;
+    const FaultModel model(config);
+    const auto a = model.sampleLaneEvents(1 << 22, 3);
+    const auto b = model.sampleLaneEvents(1 << 22, 3);
+    EXPECT_EQ(a.faulty, b.faulty);
+    // ~28e-6 per lane op over 4M ops: expect on the order of 100 hits.
+    EXPECT_GT(a.faulty, 0u);
+    // No ECC on the lane: no single/multi classification exists.
+    EXPECT_EQ(a.singleBit, 0u);
+    EXPECT_EQ(a.multiBit, 0u);
+    // A zero rate never produces lane events.
+    const FaultModel clean(FaultConfig{});
+    EXPECT_EQ(clean.sampleLaneEvents(1 << 22, 3).faulty, 0u);
+}
+
+TEST(FaultModel, RetentionSamplingIsKeyedByWindow)
+{
+    FaultConfig config;
+    config.retentionBerPerWindow = 1e-4;
+    config.seed = 78;
+    const FaultModel model(config);
+    const auto a = model.sampleRetention(1, 1 << 20);
+    EXPECT_EQ(a.faulty, model.sampleRetention(1, 1 << 20).faulty);
+    EXPECT_GT(a.faulty, 0u);
+    EXPECT_EQ(a.faulty, a.singleBit + a.multiBit);
+    EXPECT_GT(a.singleBit, a.multiBit); // singles dominate at low rates
+    // Distinct refresh windows draw independently.
+    bool differs = false;
+    for (uint64_t window = 2; window < 8 && !differs; ++window)
+        differs = model.sampleRetention(window, 1 << 20).faulty != a.faulty;
+    EXPECT_TRUE(differs);
+    EXPECT_EQ(model.sampleRetention(1, 0).faulty, 0u);
+}
+
 // ----------------------------------------------------- pim read path
 
 class ReadPathTest : public ::testing::Test
@@ -238,6 +297,79 @@ TEST_F(ReadPathTest, WithoutEccFaultsAreSilent)
     EXPECT_EQ(path.counters().corrected, 0u);
     EXPECT_EQ(path.counters().uncorrectable, 0u);
     EXPECT_FALSE(path.uncorrectableSeen()); // nothing detected it
+}
+
+TEST_F(ReadPathTest, WriteBackSingleBitFlipIsCorrected)
+{
+    const PimFunctionalUnit golden(kQ);
+    PimFunctionalUnit unit(kQ);
+    const auto a = randomVector(256, 9);
+    const auto b = randomVector(256, 10);
+
+    FaultConfig faults;
+    // One flipped driver bit while storing result word 17: the next
+    // read's SEC decode repairs it in place.
+    faults.targets.push_back(
+        {0, siteWord(FaultSite::WriteBack, operandWord(0, 17)),
+         uint64_t{1} << 7, FaultKind::Transient});
+    PimReadPath path(faults, /*eccEnabled=*/true);
+    unit.attachReadPath(&path);
+
+    EXPECT_EQ(unit.add(a, b), golden.add(a, b));
+    EXPECT_EQ(path.counters().wordsWritten, a.size());
+    EXPECT_EQ(path.counters().corrected, 1u);
+    EXPECT_EQ(path.counters().silent, 0u);
+    EXPECT_FALSE(path.uncorrectableSeen());
+}
+
+TEST_F(ReadPathTest, WriteBackDoubleBitFlipIsUncorrectable)
+{
+    PimFunctionalUnit unit(kQ);
+    const auto a = randomVector(64, 11);
+    const auto b = randomVector(64, 12);
+
+    FaultConfig faults;
+    faults.targets.push_back(
+        {0, siteWord(FaultSite::WriteBack, operandWord(0, 9)), 0b101,
+         FaultKind::Transient});
+    PimReadPath path(faults, /*eccEnabled=*/true);
+    unit.attachReadPath(&path);
+
+    unit.add(a, b);
+    EXPECT_EQ(path.counters().uncorrectable, 1u);
+    EXPECT_TRUE(path.uncorrectableSeen());
+}
+
+TEST_F(ReadPathTest, LaneFaultIsSilentUntilAChecksumCatchesIt)
+{
+    const PimFunctionalUnit golden(kQ);
+    PimFunctionalUnit unit(kQ);
+    const auto a = randomVector(128, 13);
+    const auto b = randomVector(128, 14);
+    const PimVector clean = golden.mult(a, b);
+
+    FaultConfig faults;
+    // A post-multiply transient flip inside lane op 33. ECC never sees
+    // the 28-bit MMAC datapath, so nothing on the unit detects it.
+    faults.targets.push_back(
+        {0, siteWord(FaultSite::MmacLane, 33), uint64_t{1} << 2,
+         FaultKind::Transient});
+    PimReadPath path(faults, /*eccEnabled=*/true);
+    unit.attachReadPath(&path);
+
+    const PimVector out = unit.mult(a, b);
+    size_t diffs = 0;
+    for (size_t i = 0; i < out.size(); ++i)
+        diffs += out[i] != clean[i];
+    EXPECT_EQ(diffs, 1u);
+    EXPECT_NE(out[33], clean[33]);
+    EXPECT_EQ(path.counters().laneFaults, 1u);
+    EXPECT_EQ(path.counters().silent, 1u);
+    EXPECT_EQ(path.counters().corrected, 0u);
+    EXPECT_EQ(path.counters().uncorrectable, 0u);
+    EXPECT_FALSE(path.uncorrectableSeen());
+    // The limb-level rolling checksum downstream does catch it.
+    EXPECT_NE(limbChecksum(out), limbChecksum(clean));
 }
 
 TEST_F(ReadPathTest, EccKeepsOutputsExactUnderModerateBer)
