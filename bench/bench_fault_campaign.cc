@@ -68,6 +68,9 @@ parseOptions(int argc, char **argv)
             opts.seed = std::strtoull(arg.c_str() + 13, nullptr, 0);
         } else if (arg == "--json" && i + 1 < argc) {
             opts.jsonPath = argv[++i];
+        } else if ((arg == "--trace" || arg == "--metrics") &&
+                   i + 1 < argc) {
+            ++i; // handled by bench::JsonScope
         } else {
             std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
             std::exit(2);
@@ -170,6 +173,7 @@ run(int argc, char **argv)
     json.report().metric("trials", static_cast<double>(opts.trials));
     json.report().metric("repeats", static_cast<double>(opts.repeats));
     json.report().metric("fault_seed", static_cast<double>(opts.seed));
+    bench::reportConfig(json.report(), AnaheimConfig::a100NearBank());
 
     const TraceParams params;
     OpSequence seq = buildHMult(params);

@@ -68,6 +68,9 @@ parseOptions(int argc, char **argv)
             opts.runEccOn = false;
         } else if (arg == "--json" && i + 1 < argc) {
             opts.jsonPath = argv[++i];
+        } else if ((arg == "--trace" || arg == "--metrics") &&
+                   i + 1 < argc) {
+            ++i; // handled by bench::JsonScope
         } else {
             std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
             std::exit(2);

@@ -112,6 +112,7 @@ run(int argc, char **argv)
     bench::JsonScope json("fig10_sensitivity", argc, argv);
     bench::header("Fig. 10 — fusion and data-layout sensitivity "
                   "(bootstrapping)");
+    bench::reportConfig(json.report(), AnaheimConfig::a100NearBank());
     sweep(AnaheimConfig::a100NearBank(), "A100 80GB near-bank");
     sweep(AnaheimConfig::rtx4090NearBank(), "RTX 4090 near-bank");
     std::printf("\n");

@@ -10,6 +10,7 @@
 #include "anaheim/workloads.h"
 #include "bench_util.h"
 #include "common/status.h"
+#include "obs/report.h"
 
 using namespace anaheim;
 
@@ -29,7 +30,9 @@ run(int argc, char **argv)
         {"RTX4090 near-bank", AnaheimConfig::rtx4090NearBank()},
     };
     const auto workloads = makeAllWorkloads();
+    bench::reportConfig(json.report(), configs[0].config);
 
+    bool attributed = false;
     for (const auto &cfg : configs) {
         std::printf("\n-- %s --\n", cfg.name);
         std::printf("%-16s %10s %10s | %8s %8s %8s\n", "Workload",
@@ -57,6 +60,12 @@ run(int argc, char **argv)
             std::printf("%-16s %10.2f %10.2f | %7.2fx %7.2fx %7.2fx\n",
                         info.name, baseline.totalNs * 1e-6,
                         pim.totalNs * 1e-6, speedup, energy, edp);
+            if (!attributed) {
+                // Where the first workload's time goes on the first
+                // configuration (kernel class x GPU/PIM x bound).
+                obs::printAttribution(pim);
+                attributed = true;
+            }
             minSpeed = std::min(minSpeed, speedup);
             maxSpeed = std::max(maxSpeed, speedup);
             minEdp = std::min(minEdp, edp);

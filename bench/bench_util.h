@@ -7,6 +7,15 @@
  * comparison), and accepts `--json <path>` to additionally emit its key
  * metrics as a JSON document so the perf trajectory stays comparable
  * across PRs (e.g. BENCH_ntt.json from bench_ntt_kernels).
+ *
+ * Every bench also accepts, for free via JsonScope:
+ *   --trace <path>    enable host-span tracing for the whole run and
+ *                     write a Chrome trace-event / Perfetto JSON file
+ *                     merging host spans with every simulated timeline
+ *   --metrics <path>  dump the global metrics registry on exit
+ *                     (JSON, or CSV when the path ends in .csv)
+ * and each --json document opens with a self-describing header block
+ * (schema version, git SHA, build type, thread count).
  */
 
 #ifndef ANAHEIM_BENCH_UTIL_H
@@ -17,6 +26,10 @@
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "obs/export.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 
 namespace anaheim::bench {
 
@@ -36,15 +49,22 @@ note(const std::string &text)
     std::printf("  %s\n", text.c_str());
 }
 
+/** Path following `--<flag> <path>` in argv, or "" when absent. */
+inline std::string
+pathFromArgs(int argc, char **argv, const std::string &flag)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (argv[i] == flag)
+            return argv[i + 1];
+    }
+    return "";
+}
+
 /** Path following a `--json` flag in argv, or "" when absent. */
 inline std::string
 jsonPathFromArgs(int argc, char **argv)
 {
-    for (int i = 1; i + 1 < argc; ++i) {
-        if (std::string(argv[i]) == "--json")
-            return argv[i + 1];
-    }
-    return "";
+    return pathFromArgs(argc, argv, "--json");
 }
 
 /**
@@ -111,6 +131,12 @@ class JsonReport
         }
         std::fprintf(f, "{\n  \"bench\": %s",
                      encodeString(benchName_).c_str());
+        // Self-describing header: every bench JSON states which commit,
+        // build type, and thread count produced it.
+        for (const auto &[key, value] : obs::exportHeader()) {
+            std::fprintf(f, ",\n  %s: %s", encodeString(key).c_str(),
+                         encodeString(value).c_str());
+        }
         for (const auto &[key, encoded] : metrics_) {
             std::fprintf(f, ",\n  %s: %s", encodeString(key).c_str(),
                          encoded.c_str());
@@ -162,10 +188,12 @@ class JsonReport
 };
 
 /**
- * One-line `--json` support for a bench main: declares a JsonReport,
- * times the whole run, and on destruction appends `total_ms` and writes
- * the document to the path given by `--json <path>` (no-op without the
- * flag). Benches add richer metrics through report().
+ * One-line `--json`/`--trace`/`--metrics` support for a bench main:
+ * declares a JsonReport, times the whole run, enables host-span tracing
+ * for the scope's lifetime when `--trace <path>` is given, and on
+ * destruction appends `total_ms`, writes the JSON document (`--json
+ * <path>`), the Chrome trace (`--trace <path>`), and the metrics dump
+ * (`--metrics <path>`). All three are no-ops without their flag.
  *
  *   int main(int argc, char **argv) {
  *       bench::JsonScope json("fig1_lintrans", argc, argv);
@@ -179,12 +207,25 @@ class JsonScope
     JsonScope(std::string benchName, int argc, char **argv)
         : report_(std::move(benchName)),
           path_(jsonPathFromArgs(argc, argv)),
+          tracePath_(pathFromArgs(argc, argv, "--trace")),
+          metricsPath_(pathFromArgs(argc, argv, "--metrics")),
           start_(std::chrono::steady_clock::now())
     {
+        if (!tracePath_.empty())
+            obs::setTracingEnabled(true);
     }
 
     ~JsonScope()
     {
+        if (!tracePath_.empty()) {
+            if (obs::writeChromeTrace(tracePath_))
+                std::printf("  trace written to %s\n", tracePath_.c_str());
+        }
+        if (!metricsPath_.empty()) {
+            if (obs::writeMetrics(metricsPath_))
+                std::printf("  metrics written to %s\n",
+                            metricsPath_.c_str());
+        }
         if (path_.empty())
             return;
         const double totalMs =
@@ -203,8 +244,20 @@ class JsonScope
   private:
     JsonReport report_;
     std::string path_;
+    std::string tracePath_;
+    std::string metricsPath_;
     std::chrono::steady_clock::time_point start_;
 };
+
+/** Record the load-bearing knobs of a resolved AnaheimConfig into a
+ *  report (one `config.<key>` metric each), so result JSON states the
+ *  architecture point that produced it. */
+inline void
+reportConfig(JsonReport &report, const AnaheimConfig &config)
+{
+    for (const auto &[key, value] : obs::configSummary(config))
+        report.metric("config." + key, value);
+}
 
 } // namespace anaheim::bench
 

@@ -18,6 +18,7 @@
 #include "anaheim/workloads.h"
 #include "common/status.h"
 #include "common/units.h"
+#include "obs/report.h"
 
 using namespace anaheim;
 
@@ -68,11 +69,7 @@ run(int argc, char **argv)
                     formatSeconds(result.totalSeconds()).c_str(),
                     formatJoules(result.energyJoules()).c_str(),
                     result.edp());
-        for (const auto &[category, ns] : result.timeNsByCategory) {
-            std::printf("  %-14s %10s (%4.1f%%)\n", category.c_str(),
-                        formatSeconds(ns * 1e-9).c_str(),
-                        100.0 * ns / result.totalNs);
-        }
+        obs::printAttribution(result);
         std::printf("  GPU DRAM traffic %s\n",
                     formatBytes(result.gpuDramBytes).c_str());
         if (result.pimInternalBytes > 0) {

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Validate Anaheim observability exports (CI gate, stdlib only).
+
+Usage:
+    validate_trace.py --trace TRACE.json [--metrics METRICS.json]
+
+Checks the Chrome trace-event document the benches emit via --trace:
+  - parses as JSON with a "traceEvents" array
+  - every event has string "ph"/"name" and numeric "pid"/"tid"
+  - only "M" (metadata) and "X" (complete) phases appear
+  - every "X" event has numeric ts/dur >= 0
+  - at least one "X" event exists, and every "X" event's pid carries a
+    process_name metadata record (so Perfetto shows named tracks)
+  - the simulated run contributes both a GPU and a PIM lane
+and, when given, the --metrics JSON dump:
+  - carries the self-describing header (schema_version, git_sha,
+    build_type, threads)
+  - every entry has name/kind/value with a known kind
+
+Exits non-zero with a message on the first violation.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate_trace(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail(f"{path}: missing 'traceEvents' array")
+
+    named_pids = set()
+    lanes = set()
+    complete = 0
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            fail(f"{path}: event {i} is not an object")
+        ph = event.get("ph")
+        if not isinstance(ph, str):
+            fail(f"{path}: event {i} missing string 'ph'")
+        if not isinstance(event.get("name"), str):
+            fail(f"{path}: event {i} missing string 'name'")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), (int, float)):
+                fail(f"{path}: event {i} missing numeric '{key}'")
+        if ph == "M":
+            if event["name"] == "process_name":
+                named_pids.add(event["pid"])
+            continue
+        if ph != "X":
+            fail(f"{path}: event {i} has unexpected phase '{ph}'")
+        for key in ("ts", "dur"):
+            value = event.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                fail(f"{path}: event {i} has bad '{key}': {value!r}")
+        complete += 1
+        lane = event.get("args", {}).get("lane")
+        if isinstance(lane, str):
+            lanes.add(lane)
+
+    if complete == 0:
+        fail(f"{path}: no complete ('X') events")
+    for i, event in enumerate(events):
+        if event.get("ph") != "M" and event["pid"] not in named_pids:
+            fail(f"{path}: event {i} references unnamed pid "
+                 f"{event['pid']}")
+    for lane in ("GPU", "PIM"):
+        if lane not in lanes:
+            fail(f"{path}: no '{lane}' lane in the simulated timeline "
+                 f"(saw: {sorted(lanes)})")
+    print(f"validate_trace: OK: {path} ({complete} events, "
+          f"{len(named_pids)} processes, lanes: {sorted(lanes)})")
+
+
+def validate_metrics(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+    for key in ("schema_version", "git_sha", "build_type", "threads"):
+        if key not in doc:
+            fail(f"{path}: missing header field '{key}'")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, list) or not metrics:
+        fail(f"{path}: missing non-empty 'metrics' array")
+    for i, entry in enumerate(metrics):
+        for key in ("name", "kind", "value"):
+            if key not in entry:
+                fail(f"{path}: metric {i} missing '{key}'")
+        if entry["kind"] not in ("counter", "gauge", "histogram"):
+            fail(f"{path}: metric {i} has unknown kind "
+                 f"'{entry['kind']}'")
+    print(f"validate_trace: OK: {path} ({len(metrics)} metrics)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", required=True,
+                        help="Chrome trace-event JSON to validate")
+    parser.add_argument("--metrics",
+                        help="metrics JSON dump to validate (optional)")
+    args = parser.parse_args()
+    validate_trace(args.trace)
+    if args.metrics:
+        validate_metrics(args.metrics)
+
+
+if __name__ == "__main__":
+    main()

@@ -5,10 +5,32 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "sim/fault.h"
 #include "trace/validate.h"
 
 namespace anaheim {
+
+bool
+timelineEntryLess(const GanttEntry &a, const GanttEntry &b)
+{
+    if (a.startNs != b.startNs)
+        return a.startNs < b.startNs;
+    if (a.device != b.device)
+        return a.device < b.device;
+    return a.phase < b.phase;
+}
+
+bool
+timelineIsCanonical(const std::vector<GanttEntry> &timeline)
+{
+    for (size_t i = 1; i < timeline.size(); ++i) {
+        if (timelineEntryLess(timeline[i], timeline[i - 1]))
+            return false;
+    }
+    return true;
+}
 
 AnaheimConfig
 AnaheimConfig::a100NearBank()
@@ -123,6 +145,7 @@ liveFootprintBytes(const OpSequence &seq)
 RunResult
 AnaheimFramework::execute(const OpSequence &seq) const
 {
+    OBS_SPAN("framework/execute");
     checkTrace(seq);
     RunResult result;
     double clock = 0.0;
@@ -219,6 +242,8 @@ AnaheimFramework::execute(const OpSequence &seq) const
         entry.startNs = clock;
         clock += durNs;
         entry.endNs = clock;
+        entry.energyPj = energyPj;
+        entry.bound = BoundBy::None;
         result.timeline.push_back(entry);
         result.timeNsByCategory[phase] += durNs;
         result.energyPj += energyPj;
@@ -426,6 +451,10 @@ AnaheimFramework::execute(const OpSequence &seq) const
             entry.startNs = clock;
             clock += pimNs;
             entry.endNs = clock;
+            entry.energyPj = pimEnergyPj;
+            // Near-bank PIM time is internal-streaming limited by
+            // construction (§VI-A all-bank lockstep).
+            entry.bound = BoundBy::Bandwidth;
             result.timeline.push_back(entry);
             result.timeNsByCategory["PIM"] += pimNs;
             result.energyPj += pimEnergyPj;
@@ -452,6 +481,10 @@ AnaheimFramework::execute(const OpSequence &seq) const
                 fallback.startNs = clock;
                 clock += gpuStats.timeNs;
                 fallback.endNs = clock;
+                fallback.energyPj = gpuStats.energyPj;
+                fallback.bound = gpuStats.memoryBound()
+                                     ? BoundBy::Bandwidth
+                                     : BoundBy::Compute;
                 result.timeline.push_back(fallback);
                 result.timeNsByCategory[kernelClassName(
                     kernelClass(op.type))] += gpuStats.timeNs;
@@ -501,6 +534,9 @@ AnaheimFramework::execute(const OpSequence &seq) const
         entry.startNs = clock;
         clock += stats.timeNs;
         entry.endNs = clock;
+        entry.energyPj = stats.energyPj;
+        entry.bound = stats.memoryBound() ? BoundBy::Bandwidth
+                                          : BoundBy::Compute;
         result.timeline.push_back(entry);
         result.timeNsByCategory[kernelClassName(kernelClass(op.type))] +=
             stats.timeNs;
@@ -511,6 +547,17 @@ AnaheimFramework::execute(const OpSequence &seq) const
     }
 
     result.totalNs = clock;
+    // Canonical timeline order — (startNs, device, phase) — so trace
+    // exports and golden comparisons are reproducible regardless of
+    // host thread count or future scheduler changes. Execution already
+    // appends in start order; the stable sort only tie-breaks.
+    std::stable_sort(result.timeline.begin(), result.timeline.end(),
+                     timelineEntryLess);
+    ANAHEIM_ASSERT(timelineIsCanonical(result.timeline),
+                   "timeline sort failed");
+    obs::publishRunMetrics(result);
+    if (config_.obs.trace || obs::tracingEnabled())
+        obs::recordRunTimeline(seq.name, result);
     return result;
 }
 

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 #include "math/modarith.h"
 
 namespace anaheim {
@@ -95,6 +96,7 @@ Bootstrapper::evalModDepth() const
 Ciphertext
 Bootstrapper::modRaise(const Ciphertext &ct) const
 {
+    OBS_SPAN("boot/modraise");
     ANAHEIM_ASSERT(ct.level == 1, "ModRaise expects a level-1 ciphertext");
     const RnsBasis fullBasis = context_.levelBasis(context_.maxLevel());
     const uint64_t q0 = context_.qBasis().prime(0);
@@ -122,6 +124,7 @@ Bootstrapper::modRaise(const Ciphertext &ct) const
 Ciphertext
 Bootstrapper::coeffToSlot(const Ciphertext &ct) const
 {
+    OBS_SPAN("boot/coeff_to_slot");
     Ciphertext current = ct;
     for (const auto &factor : ctsFactors_) {
         current = evaluator_.rescale(transformer_.apply(
@@ -133,6 +136,7 @@ Bootstrapper::coeffToSlot(const Ciphertext &ct) const
 Ciphertext
 Bootstrapper::evalMod(const Ciphertext &ct) const
 {
+    OBS_SPAN("boot/eval_mod");
     // Chebyshev cosine followed by r double-angle steps; the result is
     // sin(2*pi*t) / (2*pi) with t = m/q0 + I, i.e. ~m/(2*pi*q0).
     Ciphertext c = chebyshev_.evaluate(ct, sineCoeffs_);
@@ -148,6 +152,7 @@ Bootstrapper::evalMod(const Ciphertext &ct) const
 Ciphertext
 Bootstrapper::slotToCoeff(const Ciphertext &ct) const
 {
+    OBS_SPAN("boot/slot_to_coeff");
     Ciphertext current = ct;
     for (const auto &factor : stcFactors_) {
         current = evaluator_.rescale(transformer_.apply(
@@ -159,6 +164,7 @@ Bootstrapper::slotToCoeff(const Ciphertext &ct) const
 Ciphertext
 Bootstrapper::bootstrap(const Ciphertext &ct) const
 {
+    OBS_SPAN("boot/bootstrap");
     const size_t n = context_.degree();
 
     // 1. Exhaust remaining levels, then re-express over the full Q.

@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "obs/trace.h"
 #include "math/modarith.h"
 
 namespace anaheim {
@@ -9,6 +10,7 @@ namespace anaheim {
 std::vector<Polynomial>
 KeySwitcher::modUp(const Polynomial &a) const
 {
+    OBS_SPAN("keyswitch/modup");
     ANAHEIM_ASSERT(a.domain() == Domain::Eval, "ModUp expects Eval input");
     const size_t level = a.limbCount();
     const size_t digits = context_.digitsAtLevel(level);
@@ -75,6 +77,7 @@ std::pair<Polynomial, Polynomial>
 KeySwitcher::keyMult(const std::vector<Polynomial> &digits,
                      const EvalKey &evk) const
 {
+    OBS_SPAN("keyswitch/keymult");
     ANAHEIM_ASSERT(!digits.empty(), "no digits");
     ANAHEIM_ASSERT(digits.size() <= evk.dnum(),
                    "more digits than evk provides");
@@ -93,6 +96,7 @@ KeySwitcher::keyMult(const std::vector<Polynomial> &digits,
 Polynomial
 KeySwitcher::modDown(const Polynomial &extended) const
 {
+    OBS_SPAN("keyswitch/moddown");
     const size_t alpha = context_.alpha();
     ANAHEIM_ASSERT(extended.limbCount() > alpha, "nothing to scale down");
     const size_t level = extended.limbCount() - alpha;
@@ -125,6 +129,7 @@ KeySwitcher::modDown(const Polynomial &extended) const
 std::pair<Polynomial, Polynomial>
 KeySwitcher::keySwitch(const Polynomial &a, const EvalKey &evk) const
 {
+    OBS_SPAN("keyswitch/full");
     const auto digits = modUp(a);
     auto [d0, d1] = keyMult(digits, evk);
     return {modDown(d0), modDown(d1)};

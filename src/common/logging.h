@@ -8,6 +8,13 @@
  *  - fatal():  the run cannot continue due to a user-visible condition
  *              (bad configuration, invalid arguments). Calls exit(1).
  * Plus non-terminating status helpers warn() and inform().
+ *
+ * Every message is routed through one serialized, timestamped sink
+ * (each line carries seconds since process start), so messages from
+ * the limb-parallel workers never interleave mid-line. Verbosity is
+ * controlled by a level — Silent < Warn < Info — whose initial value
+ * comes from the ANAHEIM_LOG_LEVEL environment variable ("silent" /
+ * "warn" / "info", or 0 / 1 / 2; default Info).
  */
 
 #ifndef ANAHEIM_COMMON_LOGGING_H
@@ -19,6 +26,19 @@
 #include <string>
 
 namespace anaheim {
+
+/** Message severities the sink filters on (panic/fatal always print). */
+enum class LogLevel {
+    Silent = 0, ///< suppress warn() and inform()
+    Warn = 1,   ///< warnings only
+    Info = 2,   ///< warnings + informational status (default)
+};
+
+/** Current sink threshold. */
+LogLevel logLevel();
+
+/** Change the sink threshold at runtime (overrides the env default). */
+void setLogLevel(LogLevel level);
 
 namespace detail {
 
@@ -41,7 +61,8 @@ void informImpl(const std::string &msg);
 
 } // namespace detail
 
-/** Whether inform() messages are printed (default true). */
+/** Whether inform() messages are printed (compat shim: true iff the
+ *  level is at least Info). */
 void setVerbose(bool verbose);
 bool verbose();
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace anaheim {
 
@@ -37,6 +39,7 @@ MemoryController::enqueue(const DramRequest &request)
 double
 MemoryController::drain()
 {
+    OBS_SPAN("dram/drain");
     // FR-FCFS per bank: serve the oldest row-hit first; otherwise the
     // oldest request. Banks proceed independently (bank-level
     // parallelism); the result is the max over banks.
@@ -78,6 +81,19 @@ MemoryController::drain()
         totals_.writes += bank.engine.counts().writes;
         totals_.pres += bank.engine.counts().pres;
     }
+
+    static obs::Counter &acts =
+        obs::MetricsRegistry::global().counter("dram.row_activations");
+    static obs::Counter &reads =
+        obs::MetricsRegistry::global().counter("dram.reads");
+    static obs::Counter &writes =
+        obs::MetricsRegistry::global().counter("dram.writes");
+    static obs::Counter &drains =
+        obs::MetricsRegistry::global().counter("dram.drains");
+    acts.add(totals_.acts);
+    reads.add(totals_.reads);
+    writes.add(totals_.writes);
+    drains.add();
     return maxNs;
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace anaheim {
 
@@ -46,6 +47,13 @@ ScrubEngine::pass(double liveBytes) const
     stats.energyPj = rowsTotal * dram_.energy.actPrePj +
                      liveBytes * dram_.energy.nearBankPerBytePj;
     stats.wordsScrubbed = static_cast<uint64_t>(liveBytes / 4.0);
+
+    static obs::Counter &passes =
+        obs::MetricsRegistry::global().counter("dram.scrub.passes_priced");
+    static obs::Gauge &words =
+        obs::MetricsRegistry::global().gauge("dram.scrub.words_per_pass");
+    passes.add();
+    words.set(static_cast<double>(stats.wordsScrubbed));
     return stats;
 }
 

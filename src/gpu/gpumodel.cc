@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace anaheim {
 
@@ -160,6 +161,22 @@ GpuModel::run(const KernelOp &op, const KernelTraffic &traffic) const
                      traffic.l2Bytes * config_.energyPerL2BytePj +
                      traffic.total() * config_.energyPerDramBytePj +
                      stats.timeNs * config_.idlePowerW * 1e3; // W*ns -> pJ
+
+    // Roofline totals into the metrics registry (references cached:
+    // name lookup once per process, then relaxed atomic adds).
+    static obs::Counter &kernels =
+        obs::MetricsRegistry::global().counter("gpu.kernels");
+    static obs::Gauge &intOps =
+        obs::MetricsRegistry::global().gauge("gpu.int_ops");
+    static obs::Gauge &dramBytes =
+        obs::MetricsRegistry::global().gauge("gpu.dram_bytes");
+    static obs::Counter &memoryBound =
+        obs::MetricsRegistry::global().counter("gpu.memory_bound_kernels");
+    kernels.add();
+    intOps.add(op.intOps());
+    dramBytes.add(traffic.total());
+    if (stats.memoryBound())
+        memoryBound.add();
     return stats;
 }
 

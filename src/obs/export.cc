@@ -1,0 +1,369 @@
+#include "export.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/parallel.h"
+#include "obs/json.h"
+
+namespace anaheim::obs {
+
+namespace {
+
+/** Format version of every exported document (bench JSON, metrics,
+ *  trace "otherData"); bump on breaking layout changes. */
+constexpr int kSchemaVersion = 1;
+
+const char *
+gitSha()
+{
+#ifdef ANAHEIM_GIT_SHA
+    return ANAHEIM_GIT_SHA;
+#else
+    return "unknown";
+#endif
+}
+
+const char *
+buildType()
+{
+#ifdef ANAHEIM_BUILD_TYPE
+    return ANAHEIM_BUILD_TYPE;
+#else
+    return "unknown";
+#endif
+}
+
+std::string
+formatDouble(double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.10g", value);
+    return buf;
+}
+
+void
+appendEvent(std::ostringstream &out, bool &first, const std::string &body)
+{
+    out << (first ? "\n    {" : ",\n    {") << body << "}";
+    first = false;
+}
+
+std::string
+metadataEvent(const char *name, uint64_t pid, uint64_t tid,
+              const std::string &value)
+{
+    std::ostringstream oss;
+    oss << "\"name\": \"" << name << "\", \"ph\": \"M\", \"pid\": " << pid
+        << ", \"tid\": " << tid << ", \"args\": {\"name\": \""
+        << jsonEscape(value) << "\"}";
+    return oss.str();
+}
+
+} // namespace
+
+std::string
+jsonEscape(const std::string &value)
+{
+    std::string out;
+    out.reserve(value.size());
+    for (char c : value) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<std::pair<std::string, std::string>>
+exportHeader()
+{
+    return {
+        {"schema_version", std::to_string(kSchemaVersion)},
+        {"git_sha", gitSha()},
+        {"build_type", buildType()},
+        {"threads", std::to_string(parallelThreadCount())},
+    };
+}
+
+std::string
+chromeTraceJson(const TraceCollector &collector)
+{
+    const std::vector<HostSpan> host = collector.hostSpans();
+    const std::vector<SimSpan> sim = collector.simSpans();
+    const std::vector<std::string> runs = collector.runNames();
+
+    constexpr uint64_t kHostPid = 1;
+    constexpr uint64_t kSimPidBase = 1000;
+
+    std::ostringstream out;
+    out << "{\n  \"displayTimeUnit\": \"ms\",\n  \"otherData\": {";
+    bool firstHeader = true;
+    for (const auto &[key, value] : exportHeader()) {
+        out << (firstHeader ? "" : ", ") << "\"" << key << "\": \""
+            << jsonEscape(value) << "\"";
+        firstHeader = false;
+    }
+    out << "},\n  \"traceEvents\": [";
+    bool first = true;
+
+    // --- Host process: one track per traced thread. ---
+    if (!host.empty()) {
+        appendEvent(out, first,
+                    metadataEvent("process_name", kHostPid, 0,
+                                  "host (wall clock)"));
+        std::set<uint32_t> tids;
+        for (const HostSpan &span : host)
+            tids.insert(span.tid);
+        for (uint32_t tid : tids) {
+            appendEvent(out, first,
+                        metadataEvent("thread_name", kHostPid, tid,
+                                      tid == 0 ? "main"
+                                               : "worker " +
+                                                     std::to_string(tid)));
+        }
+        for (const HostSpan &span : host) {
+            std::ostringstream body;
+            body << "\"name\": \"" << jsonEscape(span.name)
+                 << "\", \"cat\": \"host\", \"ph\": \"X\", \"ts\": "
+                 << formatDouble(span.startUs)
+                 << ", \"dur\": " << formatDouble(span.durUs)
+                 << ", \"pid\": " << kHostPid
+                 << ", \"tid\": " << span.tid
+                 << ", \"args\": {\"depth\": " << span.depth << "}";
+            appendEvent(out, first, body.str());
+        }
+    }
+
+    // --- One process group per recorded simulated run. ---
+    for (size_t run = 0; run < runs.size(); ++run) {
+        appendEvent(out, first,
+                    metadataEvent("process_name", kSimPidBase + run, 0,
+                                  "sim: " + runs[run] + " #" +
+                                      std::to_string(run)));
+    }
+    // Lane -> tid, per run, in first-seen order with GPU/PIM pinned
+    // first so the viewer layout is stable.
+    std::map<uint64_t, std::map<std::string, uint64_t>> laneTids;
+    auto laneTid = [&](uint64_t pid, const std::string &lane) {
+        auto &lanes = laneTids[pid];
+        if (lanes.empty()) {
+            lanes["GPU"] = 1;
+            lanes["PIM"] = 2;
+        }
+        const auto it = lanes.find(lane);
+        if (it != lanes.end())
+            return it->second;
+        const uint64_t tid = lanes.size() + 1;
+        lanes.emplace(lane, tid);
+        return tid;
+    };
+    for (const SimSpan &span : sim) {
+        const uint64_t pid = kSimPidBase + span.run;
+        const uint64_t tid = laneTid(pid, span.lane);
+        std::ostringstream body;
+        body << "\"name\": \"" << jsonEscape(span.name)
+             << "\", \"cat\": \"" << jsonEscape(span.category)
+             << "\", \"ph\": \"X\", \"ts\": " << formatDouble(span.startUs)
+             << ", \"dur\": " << formatDouble(span.durUs)
+             << ", \"pid\": " << pid << ", \"tid\": " << tid
+             << ", \"args\": {\"lane\": \"" << jsonEscape(span.lane)
+             << "\", \"energy_pj\": " << formatDouble(span.energyPj)
+             << "}";
+        appendEvent(out, first, body.str());
+    }
+    for (const auto &[pid, lanes] : laneTids) {
+        for (const auto &[lane, tid] : lanes) {
+            appendEvent(out, first,
+                        metadataEvent("thread_name", pid, tid, lane));
+        }
+    }
+
+    out << "\n  ]\n}\n";
+    return out.str();
+}
+
+bool
+writeChromeTrace(const std::string &path, const TraceCollector &collector)
+{
+    if (path.empty())
+        return false;
+    std::ofstream file(path);
+    if (!file) {
+        ANAHEIM_WARN("cannot write trace to ", path);
+        return false;
+    }
+    file << chromeTraceJson(collector);
+    return static_cast<bool>(file);
+}
+
+namespace {
+
+Status
+invalid(const std::string &what)
+{
+    return Status(ErrorCode::InvalidArgument, what);
+}
+
+} // namespace
+
+Status
+validateChromeTrace(const std::string &json)
+{
+    std::string error;
+    const auto doc = parseJson(json, &error);
+    if (doc == nullptr)
+        return invalid("trace is not valid JSON: " + error);
+    if (!doc->isObject())
+        return invalid("trace document is not an object");
+    const JsonValue *events = doc->find("traceEvents");
+    if (events == nullptr || !events->isArray())
+        return invalid("missing \"traceEvents\" array");
+
+    std::set<double> namedPids;
+    size_t completeEvents = 0;
+    for (size_t i = 0; i < events->array().size(); ++i) {
+        const JsonValue &event = events->array()[i];
+        const std::string at = " (event " + std::to_string(i) + ")";
+        if (!event.isObject())
+            return invalid("traceEvents entry is not an object" + at);
+        const JsonValue *ph = event.find("ph");
+        const JsonValue *pid = event.find("pid");
+        const JsonValue *tid = event.find("tid");
+        const JsonValue *name = event.find("name");
+        if (ph == nullptr || !ph->isString())
+            return invalid("event missing string \"ph\"" + at);
+        if (pid == nullptr || !pid->isNumber())
+            return invalid("event missing numeric \"pid\"" + at);
+        if (tid == nullptr || !tid->isNumber())
+            return invalid("event missing numeric \"tid\"" + at);
+        if (name == nullptr || !name->isString())
+            return invalid("event missing string \"name\"" + at);
+        if (ph->string() == "M") {
+            if (name->string() == "process_name")
+                namedPids.insert(pid->number());
+            continue;
+        }
+        if (ph->string() != "X")
+            return invalid("unexpected phase \"" + ph->string() + "\"" +
+                           at);
+        const JsonValue *ts = event.find("ts");
+        const JsonValue *dur = event.find("dur");
+        if (ts == nullptr || !ts->isNumber())
+            return invalid("complete event missing numeric \"ts\"" + at);
+        if (dur == nullptr || !dur->isNumber())
+            return invalid("complete event missing numeric \"dur\"" + at);
+        if (ts->number() < 0.0 || dur->number() < 0.0)
+            return invalid("negative ts/dur" + at);
+        ++completeEvents;
+    }
+    if (completeEvents == 0)
+        return invalid("trace contains no complete (\"X\") events");
+    for (size_t i = 0; i < events->array().size(); ++i) {
+        const JsonValue &event = events->array()[i];
+        const JsonValue *ph = event.find("ph");
+        if (ph->string() == "M")
+            continue;
+        if (namedPids.count(event.find("pid")->number()) == 0) {
+            return invalid("event " + std::to_string(i) +
+                           " references a pid with no process_name");
+        }
+    }
+    return Status::okStatus();
+}
+
+Status
+validateChromeTraceFile(const std::string &path)
+{
+    std::ifstream file(path);
+    if (!file)
+        return invalid("cannot open " + path);
+    std::ostringstream contents;
+    contents << file.rdbuf();
+    return validateChromeTrace(contents.str());
+}
+
+std::string
+metricsJson(const MetricsSnapshot &snapshot, const std::string &source)
+{
+    std::ostringstream out;
+    out << "{\n  \"source\": \"" << jsonEscape(source) << "\"";
+    for (const auto &[key, value] : exportHeader())
+        out << ",\n  \"" << key << "\": \"" << jsonEscape(value) << "\"";
+    out << ",\n  \"metrics\": [";
+    bool first = true;
+    for (const MetricsSnapshot::Entry &entry : snapshot.entries) {
+        out << (first ? "\n    {" : ",\n    {") << "\"name\": \""
+            << jsonEscape(entry.name) << "\", \"kind\": \"" << entry.kind
+            << "\", \"value\": " << formatDouble(entry.value);
+        if (entry.kind == "histogram") {
+            out << ", \"count\": " << entry.count
+                << ", \"sum\": " << formatDouble(entry.sum)
+                << ", \"buckets\": [";
+            for (size_t i = 0; i < entry.buckets.size(); ++i) {
+                const auto &[bound, count] = entry.buckets[i];
+                out << (i == 0 ? "" : ", ") << "{\"le\": ";
+                if (std::isinf(bound))
+                    out << "\"inf\"";
+                else
+                    out << formatDouble(bound);
+                out << ", \"count\": " << count << "}";
+            }
+            out << "]";
+        }
+        out << "}";
+        first = false;
+    }
+    out << "\n  ]\n}\n";
+    return out.str();
+}
+
+std::string
+metricsCsv(const MetricsSnapshot &snapshot)
+{
+    std::ostringstream out;
+    out << "name,kind,value,count,sum\n";
+    for (const MetricsSnapshot::Entry &entry : snapshot.entries) {
+        out << entry.name << "," << entry.kind << ","
+            << formatDouble(entry.value) << "," << entry.count << ","
+            << formatDouble(entry.sum) << "\n";
+    }
+    return out.str();
+}
+
+bool
+writeMetrics(const std::string &path, MetricsRegistry &registry)
+{
+    if (path.empty())
+        return false;
+    std::ofstream file(path);
+    if (!file) {
+        ANAHEIM_WARN("cannot write metrics to ", path);
+        return false;
+    }
+    const MetricsSnapshot snapshot = registry.snapshot();
+    const bool csv =
+        path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+    file << (csv ? metricsCsv(snapshot) : metricsJson(snapshot));
+    return static_cast<bool>(file);
+}
+
+} // namespace anaheim::obs

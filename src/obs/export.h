@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Trace and metrics exporters.
+ *
+ * Chrome trace-event / Perfetto JSON: one document merging the host
+ * span tree (pid 1, one tid per traced thread) with every recorded
+ * simulated run (pid 1000+run, one tid per lane — GPU, PIM, Scrub,
+ * Checkpoint, Rollback, Verify). Open the file in https://ui.perfetto.dev
+ * or chrome://tracing. Timestamps are microseconds ("X" complete
+ * events); process/thread names ride "M" metadata events.
+ *
+ * Metrics: the registry snapshot as a flat JSON document (with the
+ * same self-describing header block the bench JSON reports carry) or
+ * as name,kind,value CSV.
+ */
+
+#ifndef ANAHEIM_OBS_EXPORT_H
+#define ANAHEIM_OBS_EXPORT_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace anaheim::obs {
+
+/** The Chrome trace document for the collector's current contents. */
+std::string chromeTraceJson(
+    const TraceCollector &collector = TraceCollector::global());
+
+/** Write chromeTraceJson() to `path`; false on I/O failure (with a
+ *  warning) or when `path` is empty (silently). */
+bool writeChromeTrace(
+    const std::string &path,
+    const TraceCollector &collector = TraceCollector::global());
+
+/**
+ * Schema-check a Chrome trace document: parses the JSON, requires a
+ * "traceEvents" array whose entries carry name/ph/pid/tid (and ts/dur
+ * for "X" events), and requires every "X" event to be attributable to
+ * a named process. Returns Ok or InvalidArgument with the first
+ * violation.
+ */
+Status validateChromeTrace(const std::string &json);
+
+/** validateChromeTrace() over a file's contents. */
+Status validateChromeTraceFile(const std::string &path);
+
+/** The metrics document for a registry snapshot. */
+std::string metricsJson(
+    const MetricsSnapshot &snapshot,
+    const std::string &source = "anaheim");
+
+/** Write the global registry's snapshot to `path`: CSV when the path
+ *  ends in ".csv", JSON otherwise. Empty path: no-op, returns false. */
+bool writeMetrics(
+    const std::string &path,
+    MetricsRegistry &registry = MetricsRegistry::global());
+
+/** name,kind,value,count,sum CSV for a snapshot. */
+std::string metricsCsv(const MetricsSnapshot &snapshot);
+
+/** JSON string escaping shared by the exporters. */
+std::string jsonEscape(const std::string &value);
+
+/** Self-describing header fields stamped into every export: schema
+ *  version, git SHA, build type, resolved thread count. */
+std::vector<std::pair<std::string, std::string>> exportHeader();
+
+} // namespace anaheim::obs
+
+#endif // ANAHEIM_OBS_EXPORT_H

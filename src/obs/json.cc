@@ -1,0 +1,304 @@
+#include "json.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+namespace anaheim::obs {
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    const auto it = object_.find(key);
+    return it == object_.end() ? nullptr : &it->second;
+}
+
+JsonValue
+JsonValue::makeNull()
+{
+    return JsonValue();
+}
+
+JsonValue
+JsonValue::makeBool(bool value)
+{
+    JsonValue v;
+    v.kind_ = Kind::Bool;
+    v.bool_ = value;
+    return v;
+}
+
+JsonValue
+JsonValue::makeNumber(double value)
+{
+    JsonValue v;
+    v.kind_ = Kind::Number;
+    v.number_ = value;
+    return v;
+}
+
+JsonValue
+JsonValue::makeString(std::string value)
+{
+    JsonValue v;
+    v.kind_ = Kind::String;
+    v.string_ = std::move(value);
+    return v;
+}
+
+JsonValue
+JsonValue::makeArray(std::vector<JsonValue> values)
+{
+    JsonValue v;
+    v.kind_ = Kind::Array;
+    v.array_ = std::move(values);
+    return v;
+}
+
+JsonValue
+JsonValue::makeObject(std::map<std::string, JsonValue> members)
+{
+    JsonValue v;
+    v.kind_ = Kind::Object;
+    v.object_ = std::move(members);
+    return v;
+}
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    std::unique_ptr<JsonValue> parse(std::string *error)
+    {
+        JsonValue value;
+        if (!parseValue(value)) {
+            if (error != nullptr)
+                *error = error_;
+            return nullptr;
+        }
+        skipWhitespace();
+        if (pos_ != text_.size()) {
+            fail("trailing characters after document");
+            if (error != nullptr)
+                *error = error_;
+            return nullptr;
+        }
+        return std::make_unique<JsonValue>(std::move(value));
+    }
+
+  private:
+    bool fail(const std::string &what)
+    {
+        if (error_.empty()) {
+            std::ostringstream oss;
+            oss << what << " at offset " << pos_;
+            error_ = oss.str();
+        }
+        return false;
+    }
+
+    void skipWhitespace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool consume(char c)
+    {
+        skipWhitespace();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool literal(const char *word)
+    {
+        const size_t len = std::string(word).size();
+        if (text_.compare(pos_, len, word) != 0)
+            return false;
+        pos_ += len;
+        return true;
+    }
+
+    bool parseValue(JsonValue &out)
+    {
+        skipWhitespace();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of document");
+        const char c = text_[pos_];
+        switch (c) {
+          case '{': return parseObject(out);
+          case '[': return parseArray(out);
+          case '"': return parseString(out);
+          case 't':
+            if (!literal("true"))
+                return fail("bad literal");
+            out = JsonValue::makeBool(true);
+            return true;
+          case 'f':
+            if (!literal("false"))
+                return fail("bad literal");
+            out = JsonValue::makeBool(false);
+            return true;
+          case 'n':
+            if (!literal("null"))
+                return fail("bad literal");
+            out = JsonValue::makeNull();
+            return true;
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool parseNumber(JsonValue &out)
+    {
+        const char *start = text_.c_str() + pos_;
+        char *end = nullptr;
+        const double value = std::strtod(start, &end);
+        if (end == start)
+            return fail("expected a value");
+        // Reject strtod-isms JSON forbids (hex, inf, nan, leading '+').
+        for (const char *p = start; p != end; ++p) {
+            const char ch = *p;
+            const bool ok = (ch >= '0' && ch <= '9') || ch == '-' ||
+                            ch == '+' || ch == '.' || ch == 'e' ||
+                            ch == 'E';
+            if (!ok)
+                return fail("malformed number");
+        }
+        if (*start == '+')
+            return fail("malformed number");
+        pos_ += static_cast<size_t>(end - start);
+        out = JsonValue::makeNumber(value);
+        return true;
+    }
+
+    bool parseString(JsonValue &out)
+    {
+        std::string s;
+        if (!parseRawString(s))
+            return false;
+        out = JsonValue::makeString(std::move(s));
+        return true;
+    }
+
+    bool parseRawString(std::string &out)
+    {
+        if (!consume('"'))
+            return fail("expected string");
+        out.clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    return fail("unterminated escape");
+                const char esc = text_[pos_++];
+                switch (esc) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': {
+                    // Keep \uXXXX escapes verbatim; the exporters never
+                    // emit them and the validator only compares ASCII.
+                    if (pos_ + 4 > text_.size())
+                        return fail("truncated \\u escape");
+                    out += "\\u";
+                    out += text_.substr(pos_, 4);
+                    pos_ += 4;
+                    break;
+                  }
+                  default: return fail("bad escape");
+                }
+            } else {
+                out += c;
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool parseArray(JsonValue &out)
+    {
+        if (!consume('['))
+            return fail("expected array");
+        std::vector<JsonValue> values;
+        skipWhitespace();
+        if (consume(']')) {
+            out = JsonValue::makeArray(std::move(values));
+            return true;
+        }
+        while (true) {
+            JsonValue value;
+            if (!parseValue(value))
+                return false;
+            values.push_back(std::move(value));
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                break;
+            return fail("expected ',' or ']'");
+        }
+        out = JsonValue::makeArray(std::move(values));
+        return true;
+    }
+
+    bool parseObject(JsonValue &out)
+    {
+        if (!consume('{'))
+            return fail("expected object");
+        std::map<std::string, JsonValue> members;
+        skipWhitespace();
+        if (consume('}')) {
+            out = JsonValue::makeObject(std::move(members));
+            return true;
+        }
+        while (true) {
+            skipWhitespace();
+            std::string key;
+            if (!parseRawString(key))
+                return false;
+            if (!consume(':'))
+                return fail("expected ':'");
+            JsonValue value;
+            if (!parseValue(value))
+                return false;
+            members.emplace(std::move(key), std::move(value));
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                break;
+            return fail("expected ',' or '}'");
+        }
+        out = JsonValue::makeObject(std::move(members));
+        return true;
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+    std::string error_;
+};
+
+} // namespace
+
+std::unique_ptr<JsonValue>
+parseJson(const std::string &text, std::string *error)
+{
+    return Parser(text).parse(error);
+}
+
+} // namespace anaheim::obs

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Minimal JSON value model + recursive-descent parser. Exists so the
+ * exporters' output can be schema-validated in-process (tests, the
+ * trace validator behind CI) without an external dependency; it is a
+ * strict-enough subset parser (no comments, no trailing commas,
+ * doubles for all numbers) — not a general-purpose JSON library.
+ */
+
+#ifndef ANAHEIM_OBS_JSON_H
+#define ANAHEIM_OBS_JSON_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace anaheim::obs {
+
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    JsonValue() = default;
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    bool boolean() const { return bool_; }
+    double number() const { return number_; }
+    const std::string &string() const { return string_; }
+    const std::vector<JsonValue> &array() const { return array_; }
+    const std::map<std::string, JsonValue> &object() const
+    {
+        return object_;
+    }
+
+    /** Object member by key, or nullptr (also for non-objects). */
+    const JsonValue *find(const std::string &key) const;
+
+    static JsonValue makeNull();
+    static JsonValue makeBool(bool value);
+    static JsonValue makeNumber(double value);
+    static JsonValue makeString(std::string value);
+    static JsonValue makeArray(std::vector<JsonValue> values);
+    static JsonValue makeObject(std::map<std::string, JsonValue> members);
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> array_;
+    std::map<std::string, JsonValue> object_;
+};
+
+/**
+ * Parse `text` as one JSON document. On failure returns nullptr and,
+ * when `error` is non-null, stores a message with the byte offset.
+ * Trailing non-whitespace after the document is an error.
+ */
+std::unique_ptr<JsonValue> parseJson(const std::string &text,
+                                     std::string *error = nullptr);
+
+} // namespace anaheim::obs
+
+#endif // ANAHEIM_OBS_JSON_H

@@ -1,0 +1,198 @@
+#include "metrics.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/status.h"
+
+namespace anaheim::obs {
+
+Histogram::Histogram(std::vector<double> upperBounds)
+    : bounds_(std::move(upperBounds)), buckets_(bounds_.size() + 1)
+{
+    ANAHEIM_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()),
+                  InvalidArgument,
+                  "histogram bounds must be sorted ascending");
+}
+
+void
+Histogram::observe(double value)
+{
+    const auto it =
+        std::lower_bound(bounds_.begin(), bounds_.end(), value);
+    const size_t bucket = static_cast<size_t>(it - bounds_.begin());
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    double current = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(current, current + value,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+std::vector<uint64_t>
+Histogram::bucketCounts() const
+{
+    std::vector<uint64_t> counts(buckets_.size());
+    for (size_t i = 0; i < buckets_.size(); ++i)
+        counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    return counts;
+}
+
+double
+Histogram::sum() const
+{
+    return sum_.load(std::memory_order_relaxed);
+}
+
+void
+Histogram::reset()
+{
+    for (auto &bucket : buckets_)
+        bucket.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+}
+
+const MetricsSnapshot::Entry *
+MetricsSnapshot::find(const std::string &name) const
+{
+    for (const Entry &entry : entries) {
+        if (entry.name == name)
+            return &entry;
+    }
+    return nullptr;
+}
+
+struct MetricsRegistry::Instrument {
+    const char *kind = "";
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+};
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry *registry = new MetricsRegistry();
+    // Leaked deliberately: call sites cache instrument references in
+    // function-local statics whose teardown order is unspecified.
+    return *registry;
+}
+
+MetricsRegistry::Instrument &
+MetricsRegistry::lookup(const std::string &name, const char *kind)
+{
+    auto it = instruments_.find(name);
+    if (it == instruments_.end()) {
+        auto instrument = std::make_unique<Instrument>();
+        instrument->kind = kind;
+        it = instruments_.emplace(name, std::move(instrument)).first;
+    }
+    ANAHEIM_CHECK(std::string(it->second->kind) == kind,
+                  InvalidArgument, "metric '", name,
+                  "' already registered as a ", it->second->kind,
+                  ", requested as a ", kind);
+    return *it->second;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Instrument &instrument = lookup(name, "counter");
+    if (!instrument.counter)
+        instrument.counter = std::make_unique<Counter>();
+    return *instrument.counter;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Instrument &instrument = lookup(name, "gauge");
+    if (!instrument.gauge)
+        instrument.gauge = std::make_unique<Gauge>();
+    return *instrument.gauge;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name,
+                           std::vector<double> upperBounds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Instrument &instrument = lookup(name, "histogram");
+    if (!instrument.histogram) {
+        instrument.histogram =
+            std::make_unique<Histogram>(std::move(upperBounds));
+    } else {
+        ANAHEIM_CHECK(instrument.histogram->bounds() == upperBounds,
+                      InvalidArgument, "histogram '", name,
+                      "' re-registered with different bounds");
+    }
+    return *instrument.histogram;
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    MetricsSnapshot snap;
+    snap.entries.reserve(instruments_.size());
+    for (const auto &[name, instrument] : instruments_) {
+        MetricsSnapshot::Entry entry;
+        entry.name = name;
+        entry.kind = instrument->kind;
+        if (instrument->counter) {
+            entry.value =
+                static_cast<double>(instrument->counter->value());
+            entry.count = instrument->counter->value();
+        } else if (instrument->gauge) {
+            entry.value = instrument->gauge->value();
+        } else if (instrument->histogram) {
+            const Histogram &h = *instrument->histogram;
+            entry.count = h.count();
+            entry.sum = h.sum();
+            entry.value =
+                h.count() > 0
+                    ? h.sum() / static_cast<double>(h.count())
+                    : 0.0;
+            const auto counts = h.bucketCounts();
+            const auto &bounds = h.bounds();
+            for (size_t i = 0; i < counts.size(); ++i) {
+                const double bound =
+                    i < bounds.size()
+                        ? bounds[i]
+                        : std::numeric_limits<double>::infinity();
+                entry.buckets.emplace_back(bound, counts[i]);
+            }
+        }
+        snap.entries.push_back(std::move(entry));
+    }
+    // std::map iteration is already name-sorted; keep the invariant
+    // explicit for readers of MetricsSnapshot.
+    return snap;
+}
+
+size_t
+MetricsRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return instruments_.size();
+}
+
+void
+MetricsRegistry::resetAll()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[name, instrument] : instruments_) {
+        (void)name;
+        if (instrument->counter)
+            instrument->counter->reset();
+        if (instrument->gauge)
+            instrument->gauge->reset();
+        if (instrument->histogram)
+            instrument->histogram->reset();
+    }
+}
+
+} // namespace anaheim::obs

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Per-kernel attribution over a RunResult: the paper's Fig. 8/9-style
+ * breakdown (kernel class x GPU-vs-PIM x compute-vs-bandwidth-bound)
+ * computed from `RunResult::timeline` in one place, replacing the
+ * per-bench printf breakdowns. Also the glue that publishes a run's
+ * counters into the metrics registry and its timeline into the trace
+ * collector.
+ */
+
+#ifndef ANAHEIM_OBS_REPORT_H
+#define ANAHEIM_OBS_REPORT_H
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "anaheim/framework.h"
+#include "obs/metrics.h"
+
+namespace anaheim::obs {
+
+/** One (category, execution-mode) cell of the attribution table. */
+struct AttributionCell {
+    double ns = 0.0;
+    double energyPj = 0.0;
+    uint64_t kernels = 0;
+};
+
+/**
+ * Attribution of a run's time/energy. Rows are the paper's breakdown
+ * categories — the four kernel classes for GPU work, "PIM" for
+ * offloaded segments, and one row per maintenance phase (Scrub /
+ * Checkpoint / Rollback / Verify). Columns split each row by what
+ * bounded the time.
+ */
+struct AttributionReport {
+    /** Fixed column order: GPU-compute, GPU-bandwidth, PIM, Other. */
+    static const std::vector<std::string> &modes();
+
+    /** rows[category][mode] — absent cells mean zero. */
+    std::map<std::string, std::map<std::string, AttributionCell>> rows;
+    double totalNs = 0.0;
+    double totalEnergyPj = 0.0;
+
+    /** Per-category time totals; reproduces `timeNsByCategory` exactly
+     *  (same additions, grouped by timeline entry instead of streamed
+     *  during execution). */
+    std::map<std::string, double> categoryTotalsNs() const;
+};
+
+/** Breakdown category of one timeline entry: kernel-class name for GPU
+ *  entries, "PIM" for PIM entries, the phase for maintenance entries —
+ *  the key execute() uses for `timeNsByCategory`. */
+std::string attributionCategory(const GanttEntry &entry);
+
+/** Execution-mode column of one timeline entry. */
+std::string attributionMode(const GanttEntry &entry);
+
+/** Build the attribution table from a run's timeline. */
+AttributionReport buildAttribution(const RunResult &result);
+
+/** Print the table (category rows x mode columns, ms and % shares). */
+void printAttribution(const RunResult &result, std::FILE *out = stdout);
+
+/**
+ * Record a run's simulated timeline into the global trace collector as
+ * one run (its own process group in the exported trace): GPU and PIM
+ * lanes plus one lane per maintenance phase.
+ */
+uint32_t recordRunTimeline(const std::string &name,
+                           const RunResult &result);
+
+/**
+ * Publish a run's statistics into `registry`: every ResilienceStats
+ * counter under "resilience.", run totals under "run.", and the
+ * per-category time split under "run.time_ns.<category>". Counters
+ * accumulate across runs; gauges hold the latest run.
+ */
+void publishRunMetrics(const RunResult &result,
+                       MetricsRegistry &registry = MetricsRegistry::global());
+
+/**
+ * Flat key/value description of a resolved AnaheimConfig (gpu/dram/pim
+ * names and the load-bearing knobs), for self-describing bench JSON
+ * headers and metrics dumps.
+ */
+std::vector<std::pair<std::string, std::string>> configSummary(
+    const AnaheimConfig &config);
+
+} // namespace anaheim::obs
+
+#endif // ANAHEIM_OBS_REPORT_H

@@ -3,6 +3,7 @@
 #include <array>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 #include "common/status.h"
 
 namespace anaheim {
@@ -98,6 +99,7 @@ PimFunctionalUnit::sub(const PimVector &a, const PimVector &b) const
 PimVector
 PimFunctionalUnit::mult(const PimVector &a, const PimVector &b) const
 {
+    OBS_SPAN("pim/func/mult");
     ANAHEIM_CHECK(!a.empty() && a.size() == b.size(), InvalidArgument,
                   "Mult operand size mismatch: ", a.size(), " vs ",
                   b.size());
@@ -112,6 +114,7 @@ PimVector
 PimFunctionalUnit::mac(const PimVector &a, const PimVector &b,
                        const PimVector &c) const
 {
+    OBS_SPAN("pim/func/mac");
     ANAHEIM_CHECK(c.size() == a.size(), InvalidArgument,
                   "Mac accumulator size mismatch: ", c.size(), " vs ",
                   a.size());
@@ -189,6 +192,7 @@ std::array<PimVector, 3>
 PimFunctionalUnit::tensor(const PimVector &a, const PimVector &b,
                           const PimVector &c, const PimVector &d) const
 {
+    OBS_SPAN("pim/func/tensor");
     ANAHEIM_CHECK(!a.empty() && a.size() == b.size() &&
                       a.size() == c.size() && a.size() == d.size(),
                   InvalidArgument, "Tensor operand size mismatch: ",
@@ -204,6 +208,7 @@ PimVector
 PimFunctionalUnit::modDownEp(const PimVector &a, const PimVector &b,
                              uint32_t constant) const
 {
+    OBS_SPAN("pim/func/moddown_ep");
     ANAHEIM_CHECK(!a.empty() && a.size() == b.size(), InvalidArgument,
                   "ModDownEp operand size mismatch: ", a.size(), " vs ",
                   b.size());
@@ -215,6 +220,7 @@ PimFunctionalUnit::pAccum(const std::vector<PimVector> &a,
                           const std::vector<PimVector> &b,
                           const std::vector<PimVector> &p) const
 {
+    OBS_SPAN("pim/func/paccum");
     ANAHEIM_CHECK(!a.empty() && a.size() == b.size() &&
                       a.size() == p.size(),
                   InvalidArgument, "PAccum fan-in mismatch: ", a.size(),

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace anaheim {
 
@@ -261,13 +262,24 @@ PimKernelModel::execute(PimOpcode opcode, size_t fanIn, size_t limbs,
     }
 
     const PimInstrProfile profile = pimInstrProfile(opcode, fanIn);
+    PimExecStats stats;
     switch (pim_.variant) {
       case PimVariant::NearBank:
-        return executeNearBank(profile, limbs, n);
+        stats = executeNearBank(profile, limbs, n);
+        break;
       case PimVariant::CustomHbm:
-        return executeCustomHbm(profile, limbs, n);
+        stats = executeCustomHbm(profile, limbs, n);
+        break;
+      default:
+        ANAHEIM_PANIC("unknown PIM variant");
     }
-    ANAHEIM_PANIC("unknown PIM variant");
+    static obs::Counter &instructions =
+        obs::MetricsRegistry::global().counter("pim.model.instructions");
+    static obs::Gauge &chunks =
+        obs::MetricsRegistry::global().gauge("pim.model.chunks_moved");
+    instructions.add();
+    chunks.add(stats.chunksMoved);
+    return stats;
 }
 
 PimExecStats

@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Exporter and attribution tests over a real simulated run: the Chrome
+ * trace document validates against its own schema checker and parses
+ * with the expected event fields and lanes; the attribution report's
+ * category totals reproduce `RunResult::timeNsByCategory`; the
+ * timeline leaves execute() in canonical order; metrics exports carry
+ * the self-describing header.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "anaheim/framework.h"
+#include "obs/export.h"
+#include "obs/json.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "trace/builders.h"
+
+namespace anaheim::obs {
+namespace {
+
+RunResult
+smallRun(AnaheimConfig config = AnaheimConfig::a100NearBank())
+{
+    OpSequence seq = buildHMult(TraceParams{});
+    seq.name = "hmult";
+    return AnaheimFramework(config).execute(seq);
+}
+
+class ExportTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        wasEnabled_ = tracingEnabled();
+        setTracingEnabled(false);
+        TraceCollector::global().clear();
+    }
+
+    void
+    TearDown() override
+    {
+        setTracingEnabled(wasEnabled_);
+        TraceCollector::global().clear();
+    }
+
+    bool wasEnabled_ = false;
+};
+
+TEST_F(ExportTest, ChromeTraceValidatesAndParses)
+{
+    setTracingEnabled(true);
+    {
+        OBS_SPAN("test/export");
+        const RunResult result = smallRun(); // records its timeline
+        ASSERT_FALSE(result.timeline.empty());
+    }
+    setTracingEnabled(false);
+
+    const std::string json = chromeTraceJson();
+    EXPECT_TRUE(validateChromeTrace(json).ok())
+        << validateChromeTrace(json).toString();
+
+    // Independent parse: the schema fields Perfetto/chrome://tracing
+    // require must be present on every complete event.
+    std::string error;
+    const auto doc = parseJson(json, &error);
+    ASSERT_NE(doc, nullptr) << error;
+    const JsonValue *events = doc->find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+
+    std::set<std::string> lanes;
+    std::set<std::string> phases;
+    bool sawHostSpan = false;
+    for (const JsonValue &event : events->array()) {
+        const JsonValue *ph = event.find("ph");
+        ASSERT_NE(ph, nullptr);
+        phases.insert(ph->string());
+        ASSERT_NE(event.find("pid"), nullptr);
+        ASSERT_NE(event.find("tid"), nullptr);
+        EXPECT_TRUE(event.find("pid")->isNumber());
+        EXPECT_TRUE(event.find("tid")->isNumber());
+        if (ph->string() == "X") {
+            ASSERT_NE(event.find("ts"), nullptr);
+            ASSERT_NE(event.find("dur"), nullptr);
+            EXPECT_GE(event.find("ts")->number(), 0.0);
+            EXPECT_GE(event.find("dur")->number(), 0.0);
+            if (event.find("name")->string() == "test/export")
+                sawHostSpan = true;
+            const JsonValue *args = event.find("args");
+            if (args != nullptr && args->find("lane") != nullptr)
+                lanes.insert(args->find("lane")->string());
+        }
+    }
+    EXPECT_TRUE(sawHostSpan);
+    // Only metadata ("M") and complete ("X") events are emitted.
+    for (const std::string &phase : phases)
+        EXPECT_TRUE(phase == "M" || phase == "X") << phase;
+    // The simulated run contributes both execution lanes.
+    EXPECT_TRUE(lanes.count("GPU")) << "lanes missing GPU";
+    EXPECT_TRUE(lanes.count("PIM")) << "lanes missing PIM";
+
+    // Header block rides "otherData".
+    const JsonValue *other = doc->find("otherData");
+    ASSERT_NE(other, nullptr);
+    ASSERT_NE(other->find("schema_version"), nullptr);
+    ASSERT_NE(other->find("git_sha"), nullptr);
+}
+
+TEST_F(ExportTest, WriteAndValidateTraceFile)
+{
+    AnaheimConfig config = AnaheimConfig::a100NearBank();
+    config.obs.trace = true; // sim-timeline recording without host spans
+    const RunResult result = smallRun(config);
+    ASSERT_FALSE(result.timeline.empty());
+
+    const std::string path =
+        ::testing::TempDir() + "/anaheim_export_test_trace.json";
+    ASSERT_TRUE(writeChromeTrace(path));
+    EXPECT_TRUE(validateChromeTraceFile(path).ok())
+        << validateChromeTraceFile(path).toString();
+    std::remove(path.c_str());
+}
+
+TEST_F(ExportTest, ValidatorRejectsBrokenTraces)
+{
+    EXPECT_FALSE(validateChromeTrace("not json").ok());
+    EXPECT_FALSE(validateChromeTrace("{}").ok());
+    EXPECT_FALSE(validateChromeTrace("{\"traceEvents\": 3}").ok());
+    // No complete events.
+    EXPECT_FALSE(validateChromeTrace("{\"traceEvents\": []}").ok());
+    // Complete event missing ts.
+    EXPECT_FALSE(
+        validateChromeTrace(
+            "{\"traceEvents\": [{\"name\": \"a\", \"ph\": \"X\", "
+            "\"pid\": 1, \"tid\": 1, \"dur\": 1}]}")
+            .ok());
+    // Complete event whose pid has no process_name metadata.
+    EXPECT_FALSE(
+        validateChromeTrace(
+            "{\"traceEvents\": [{\"name\": \"a\", \"ph\": \"X\", "
+            "\"pid\": 1, \"tid\": 1, \"ts\": 0, \"dur\": 1}]}")
+            .ok());
+}
+
+TEST_F(ExportTest, AttributionMatchesTimeNsByCategory)
+{
+    const RunResult result = smallRun();
+    const AttributionReport report = buildAttribution(result);
+    const auto totals = report.categoryTotalsNs();
+
+    // Same keys, same totals (to rounding): the report re-derives the
+    // category split from the timeline that execute() streamed into
+    // timeNsByCategory.
+    EXPECT_EQ(totals.size(), result.timeNsByCategory.size());
+    for (const auto &[category, ns] : result.timeNsByCategory) {
+        ASSERT_TRUE(totals.count(category)) << category;
+        EXPECT_NEAR(totals.at(category), ns, 1e-6 * (1.0 + ns))
+            << category;
+    }
+    EXPECT_NEAR(report.totalNs, result.totalNs,
+                1e-6 * (1.0 + result.totalNs));
+    EXPECT_NEAR(report.totalEnergyPj, result.energyPj,
+                1e-6 * (1.0 + result.energyPj));
+}
+
+TEST_F(ExportTest, AttributionReportShape)
+{
+    const RunResult result = smallRun();
+    const AttributionReport report = buildAttribution(result);
+
+    // HMult on the A100 near-bank config offloads element-wise work:
+    // a PIM row and at least one GPU-mode cell must be populated.
+    ASSERT_TRUE(report.rows.count("PIM"));
+    EXPECT_GT(report.rows.at("PIM").at("PIM").ns, 0.0);
+    double gpuNs = 0.0;
+    for (const auto &[category, cells] : report.rows) {
+        (void)category;
+        for (const auto &[mode, cell] : cells) {
+            if (mode == "GPU-compute" || mode == "GPU-bandwidth")
+                gpuNs += cell.ns;
+        }
+    }
+    EXPECT_GT(gpuNs, 0.0);
+
+    // Pinned print format: header columns and the total row. The table
+    // renders through one code path for every consumer, so this is the
+    // regression surface.
+    std::string text;
+    {
+        std::FILE *f = std::tmpfile();
+        ASSERT_NE(f, nullptr);
+        printAttribution(result, f);
+        std::rewind(f);
+        char buf[4096];
+        size_t n;
+        while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+            text.append(buf, n);
+        std::fclose(f);
+    }
+    EXPECT_NE(text.find("category"), std::string::npos);
+    EXPECT_NE(text.find("GPU-comp ms"), std::string::npos);
+    EXPECT_NE(text.find("PIM ms"), std::string::npos);
+    EXPECT_NE(text.find("total"), std::string::npos);
+    EXPECT_NE(text.find("100.0%"), std::string::npos);
+}
+
+TEST_F(ExportTest, TimelineLeavesExecuteInCanonicalOrder)
+{
+    const RunResult result = smallRun();
+    ASSERT_FALSE(result.timeline.empty());
+    EXPECT_TRUE(timelineIsCanonical(result.timeline));
+    for (const GanttEntry &entry : result.timeline)
+        EXPECT_GE(entry.endNs, entry.startNs) << entry.phase;
+}
+
+TEST_F(ExportTest, MetricsJsonCarriesHeaderAndEntries)
+{
+    MetricsRegistry::global().counter("test.export.counter").add(3);
+    MetricsRegistry::global().gauge("test.export.gauge").set(1.5);
+    const std::string json =
+        metricsJson(MetricsRegistry::global().snapshot(), "test");
+
+    std::string error;
+    const auto doc = parseJson(json, &error);
+    ASSERT_NE(doc, nullptr) << error;
+    ASSERT_NE(doc->find("schema_version"), nullptr);
+    ASSERT_NE(doc->find("git_sha"), nullptr);
+    ASSERT_NE(doc->find("build_type"), nullptr);
+    ASSERT_NE(doc->find("threads"), nullptr);
+    const JsonValue *metrics = doc->find("metrics");
+    ASSERT_NE(metrics, nullptr);
+    ASSERT_TRUE(metrics->isArray());
+    bool sawCounter = false;
+    for (const JsonValue &entry : metrics->array()) {
+        ASSERT_NE(entry.find("name"), nullptr);
+        ASSERT_NE(entry.find("kind"), nullptr);
+        ASSERT_NE(entry.find("value"), nullptr);
+        if (entry.find("name")->string() == "test.export.counter") {
+            sawCounter = true;
+            EXPECT_EQ(entry.find("kind")->string(), "counter");
+            EXPECT_GE(entry.find("value")->number(), 3.0);
+        }
+    }
+    EXPECT_TRUE(sawCounter);
+}
+
+TEST_F(ExportTest, MetricsCsvHasHeaderAndRows)
+{
+    MetricsRegistry::global().counter("test.export.csv").add();
+    const std::string csv =
+        metricsCsv(MetricsRegistry::global().snapshot());
+    EXPECT_EQ(csv.rfind("name,kind,value,count,sum\n", 0), 0u);
+    EXPECT_NE(csv.find("test.export.csv,counter,"), std::string::npos);
+}
+
+TEST_F(ExportTest, PublishRunMetricsExposesRunTotals)
+{
+    const RunResult result = smallRun();
+    // execute() already published; check the gauges carry this run.
+    const MetricsSnapshot snapshot = MetricsRegistry::global().snapshot();
+    const MetricsSnapshot::Entry *total = snapshot.find("run.total_ns");
+    ASSERT_NE(total, nullptr);
+    EXPECT_DOUBLE_EQ(total->value, result.totalNs);
+    const MetricsSnapshot::Entry *execs = snapshot.find("run.executions");
+    ASSERT_NE(execs, nullptr);
+    EXPECT_GE(execs->value, 1.0);
+    for (const auto &[category, ns] : result.timeNsByCategory) {
+        const MetricsSnapshot::Entry *entry =
+            snapshot.find("run.time_ns." + category);
+        ASSERT_NE(entry, nullptr) << category;
+        EXPECT_DOUBLE_EQ(entry->value, ns) << category;
+    }
+}
+
+TEST_F(ExportTest, ConfigSummaryNamesTheArchitecturePoint)
+{
+    const auto kv = configSummary(AnaheimConfig::a100NearBank());
+    auto value = [&](const std::string &key) -> std::string {
+        for (const auto &[k, v] : kv)
+            if (k == key)
+                return v;
+        return "<missing>";
+    };
+    EXPECT_EQ(value("gpu"), "A100 80GB");
+    EXPECT_EQ(value("pim_enabled"), "true");
+    EXPECT_EQ(value("pim_variant"), "near-bank");
+    EXPECT_EQ(value("obs_trace"), "false");
+}
+
+} // namespace
+} // namespace anaheim::obs

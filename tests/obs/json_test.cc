@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Parser tests for the in-process JSON subset the exporters are
+ * validated with: value kinds, nesting, escapes, and rejection of the
+ * malformed documents a broken exporter would most plausibly emit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+
+namespace anaheim::obs {
+namespace {
+
+TEST(Json, ParsesScalars)
+{
+    EXPECT_TRUE(parseJson("null")->isNull());
+    EXPECT_TRUE(parseJson("true")->boolean());
+    EXPECT_FALSE(parseJson("false")->boolean());
+    EXPECT_DOUBLE_EQ(parseJson("42")->number(), 42.0);
+    EXPECT_DOUBLE_EQ(parseJson("-1.5e3")->number(), -1500.0);
+    EXPECT_EQ(parseJson("\"hi\"")->string(), "hi");
+}
+
+TEST(Json, ParsesNestedDocument)
+{
+    const auto doc = parseJson(
+        R"({"a": [1, 2, {"b": "x"}], "c": {"d": null}, "e": -0.25})");
+    ASSERT_NE(doc, nullptr);
+    ASSERT_TRUE(doc->isObject());
+    const JsonValue *a = doc->find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_TRUE(a->isArray());
+    ASSERT_EQ(a->array().size(), 3u);
+    EXPECT_DOUBLE_EQ(a->array()[1].number(), 2.0);
+    const JsonValue *b = a->array()[2].find("b");
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(b->string(), "x");
+    EXPECT_TRUE(doc->find("c")->find("d")->isNull());
+    EXPECT_DOUBLE_EQ(doc->find("e")->number(), -0.25);
+    EXPECT_EQ(doc->find("missing"), nullptr);
+}
+
+TEST(Json, ParsesStringEscapes)
+{
+    const auto doc = parseJson(R"("line\n\"quote\"\t\\end")");
+    ASSERT_NE(doc, nullptr);
+    EXPECT_EQ(doc->string(), "line\n\"quote\"\t\\end");
+}
+
+TEST(Json, RejectsMalformedDocuments)
+{
+    std::string error;
+    EXPECT_EQ(parseJson("", &error), nullptr);
+    EXPECT_EQ(parseJson("{", &error), nullptr);
+    EXPECT_EQ(parseJson("[1, 2,]", &error), nullptr);
+    EXPECT_EQ(parseJson("{\"a\" 1}", &error), nullptr);
+    EXPECT_EQ(parseJson("\"unterminated", &error), nullptr);
+    EXPECT_EQ(parseJson("nul", &error), nullptr);
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(Json, RejectsTrailingContent)
+{
+    std::string error;
+    EXPECT_EQ(parseJson("{} extra", &error), nullptr);
+    EXPECT_NE(parseJson("{}  \n ", &error), nullptr); // whitespace ok
+}
+
+} // namespace
+} // namespace anaheim::obs
