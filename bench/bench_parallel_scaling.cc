@@ -119,7 +119,7 @@ run(int argc, char **argv)
                                            Domain::Coeff);
     const BasisConverter bconv(context.qBasis(), context.pBasis());
     Rng rng(7);
-    std::vector<std::vector<uint64_t>> bconvInput(context.qBasis().size());
+    std::vector<CoeffVector> bconvInput(context.qBasis().size());
     for (size_t i = 0; i < bconvInput.size(); ++i) {
         bconvInput[i] = sampleUniform(rng, n, context.qBasis().prime(i));
     }
@@ -138,7 +138,7 @@ run(int argc, char **argv)
 
     // 1-thread reference outputs for the bitwise-identity check.
     Polynomial nttRef;
-    std::vector<std::vector<uint64_t>> bconvRef;
+    std::vector<CoeffVector> bconvRef;
     Polynomial ksRef0, ksRef1;
     std::vector<DiagMatrix> dftRef;
 
@@ -152,7 +152,7 @@ run(int argc, char **argv)
                                    }),
                                    true});
 
-        std::vector<std::vector<uint64_t>> bconvOut;
+        std::vector<CoeffVector> bconvOut;
         rows[1].results.push_back(
             {bestMs([&] { bconvOut = bconv.convert(bconvInput); }), true});
 

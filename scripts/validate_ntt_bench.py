@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Schema check for bench_ntt_kernels --json output (BENCH_ntt.json).
+
+The NTT bench emits one row per (logN, backend) so the perf trajectory
+of every kernel backend stays machine-comparable across PRs. CI runs
+this after the bench to catch schema drift (a renamed key silently
+breaks trend tooling) and semantic nonsense (a "speedup" below zero, a
+logN group with no reference row, a backend name the dispatcher does
+not know).
+
+Usage: validate_ntt_bench.py [path-to-json]   (default: BENCH_ntt.json)
+Exits 0 when the document conforms, 1 with a message per violation.
+"""
+
+import json
+import sys
+
+KNOWN_BACKENDS = ("reference", "scalar", "avx2", "avx512")
+
+TOP_LEVEL_REQUIRED = {
+    "bench": str,
+    "prime_bits": (int, float),
+    "bitwise_identical": str,
+    "fwd_speedup_at_2e16": (int, float),
+    "best_backend": str,
+    "rows": list,
+}
+
+ROW_REQUIRED = {
+    "logn": (int, float),
+    "n": (int, float),
+    "q": (int, float),
+    "backend": str,
+    "fwd_ns_per_butterfly": (int, float),
+    "inv_ns_per_butterfly": (int, float),
+    "fwd_transforms_per_sec": (int, float),
+    "fwd_speedup": (int, float),
+}
+
+
+def validate(doc):
+    errors = []
+
+    for key, want in TOP_LEVEL_REQUIRED.items():
+        if key not in doc:
+            errors.append(f"missing top-level key '{key}'")
+        elif not isinstance(doc[key], want):
+            errors.append(
+                f"top-level '{key}' has type {type(doc[key]).__name__}")
+    if errors:
+        return errors
+
+    if doc["bench"] != "ntt_kernels":
+        errors.append(f"bench is '{doc['bench']}', want 'ntt_kernels'")
+    if doc["bitwise_identical"] != "yes":
+        errors.append("bitwise_identical is not 'yes' — a kernel "
+                      "backend diverged from the reference oracle")
+    if doc["best_backend"] not in KNOWN_BACKENDS:
+        errors.append(f"unknown best_backend '{doc['best_backend']}'")
+    if doc["fwd_speedup_at_2e16"] < 1.0:
+        errors.append("fwd_speedup_at_2e16 below 1.0: lazy kernels "
+                      "slower than the division-based reference")
+
+    groups = {}
+    for i, row in enumerate(doc["rows"]):
+        for key, want in ROW_REQUIRED.items():
+            if key not in row:
+                errors.append(f"row {i}: missing key '{key}'")
+            elif not isinstance(row[key], want):
+                errors.append(f"row {i}: '{key}' has type "
+                              f"{type(row[key]).__name__}")
+        if any(f"row {i}:" in e for e in errors):
+            continue
+        if row["backend"] not in KNOWN_BACKENDS:
+            errors.append(f"row {i}: unknown backend "
+                          f"'{row['backend']}'")
+        if row["n"] != 2 ** int(row["logn"]):
+            errors.append(f"row {i}: n={row['n']} != 2^{row['logn']}")
+        for key in ("fwd_ns_per_butterfly", "inv_ns_per_butterfly",
+                    "fwd_transforms_per_sec", "fwd_speedup"):
+            if row[key] <= 0:
+                errors.append(f"row {i}: {key} must be positive")
+        groups.setdefault(int(row["logn"]), []).append(row["backend"])
+
+    for logn, backends in sorted(groups.items()):
+        if "reference" not in backends:
+            errors.append(f"logN={logn}: no reference row")
+        if not any(b != "reference" for b in backends):
+            errors.append(f"logN={logn}: no lazy-backend row")
+        dupes = {b for b in backends if backends.count(b) > 1}
+        if dupes:
+            errors.append(f"logN={logn}: duplicate backend rows "
+                          f"{sorted(dupes)}")
+
+    return errors
+
+
+def main(argv):
+    path = argv[1] if len(argv) > 1 else "BENCH_ntt.json"
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"validate_ntt_bench: cannot read {path}: {e}",
+              file=sys.stderr)
+        return 1
+
+    errors = validate(doc)
+    for e in errors:
+        print(f"validate_ntt_bench: {path}: {e}", file=sys.stderr)
+    if not errors:
+        nrows = len(doc["rows"])
+        print(f"validate_ntt_bench: {path}: OK ({nrows} rows, best "
+              f"backend {doc['best_backend']}, "
+              f"{doc['fwd_speedup_at_2e16']:.2f}x at 2^16)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "math/kernels.h"
 #include "math/modarith.h"
 
 namespace anaheim {
@@ -222,7 +223,7 @@ CkksEvaluator::rescale(const Ciphertext &x) const
 
     for (const Polynomial *src : {&x.b, &x.a}) {
         // INTT the last limb once, then fold it into every lower limb.
-        std::vector<uint64_t> last = src->limb(level - 1);
+        CoeffVector last = src->limb(level - 1);
         basis.table(level - 1).inverse(last);
 
         Polynomial dst(basis.slice(0, level - 1), Domain::Eval);
@@ -240,10 +241,9 @@ CkksEvaluator::rescale(const Ciphertext &x) const
             basis.table(i).forward(lifted);
             const auto &limb = src->limb(i);
             auto &dstLimb = dst.limb(i);
-            for (size_t c = 0; c < limb.size(); ++c) {
-                dstLimb[c] = qLastInv.mul(subMod(limb[c], lifted[c], qi),
-                                          qi);
-            }
+            kernels::active().subMulShoup(
+                dstLimb.data(), limb.data(), lifted.data(), limb.size(),
+                qLastInv.operand(), qLastInv.precon(), qi);
         }
         if (src == &x.b)
             out.b = std::move(dst);

@@ -3,6 +3,7 @@
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "obs/trace.h"
+#include "math/kernels.h"
 #include "math/modarith.h"
 
 namespace anaheim {
@@ -25,7 +26,7 @@ KeySwitcher::modUp(const Polynomial &a) const
         // Digit residues in coefficient domain for the basis conversion;
         // one inverse-NTT task per digit limb.
         RnsBasis digitBasis = context_.qBasis().slice(begin, end - begin);
-        std::vector<std::vector<uint64_t>> digitCoeff(end - begin);
+        std::vector<CoeffVector> digitCoeff(end - begin);
         parallelFor(begin, end, [&](size_t i) {
             digitCoeff[i - begin] = a.limb(i);
             digitBasis.table(i - begin).inverse(digitCoeff[i - begin]);
@@ -103,7 +104,7 @@ KeySwitcher::modDown(const Polynomial &extended) const
     const RnsBasis qBasis = context_.levelBasis(level);
 
     // P-part residues in coefficient domain; one task per special limb.
-    std::vector<std::vector<uint64_t>> pCoeff(alpha);
+    std::vector<CoeffVector> pCoeff(alpha);
     parallelFor(0, alpha, [&](size_t i) {
         pCoeff[i] = extended.limb(level + i);
         context_.pBasis().table(i).inverse(pCoeff[i]);
@@ -119,9 +120,9 @@ KeySwitcher::modDown(const Polynomial &extended) const
         const ShoupMul &pInv = context_.pInvModQPrepared()[i];
         const auto &src = extended.limb(i);
         auto &dst = out.limb(i);
-        for (size_t c = 0; c < dst.size(); ++c) {
-            dst[c] = pInv.mul(subMod(src[c], converted[i][c], qi), qi);
-        }
+        kernels::active().subMulShoup(dst.data(), src.data(),
+                                      converted[i].data(), dst.size(),
+                                      pInv.operand(), pInv.precon(), qi);
     });
     return out;
 }

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Cache-line-aligned allocation for coefficient buffers.
+ *
+ * The vectorized NTT kernels issue 64-byte loads and stores at offsets
+ * that are multiples of 64 from the buffer base. Plain std::vector
+ * storage comes from malloc with only 16-byte alignment, so every
+ * 512-bit access straddles a cache line — measured at a 10-15% slowdown
+ * on the full transform. Allocating limb storage on a 64-byte boundary
+ * makes every vector access line-aligned.
+ *
+ * The allocator is stateless and interoperates with std::vector; the
+ * CoeffVector alias is the canonical storage type for anything the
+ * kernel layer touches (polynomial limbs, base-conversion scratch,
+ * key-switching accumulators).
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace anaheim {
+
+/** One cache line: covers AVX-512 (64-byte) vector accesses and keeps
+ *  AVX2/scalar unaffected. */
+inline constexpr std::size_t kCoeffAlignment = 64;
+
+template <typename T, std::size_t Alignment = kCoeffAlignment>
+struct AlignedAllocator {
+    static_assert((Alignment & (Alignment - 1)) == 0,
+                  "alignment must be a power of two");
+    static_assert(Alignment >= alignof(T),
+                  "alignment must not weaken the type's natural one");
+
+    using value_type = T;
+
+    AlignedAllocator() noexcept = default;
+    template <typename U>
+    AlignedAllocator(const AlignedAllocator<U, Alignment> &) noexcept
+    {
+    }
+
+    template <typename U>
+    struct rebind {
+        using other = AlignedAllocator<U, Alignment>;
+    };
+
+    T *
+    allocate(std::size_t n)
+    {
+        return static_cast<T *>(::operator new(
+            n * sizeof(T), std::align_val_t{Alignment}));
+    }
+
+    void
+    deallocate(T *p, std::size_t n) noexcept
+    {
+        ::operator delete(p, n * sizeof(T), std::align_val_t{Alignment});
+    }
+};
+
+template <typename T, typename U, std::size_t A>
+bool
+operator==(const AlignedAllocator<T, A> &, const AlignedAllocator<U, A> &)
+{
+    return true;
+}
+
+template <typename T, typename U, std::size_t A>
+bool
+operator!=(const AlignedAllocator<T, A> &, const AlignedAllocator<U, A> &)
+{
+    return false;
+}
+
+/** Storage for one limb (one RNS residue polynomial) — the type every
+ *  buffer handed to the NTT / element-wise kernels should use. */
+using CoeffVector = std::vector<uint64_t, AlignedAllocator<uint64_t>>;
+
+} // namespace anaheim

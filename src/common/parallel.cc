@@ -62,11 +62,15 @@ ThreadPool::runChunks(Job &job)
 {
     ++tlsInLoop;
     for (;;) {
-        const size_t start = job.cursor.fetch_add(job.grain,
-                                                  std::memory_order_relaxed);
-        if (start >= job.end)
+        const size_t idx = job.cursor.fetch_add(1,
+                                                std::memory_order_relaxed);
+        if (idx >= job.numChunks)
             break;
-        const size_t stop = std::min(start + job.grain, job.end);
+        const size_t start = job.begin + idx * job.grain;
+        // end - start, not start + grain: the addition can wrap for
+        // ranges ending near SIZE_MAX.
+        const size_t stop =
+            job.end - start > job.grain ? start + job.grain : job.end;
         try {
             for (size_t i = start; i < stop; ++i)
                 (*job.fn)(i);
@@ -78,7 +82,7 @@ ThreadPool::runChunks(Job &job)
             }
             // Skip remaining chunks; in-flight indices on other
             // threads finish normally.
-            job.cursor.store(job.end, std::memory_order_relaxed);
+            job.cursor.store(job.numChunks, std::memory_order_relaxed);
         }
     }
     --tlsInLoop;
@@ -132,9 +136,13 @@ ThreadPool::parallelFor(size_t begin, size_t end, size_t grain,
     std::lock_guard<std::mutex> submitLock(submitMutex_);
     Job job;
     job.fn = &fn;
+    job.begin = begin;
     job.end = end;
     job.grain = grain;
-    job.cursor.store(begin, std::memory_order_relaxed);
+    // count / grain rather than (count + grain - 1): the rounding-up
+    // addition overflows when count is near SIZE_MAX.
+    job.numChunks = count / grain + (count % grain != 0 ? 1 : 0);
+    job.cursor.store(0, std::memory_order_relaxed);
     job.pending.store(workers_.size(), std::memory_order_relaxed);
     {
         std::lock_guard<std::mutex> lock(mutex_);

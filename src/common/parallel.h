@@ -88,8 +88,14 @@ class ThreadPool
   private:
     struct Job {
         const std::function<void(size_t)> *fn = nullptr;
+        size_t begin = 0;
         size_t end = 0;
         size_t grain = 1;
+        /** Total chunks: ceil((end - begin) / grain). Workers claim
+         *  chunk *indices* rather than raw offsets so the claim counter
+         *  can never wrap past `end` and re-admit indices (an offset
+         *  cursor overflows for ranges ending near SIZE_MAX). */
+        size_t numChunks = 0;
         std::atomic<size_t> cursor{0};
         std::atomic<size_t> pending{0};
         std::mutex errorMutex;

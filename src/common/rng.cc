@@ -78,10 +78,10 @@ Rng::gaussian()
            std::cos(2.0 * M_PI * u2);
 }
 
-std::vector<uint64_t>
+CoeffVector
 sampleUniform(Rng &rng, size_t n, uint64_t q)
 {
-    std::vector<uint64_t> out(n);
+    CoeffVector out(n);
     for (auto &coeff : out)
         coeff = rng.uniform(q);
     return out;

@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/aligned.h"
+
 namespace anaheim {
 
 /**
@@ -40,8 +42,10 @@ class Rng
     uint64_t state_[4];
 };
 
-/** Uniform polynomial coefficients in [0, q) for each of n slots. */
-std::vector<uint64_t> sampleUniform(Rng &rng, size_t n, uint64_t q);
+/** Uniform polynomial coefficients in [0, q) for each of n slots.
+ *  Returned as cache-line-aligned CoeffVector: uniform residues are
+ *  coefficient data, and the kernels want aligned limbs. */
+CoeffVector sampleUniform(Rng &rng, size_t n, uint64_t q);
 
 /**
  * Ternary secret in {-1, 0, 1} with given Hamming weight h (number of

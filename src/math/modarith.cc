@@ -45,6 +45,16 @@ Barrett::Barrett(uint64_t q) : q_(q)
     }
     ratioHi_ = hi;
     ratioLo_ = lo;
+
+    // Word-sized companion for the vector kernels: k = bits(q) and
+    // floor(2^(2k) / q). 2k <= 124 for q < 2^62, so the quotient fits
+    // one 128-bit division and, being < 2^(k+1), one 64-bit word.
+    unsigned k = 0;
+    while ((q >> k) != 0)
+        ++k;
+    shiftBits_ = k;
+    factor64_ = static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(1) << (2 * k)) / q);
 }
 
 uint64_t

@@ -45,6 +45,14 @@ mulMod(uint64_t a, uint64_t b, uint64_t q)
         static_cast<unsigned __int128>(a) * b % q);
 }
 
+/** High 64 bits of the 128-bit product a * b. */
+inline uint64_t
+mulHi64(uint64_t a, uint64_t b)
+{
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(a) * b) >> 64);
+}
+
 /** a * b + c mod q. */
 inline uint64_t
 macMod(uint64_t a, uint64_t b, uint64_t c, uint64_t q)
@@ -156,11 +164,25 @@ class Barrett
         return reduce(static_cast<unsigned __int128>(a) * b);
     }
 
+    /** Bit width k of the modulus: 2^(k-1) <= q < 2^k. */
+    unsigned shiftBits() const { return shiftBits_; }
+
+    /**
+     * floor(2^(2k) / q): the single-word Barrett factor the vector
+     * kernels use. For canonical inputs a, b < q the word-sized
+     * reduction P - floor(floor(P/2^(k-1)) * factor / 2^(k+1)) * q
+     * lands in [0, 3q) and two conditional subtractions make it
+     * canonical — the same value reduce() computes.
+     */
+    uint64_t factor64() const { return factor64_; }
+
   private:
     uint64_t q_ = 0;
     /** floor(2^128 / q), stored as two 64-bit halves. */
     uint64_t ratioHi_ = 0;
     uint64_t ratioLo_ = 0;
+    uint64_t factor64_ = 0;
+    unsigned shiftBits_ = 0;
 };
 
 /** Centered representative of a mod q in (-q/2, q/2]. */

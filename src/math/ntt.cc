@@ -1,13 +1,14 @@
 #include "ntt.h"
 
-#include <cstdlib>
+#include <future>
 #include <map>
 #include <mutex>
-#include <string>
 #include <unordered_map>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/status.h"
+#include "kernels.h"
 #include "modarith.h"
 #include "primes.h"
 
@@ -42,17 +43,28 @@ bitReversalTable(size_t n, unsigned bits)
     return rev;
 }
 
-/** True when ANAHEIM_NTT_REFERENCE forces the oracle kernels; read once
- *  so every table in the process dispatches consistently. */
-bool
-referenceKernelsForced()
+/**
+ * The shared() table cache. Entries hold a shared_future so concurrent
+ * first lookups of the same (q, n) build the table exactly once, with
+ * the expensive construction running outside the cache mutex; lastUse
+ * drives LRU eviction once the cache exceeds kSharedCacheCapacity.
+ */
+struct SharedTableCache {
+    struct Entry {
+        std::shared_future<std::shared_ptr<const NttTable>> future;
+        uint64_t lastUse = 0;
+        bool ready = false; ///< only completed entries are evictable
+    };
+    std::mutex mutex;
+    std::map<std::pair<uint64_t, size_t>, Entry> entries;
+    uint64_t tick = 0;
+};
+
+SharedTableCache &
+sharedTableCache()
 {
-    static const bool forced = [] {
-        const char *env = std::getenv("ANAHEIM_NTT_REFERENCE");
-        return env != nullptr && env[0] != '\0' &&
-               std::string(env) != "0";
-    }();
-    return forced;
+    static SharedTableCache cache;
+    return cache;
 }
 
 } // namespace
@@ -73,7 +85,7 @@ NttTable::NttTable(uint64_t q, size_t n) : q_(q), n_(n)
                   "root of unity, got q=", q, ", N=", n,
                   " ((q-1) % 2N = ", (q - 1) % (2 * n), ")");
     barrett_ = Barrett(q);
-    lazy_ = q < kLazyModulusBound && !referenceKernelsForced();
+    lazyCapable_ = q < kLazyModulusBound;
     const uint64_t psi = findPrimitiveRoot(q, n);
     const uint64_t psiInv = invMod(psi, q);
 
@@ -101,6 +113,8 @@ NttTable::NttTable(uint64_t q, size_t n) : q_(q), n_(n)
     }
     nInv_ = invMod(n, q);
     nInvShoup_ = shoupPrecompute(nInv_, q);
+    lastW_ = n > 1 ? mulMod(invTwiddles_[1], nInv_, q) : nInv_;
+    lastWShoup_ = shoupPrecompute(lastW_, q);
 
     // Determine which power of psi each output slot evaluates at, by
     // transforming the monomial X and looking the results up in a
@@ -133,25 +147,84 @@ NttTable::NttTable(uint64_t q, size_t n) : q_(q), n_(n)
 std::shared_ptr<const NttTable>
 NttTable::shared(uint64_t q, size_t n)
 {
-    static std::mutex mutex;
-    static std::map<std::pair<uint64_t, size_t>,
-                    std::shared_ptr<const NttTable>>
-        cache;
-    std::lock_guard<std::mutex> lock(mutex);
-    auto it = cache.find({q, n});
-    if (it == cache.end()) {
-        it = cache
-                 .emplace(std::make_pair(q, n),
-                          std::make_shared<const NttTable>(q, n))
-                 .first;
+    auto &cache = sharedTableCache();
+    const auto key = std::make_pair(q, n);
+
+    std::promise<std::shared_ptr<const NttTable>> promise;
+    std::shared_future<std::shared_ptr<const NttTable>> future;
+    bool builder = false;
+    {
+        std::lock_guard<std::mutex> lock(cache.mutex);
+        auto it = cache.entries.find(key);
+        if (it == cache.entries.end()) {
+            builder = true;
+            future = promise.get_future().share();
+            SharedTableCache::Entry entry;
+            entry.future = future;
+            entry.lastUse = ++cache.tick;
+            cache.entries.emplace(key, std::move(entry));
+        } else {
+            it->second.lastUse = ++cache.tick;
+            future = it->second.future;
+        }
     }
-    return it->second;
+
+    if (builder) {
+        // Construct outside the lock: table builds are expensive
+        // (primitive-root search, twiddle powers, eval-exponent probe)
+        // and other keys' lookups must not serialize behind them.
+        try {
+            promise.set_value(std::make_shared<const NttTable>(q, n));
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+            std::lock_guard<std::mutex> lock(cache.mutex);
+            cache.entries.erase(key);
+            // Waiters already holding the future observe the exception;
+            // the erase lets later callers retry. Fall through to
+            // future.get() to rethrow for this caller too.
+        }
+        std::lock_guard<std::mutex> lock(cache.mutex);
+        const auto it = cache.entries.find(key);
+        if (it != cache.entries.end())
+            it->second.ready = true;
+        while (cache.entries.size() > kSharedCacheCapacity) {
+            auto victim = cache.entries.end();
+            for (auto i = cache.entries.begin(); i != cache.entries.end();
+                 ++i) {
+                if (i->second.ready &&
+                    (victim == cache.entries.end() ||
+                     i->second.lastUse < victim->second.lastUse)) {
+                    victim = i;
+                }
+            }
+            if (victim == cache.entries.end())
+                break; // everything in flight; nothing evictable
+            cache.entries.erase(victim);
+        }
+    }
+    return future.get();
+}
+
+void
+NttTable::clearShared()
+{
+    auto &cache = sharedTableCache();
+    std::lock_guard<std::mutex> lock(cache.mutex);
+    cache.entries.clear();
+}
+
+size_t
+NttTable::sharedCacheSize()
+{
+    auto &cache = sharedTableCache();
+    std::lock_guard<std::mutex> lock(cache.mutex);
+    return cache.entries.size();
 }
 
 void
 NttTable::forward(uint64_t *data) const
 {
-    if (lazy_)
+    if (usesLazyKernels())
         forwardLazy(data);
     else
         forwardReference(data);
@@ -160,10 +233,36 @@ NttTable::forward(uint64_t *data) const
 void
 NttTable::inverse(uint64_t *data) const
 {
-    if (lazy_)
+    if (usesLazyKernels())
         inverseLazy(data);
     else
         inverseReference(data);
+}
+
+kernels::NttView
+NttTable::forwardView() const
+{
+    kernels::NttView v;
+    v.q = q_;
+    v.n = n_;
+    v.tw = fwdTwiddles_.data();
+    v.twShoup = fwdTwiddlesShoup_.data();
+    return v;
+}
+
+kernels::NttView
+NttTable::inverseView() const
+{
+    kernels::NttView v;
+    v.q = q_;
+    v.n = n_;
+    v.tw = invTwiddles_.data();
+    v.twShoup = invTwiddlesShoup_.data();
+    v.nInv = nInv_;
+    v.nInvShoup = nInvShoup_;
+    v.lastW = lastW_;
+    v.lastWShoup = lastWShoup_;
+    return v;
 }
 
 void
@@ -218,91 +317,21 @@ NttTable::inverseReference(uint64_t *data) const
 void
 NttTable::forwardLazy(uint64_t *data) const
 {
-    // Harvey's lazy Cooley–Tukey: inputs of each butterfly stay < 4q,
-    // outputs < 4q, and the only reductions are one conditional
-    // subtraction of 2q on u and the implicit < 2q bound of the Shoup
-    // product. With q < 2^59 every intermediate is < 2^61.
-    const uint64_t q = q_;
-    const uint64_t twoQ = 2 * q;
-    size_t t = n_;
-    for (size_t m = 1; m < n_; m <<= 1) {
-        t >>= 1;
-        for (size_t i = 0; i < m; ++i) {
-            const size_t j1 = 2 * i * t;
-            const size_t j2 = j1 + t;
-            const uint64_t w = fwdTwiddles_[m + i];
-            const uint64_t wShoup = fwdTwiddlesShoup_[m + i];
-            for (size_t j = j1; j < j2; ++j) {
-                uint64_t u = data[j]; // < 4q
-                if (u >= twoQ)
-                    u -= twoQ; // < 2q
-                const uint64_t v =
-                    mulModShoupLazy(data[j + t], w, wShoup, q); // < 2q
-                data[j] = u + v;               // < 4q
-                data[j + t] = u + twoQ - v;    // < 4q
-            }
-        }
-    }
-    // Single normalization pass from [0, 4q) to the canonical [0, q),
-    // making the output bit-identical to the reference kernel's.
-    for (size_t i = 0; i < n_; ++i) {
-        uint64_t v = data[i];
-        if (v >= twoQ)
-            v -= twoQ;
-        if (v >= q)
-            v -= q;
-        data[i] = v;
-    }
+    // Harvey's lazy Cooley–Tukey, dispatched through the active kernel
+    // backend: scalar (< 4q intermediates) or the AVX2/AVX-512
+    // cache-blocked lanes (< 8q: the approximate 3-multiply Shoup
+    // quotient widens twiddle products to [0, 4q)); one final
+    // normalization lands on canonical residues either way (see
+    // kernels/kernel_impl.h and DESIGN.md §13).
+    kernels::nttForwardLazy(forwardView(), data);
 }
 
 void
 NttTable::inverseLazy(uint64_t *data) const
 {
-    // Lazy Gentleman–Sande: all values stay < 2q throughout (sums are
-    // folded back below 2q, twiddle products are lazy Shoup products).
-    const uint64_t q = q_;
-    const uint64_t twoQ = 2 * q;
-    size_t t = 1;
-    for (size_t m = n_; m > 1; m >>= 1) {
-        const size_t h = m >> 1;
-        size_t j1 = 0;
-        for (size_t i = 0; i < h; ++i) {
-            const size_t j2 = j1 + t;
-            const uint64_t w = invTwiddles_[h + i];
-            const uint64_t wShoup = invTwiddlesShoup_[h + i];
-            for (size_t j = j1; j < j2; ++j) {
-                const uint64_t u = data[j];     // < 2q
-                const uint64_t v = data[j + t]; // < 2q
-                uint64_t s = u + v;             // < 4q
-                if (s >= twoQ)
-                    s -= twoQ; // < 2q
-                data[j] = s;
-                data[j + t] =
-                    mulModShoupLazy(u + twoQ - v, w, wShoup, q); // < 2q
-            }
-            j1 += 2 * t;
-        }
-        t <<= 1;
-    }
-    // Final pass folds in N^-1 through its prepared operand and fully
-    // reduces: mulModShoup is exact for any 64-bit input, so the < 2q
-    // residues land on the same canonical values the reference computes.
-    for (size_t i = 0; i < n_; ++i)
-        data[i] = mulModShoup(data[i], nInv_, nInvShoup_, q);
-}
-
-void
-NttTable::forward(std::vector<uint64_t> &data) const
-{
-    ANAHEIM_ASSERT(data.size() == n_, "NTT size mismatch");
-    forward(data.data());
-}
-
-void
-NttTable::inverse(std::vector<uint64_t> &data) const
-{
-    ANAHEIM_ASSERT(data.size() == n_, "NTT size mismatch");
-    inverse(data.data());
+    // Lazy Gentleman–Sande (< 2q scalar, < 4q vector) with N^-1 folded
+    // into the final stage, dispatched through the active backend.
+    kernels::nttInverseLazy(inverseView(), data);
 }
 
 } // namespace anaheim

@@ -35,6 +35,8 @@
 #include <memory>
 #include <vector>
 
+#include "common/logging.h"
+#include "kernels.h"
 #include "modarith.h"
 
 namespace anaheim {
@@ -61,9 +63,25 @@ class NttTable
      * Process-wide cache of tables keyed by (q, n). Contexts, tests and
      * benches frequently rebuild bases over the same primes; the cache
      * makes repeated construction (twiddle powers, primitive-root
-     * search, eval-exponent probing) a hash lookup. Thread-safe.
+     * search, eval-exponent probing) a map lookup. Thread-safe, and a
+     * table is built at most once per key even under concurrent lookups:
+     * the first caller publishes a future and constructs outside the
+     * cache lock, later callers wait on the future. Growth is bounded
+     * (LRU eviction beyond kSharedCacheCapacity entries; outstanding
+     * shared_ptrs keep evicted tables alive).
      */
     static std::shared_ptr<const NttTable> shared(uint64_t q, size_t n);
+
+    /** Most (q, n) entries shared() retains; bench sweeps that touch
+     *  more primes than this recycle the least recently used slots. */
+    static constexpr size_t kSharedCacheCapacity = 64;
+
+    /** Drop every cached shared() entry (eviction hook for sweeps and
+     *  leak-checking tests). In-flight constructions are unaffected. */
+    static void clearShared();
+
+    /** Number of entries currently held by the shared() cache. */
+    static size_t sharedCacheSize();
 
     uint64_t modulus() const { return q_; }
     size_t degree() const { return n_; }
@@ -72,8 +90,21 @@ class NttTable
      *  that need full products of two variable operands. */
     const Barrett &barrett() const { return barrett_; }
 
-    /** True when forward()/inverse() dispatch to the lazy kernels. */
-    bool usesLazyKernels() const { return lazy_; }
+    /** True when forward()/inverse() dispatch to the lazy kernels:
+     *  requires q < kLazyModulusBound and the reference oracle not being
+     *  forced (ANAHEIM_NTT_REFERENCE / kernels::setBackend). Evaluated
+     *  per call so programmatic backend overrides take effect on
+     *  existing tables. */
+    bool
+    usesLazyKernels() const
+    {
+        return lazyCapable_ && !kernels::nttReferenceForced();
+    }
+
+    /** Raw-pointer views of the twiddle tables for the kernel backends.
+     *  Valid for the lifetime of this table. */
+    kernels::NttView forwardView() const;
+    kernels::NttView inverseView() const;
 
     /** In-place forward negacyclic NTT (natural order in and out). */
     void forward(uint64_t *data) const;
@@ -89,9 +120,23 @@ class NttTable
     void forwardLazy(uint64_t *data) const;
     void inverseLazy(uint64_t *data) const;
 
-    /** Convenience overloads on vectors (size must equal N). */
-    void forward(std::vector<uint64_t> &data) const;
-    void inverse(std::vector<uint64_t> &data) const;
+    /** Convenience overloads on vectors (size must equal N); generic
+     *  over the allocator so cache-line-aligned CoeffVector limbs and
+     *  plain std::vector test data both work. */
+    template <class Alloc>
+    void
+    forward(std::vector<uint64_t, Alloc> &data) const
+    {
+        ANAHEIM_ASSERT(data.size() == n_, "NTT size mismatch");
+        forward(data.data());
+    }
+    template <class Alloc>
+    void
+    inverse(std::vector<uint64_t, Alloc> &data) const
+    {
+        ANAHEIM_ASSERT(data.size() == n_, "NTT size mismatch");
+        inverse(data.data());
+    }
 
     /**
      * Odd exponent e_j such that output slot j of forward() holds the
@@ -127,8 +172,13 @@ class NttTable
     uint64_t nInv_;
     /** floor(nInv * 2^64 / q). */
     uint64_t nInvShoup_;
+    /** invTwiddles_[1] * nInv mod q: the final inverse-stage twiddle
+     *  with 1/N folded in, so the blocked kernels emit canonical values
+     *  without a separate normalization pass. */
+    uint64_t lastW_;
+    uint64_t lastWShoup_;
     Barrett barrett_;
-    bool lazy_;
+    bool lazyCapable_;
     std::vector<uint32_t> evalExponents_;
     std::vector<int32_t> slotOfExponent_;
 };

@@ -22,26 +22,26 @@ constexpr uint64_t kSeed = 0xcbf29ce484222325ULL;
 
 template <typename Word>
 uint64_t
-foldWords(const std::vector<Word> &words)
+foldWords(const Word *words, size_t count)
 {
     uint64_t digest = kSeed;
-    for (const Word w : words)
-        digest = digest * kFnvPrime ^ mix(static_cast<uint64_t>(w));
+    for (size_t i = 0; i < count; ++i)
+        digest = digest * kFnvPrime ^ mix(static_cast<uint64_t>(words[i]));
     return digest;
 }
 
 } // namespace
 
 uint64_t
-limbChecksum(const std::vector<uint64_t> &residues)
+limbChecksum(const uint64_t *residues, size_t count)
 {
-    return foldWords(residues);
+    return foldWords(residues, count);
 }
 
 uint64_t
 limbChecksum(const std::vector<uint32_t> &words)
 {
-    return foldWords(words);
+    return foldWords(words.data(), words.size());
 }
 
 ChecksumTag

@@ -30,7 +30,16 @@ namespace anaheim {
 class Polynomial;
 
 /** Rolling 64-bit digest of one limb's residues. */
-uint64_t limbChecksum(const std::vector<uint64_t> &residues);
+uint64_t limbChecksum(const uint64_t *residues, size_t count);
+
+/** Convenience overload, generic over the vector allocator (limb
+ *  storage is cache-line-aligned CoeffVector; tests use std::vector). */
+template <class Alloc>
+uint64_t
+limbChecksum(const std::vector<uint64_t, Alloc> &residues)
+{
+    return limbChecksum(residues.data(), residues.size());
+}
 
 /** Same digest over 32-bit words (the PIM storage view of a limb). */
 uint64_t limbChecksum(const std::vector<uint32_t> &words);

@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "math/kernels.h"
 #include "math/modarith.h"
 
 namespace anaheim {
@@ -9,8 +10,7 @@ namespace anaheim {
 Polynomial::Polynomial(RnsBasis basis, Domain domain)
     : basis_(std::move(basis)), domain_(domain)
 {
-    limbs_.assign(basis_.size(),
-                  std::vector<uint64_t>(basis_.degree(), 0));
+    limbs_.assign(basis_.size(), CoeffVector(basis_.degree(), 0));
 }
 
 void
@@ -50,12 +50,11 @@ Polynomial &
 Polynomial::operator+=(const Polynomial &other)
 {
     checkCompatible(other);
+    const kernels::KernelOps &ops = kernels::active();
     parallelFor(0, limbs_.size(), [&](size_t i) {
-        const uint64_t q = basis_.prime(i);
         auto &dst = limbs_[i];
-        const auto &src = other.limbs_[i];
-        for (size_t c = 0; c < dst.size(); ++c)
-            dst[c] = addMod(dst[c], src[c], q);
+        ops.addMod(dst.data(), dst.data(), other.limbs_[i].data(),
+                   dst.size(), basis_.prime(i));
     });
     return *this;
 }
@@ -64,12 +63,11 @@ Polynomial &
 Polynomial::operator-=(const Polynomial &other)
 {
     checkCompatible(other);
+    const kernels::KernelOps &ops = kernels::active();
     parallelFor(0, limbs_.size(), [&](size_t i) {
-        const uint64_t q = basis_.prime(i);
         auto &dst = limbs_[i];
-        const auto &src = other.limbs_[i];
-        for (size_t c = 0; c < dst.size(); ++c)
-            dst[c] = subMod(dst[c], src[c], q);
+        ops.subMod(dst.data(), dst.data(), other.limbs_[i].data(),
+                   dst.size(), basis_.prime(i));
     });
     return *this;
 }
@@ -78,12 +76,11 @@ Polynomial &
 Polynomial::mulEq(const Polynomial &other)
 {
     checkCompatible(other);
+    const kernels::KernelOps &ops = kernels::active();
     parallelFor(0, limbs_.size(), [&](size_t i) {
-        const Barrett &barrett = basis_.table(i).barrett();
         auto &dst = limbs_[i];
-        const auto &src = other.limbs_[i];
-        for (size_t c = 0; c < dst.size(); ++c)
-            dst[c] = barrett.mulMod(dst[c], src[c]);
+        ops.mulBarrett(dst.data(), dst.data(), other.limbs_[i].data(),
+                       dst.size(), basis_.table(i).barrett());
     });
     return *this;
 }
@@ -93,14 +90,12 @@ Polynomial::macEq(const Polynomial &a, const Polynomial &b)
 {
     checkCompatible(a);
     checkCompatible(b);
+    const kernels::KernelOps &ops = kernels::active();
     parallelFor(0, limbs_.size(), [&](size_t i) {
-        const uint64_t q = basis_.prime(i);
-        const Barrett &barrett = basis_.table(i).barrett();
         auto &dst = limbs_[i];
-        const auto &sa = a.limbs_[i];
-        const auto &sb = b.limbs_[i];
-        for (size_t c = 0; c < dst.size(); ++c)
-            dst[c] = addMod(dst[c], barrett.mulMod(sa[c], sb[c]), q);
+        ops.macBarrett(dst.data(), a.limbs_[i].data(),
+                       b.limbs_[i].data(), dst.size(),
+                       basis_.table(i).barrett());
     });
     return *this;
 }
@@ -108,10 +103,10 @@ Polynomial::macEq(const Polynomial &a, const Polynomial &b)
 Polynomial &
 Polynomial::negate()
 {
+    const kernels::KernelOps &ops = kernels::active();
     parallelFor(0, limbs_.size(), [&](size_t i) {
-        const uint64_t q = basis_.prime(i);
-        for (auto &coeff : limbs_[i])
-            coeff = negMod(coeff, q);
+        auto &dst = limbs_[i];
+        ops.negMod(dst.data(), dst.data(), dst.size(), basis_.prime(i));
     });
     return *this;
 }
@@ -121,11 +116,13 @@ Polynomial::mulScalarEq(const std::vector<uint64_t> &scalarPerLimb)
 {
     ANAHEIM_ASSERT(scalarPerLimb.size() == limbs_.size(),
                    "scalar vector size mismatch");
+    const kernels::KernelOps &ops = kernels::active();
     parallelFor(0, limbs_.size(), [&](size_t i) {
         const uint64_t q = basis_.prime(i);
         const ShoupMul prepared(scalarPerLimb[i] % q, q);
-        for (auto &coeff : limbs_[i])
-            coeff = prepared.mul(coeff, q);
+        auto &dst = limbs_[i];
+        ops.mulShoup(dst.data(), dst.data(), dst.size(),
+                     prepared.operand(), prepared.precon(), q);
     });
     return *this;
 }
@@ -133,11 +130,13 @@ Polynomial::mulScalarEq(const std::vector<uint64_t> &scalarPerLimb)
 Polynomial &
 Polynomial::mulConstEq(uint64_t constant)
 {
+    const kernels::KernelOps &ops = kernels::active();
     parallelFor(0, limbs_.size(), [&](size_t i) {
         const uint64_t q = basis_.prime(i);
         const ShoupMul prepared(constant % q, q);
-        for (auto &coeff : limbs_[i])
-            coeff = prepared.mul(coeff, q);
+        auto &dst = limbs_[i];
+        ops.mulShoup(dst.data(), dst.data(), dst.size(),
+                     prepared.operand(), prepared.precon(), q);
     });
     return *this;
 }
@@ -192,7 +191,7 @@ Polynomial::mulMonomialEq(size_t power)
     parallelFor(0, limbs_.size(), [&](size_t i) {
         const uint64_t q = basis_.prime(i);
         const auto &src = limbs_[i];
-        std::vector<uint64_t> dst(n);
+        CoeffVector dst(n);
         for (size_t c = 0; c < n; ++c) {
             const size_t target = (c + power) % (2 * n);
             if (target < n)
@@ -247,13 +246,12 @@ polynomialFromSigned(const RnsBasis &basis,
     return out;
 }
 
-std::vector<uint64_t>
-negacyclicMultiply(const std::vector<uint64_t> &a,
-                   const std::vector<uint64_t> &b, uint64_t q)
+CoeffVector
+negacyclicMultiply(const CoeffVector &a, const CoeffVector &b, uint64_t q)
 {
     const size_t n = a.size();
     ANAHEIM_ASSERT(b.size() == n, "size mismatch");
-    std::vector<uint64_t> out(n, 0);
+    CoeffVector out(n, 0);
     for (size_t i = 0; i < n; ++i) {
         if (a[i] == 0)
             continue;

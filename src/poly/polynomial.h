@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/aligned.h"
 #include "rns/basis.h"
 
 namespace anaheim {
@@ -37,13 +38,12 @@ class Polynomial
     Domain domain() const { return domain_; }
     const RnsBasis &basis() const { return basis_; }
 
-    std::vector<uint64_t> &limb(size_t i) { return limbs_[i]; }
-    const std::vector<uint64_t> &limb(size_t i) const { return limbs_[i]; }
-    std::vector<std::vector<uint64_t>> &limbs() { return limbs_; }
-    const std::vector<std::vector<uint64_t>> &limbs() const
-    {
-        return limbs_;
-    }
+    /** Limb storage is cache-line aligned (CoeffVector) so the
+     *  vectorized kernels never split a 64-byte access. */
+    CoeffVector &limb(size_t i) { return limbs_[i]; }
+    const CoeffVector &limb(size_t i) const { return limbs_[i]; }
+    std::vector<CoeffVector> &limbs() { return limbs_; }
+    const std::vector<CoeffVector> &limbs() const { return limbs_; }
 
     /** Override the domain tag without transforming (key import only). */
     void setDomain(Domain domain) { domain_ = domain; }
@@ -112,7 +112,7 @@ class Polynomial
 
     RnsBasis basis_;
     Domain domain_ = Domain::Eval;
-    std::vector<std::vector<uint64_t>> limbs_;
+    std::vector<CoeffVector> limbs_;
 };
 
 /**
@@ -126,9 +126,8 @@ Polynomial polynomialFromSigned(const RnsBasis &basis,
  * Reference negacyclic product of two coefficient vectors mod q —
  * O(N^2), used by tests to validate the NTT path.
  */
-std::vector<uint64_t> negacyclicMultiply(const std::vector<uint64_t> &a,
-                                         const std::vector<uint64_t> &b,
-                                         uint64_t q);
+CoeffVector negacyclicMultiply(const CoeffVector &a, const CoeffVector &b,
+                               uint64_t q);
 
 } // namespace anaheim
 

@@ -3,6 +3,7 @@
 #include "common/logging.h"
 #include "common/status.h"
 #include "common/parallel.h"
+#include "math/kernels.h"
 #include "math/modarith.h"
 
 namespace anaheim {
@@ -40,9 +41,9 @@ BasisConverter::BasisConverter(const RnsBasis &source, const RnsBasis &target)
     }
 }
 
-std::vector<std::vector<uint64_t>>
+std::vector<CoeffVector>
 BasisConverter::convert(
-    const std::vector<std::vector<uint64_t>> &input) const
+    const std::vector<CoeffVector> &input) const
 {
     const size_t ls = source_.size();
     const size_t lt = target_.size();
@@ -62,28 +63,27 @@ BasisConverter::convert(
 
     // Stage 1: y_i = a_i * qHatInv_i mod q_i. Source limbs are
     // independent — one task per limb.
-    std::vector<std::vector<uint64_t>> scaled(ls);
+    const kernels::KernelOps &ops = kernels::active();
+    std::vector<CoeffVector> scaled(ls);
     parallelFor(0, ls, [&](size_t i) {
-        const uint64_t qi = source_.prime(i);
         const ShoupMul &factor = qHatInv_[i];
         scaled[i].resize(n);
-        for (size_t c = 0; c < n; ++c)
-            scaled[i][c] = factor.mul(input[i][c], qi);
+        ops.mulShoup(scaled[i].data(), input[i].data(), n,
+                     factor.operand(), factor.precon(),
+                     source_.prime(i));
     });
 
     // Stage 2: out_j = sum_i y_i * (qHat_i mod p_j) mod p_j. Target
     // limbs are independent; the i-accumulation order within each limb
     // is unchanged, keeping results bitwise identical to serial.
-    std::vector<std::vector<uint64_t>> output(lt);
+    std::vector<CoeffVector> output(lt);
     parallelFor(0, lt, [&](size_t j) {
         const uint64_t pj = target_.prime(j);
         output[j].assign(n, 0);
         for (size_t i = 0; i < ls; ++i) {
             const ShoupMul &factor = qHatModP_[i][j];
-            for (size_t c = 0; c < n; ++c) {
-                output[j][c] = addMod(output[j][c],
-                                      factor.mul(scaled[i][c], pj), pj);
-            }
+            ops.mulShoupAcc(output[j].data(), scaled[i].data(), n,
+                            factor.operand(), factor.precon(), pj);
         }
     });
     return output;

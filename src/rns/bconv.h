@@ -20,6 +20,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/aligned.h"
+
 #include "basis.h"
 #include "math/modarith.h"
 
@@ -43,8 +45,8 @@ class BasisConverter
      * Convert limb-major data: input[i] holds N residues mod source
      * prime i; returns target.size() limbs of N residues.
      */
-    std::vector<std::vector<uint64_t>> convert(
-        const std::vector<std::vector<uint64_t>> &input) const;
+    std::vector<CoeffVector> convert(
+        const std::vector<CoeffVector> &input) const;
 
     /** Scalar conversion (used by tests and key generation). */
     std::vector<uint64_t> convertScalar(

@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
@@ -88,6 +89,58 @@ TEST(ParallelForTest, GrainEdgeCases)
     parallelFor(3, 23, 4, [&](size_t i) { ++c[i]; });
     for (size_t i = 0; i < c.size(); ++i)
         EXPECT_EQ(c[i].load(), i >= 3 ? 1 : 0) << "index " << i;
+}
+
+TEST(ParallelForTest, DegenerateRangesNeitherDeadlockNorSkip)
+{
+    ThreadGuard guard;
+    setParallelThreads(4);
+
+    // Range smaller than the thread count: every index exactly once,
+    // idle workers must not spin or claim phantom chunks.
+    std::vector<std::atomic<int>> tiny(2);
+    parallelFor(0, tiny.size(), 1, [&](size_t i) { ++tiny[i]; });
+    for (auto &v : tiny)
+        EXPECT_EQ(v.load(), 1);
+
+    // A single-index range with a grain much larger than it.
+    std::atomic<int> one{0};
+    parallelFor(41, 42, 64, [&](size_t i) {
+        EXPECT_EQ(i, 41u);
+        ++one;
+    });
+    EXPECT_EQ(one.load(), 1);
+
+    // Chunk-count rounding: grains that leave a short tail (the shape
+    // vectorized kernels hand over when N is not a multiple of the
+    // vector width) must neither skip the tail nor run it twice.
+    for (size_t grain : {3, 5, 8, 13}) {
+        std::vector<std::atomic<int>> v(67); // prime: never divides
+        parallelFor(0, v.size(), grain, [&](size_t i) { ++v[i]; });
+        for (size_t i = 0; i < v.size(); ++i)
+            EXPECT_EQ(v[i].load(), 1) << "grain " << grain << " i " << i;
+    }
+}
+
+TEST(ParallelForTest, RangesNearSizeMaxDoNotWrapTheCursor)
+{
+    // Regression: the old implementation advanced a raw offset cursor
+    // with fetch_add(grain); for ranges ending near SIZE_MAX the adds
+    // wrapped past `end` and re-admitted bogus indices. The chunk-index
+    // cursor cannot wrap. (Found while auditing the vectorized tails.)
+    ThreadGuard guard;
+    setParallelThreads(4);
+    const size_t end = std::numeric_limits<size_t>::max();
+    const size_t begin = end - 70;
+    std::atomic<uint64_t> count{0};
+    std::atomic<bool> outOfRange{false};
+    parallelFor(begin, end, 16, [&](size_t i) {
+        if (i < begin || i >= end)
+            outOfRange = true;
+        ++count;
+    });
+    EXPECT_EQ(count.load(), 70u);
+    EXPECT_FALSE(outOfRange.load());
 }
 
 TEST(ParallelForTest, ExceptionPropagatesToCaller)
@@ -223,7 +276,7 @@ TEST_F(ParallelDeterminismTest, BasisConversionMatchesSerial)
 {
     const BasisConverter conv(context_.qBasis(), context_.pBasis());
     Rng rng(99);
-    std::vector<std::vector<uint64_t>> input(context_.qBasis().size());
+    std::vector<CoeffVector> input(context_.qBasis().size());
     for (size_t i = 0; i < input.size(); ++i) {
         input[i] = sampleUniform(rng, context_.degree(),
                                  context_.qBasis().prime(i));
@@ -268,16 +321,14 @@ TEST(BConvValidationTest, RaggedInputIsRejected)
     const RnsBasis source({primes[0], primes[1]}, 8);
     const RnsBasis target({primes[2]}, 8);
     const BasisConverter conv(source, target);
-    std::vector<std::vector<uint64_t>> ragged = {
-        std::vector<uint64_t>(8, 1), std::vector<uint64_t>(4, 1)};
+    std::vector<CoeffVector> ragged = {CoeffVector(8, 1),
+                                       CoeffVector(4, 1)};
     EXPECT_ANAHEIM_ERROR(conv.convert(ragged), InvalidArgument,
                          "ragged input");
-    std::vector<std::vector<uint64_t>> empty = {std::vector<uint64_t>(),
-                                                std::vector<uint64_t>()};
+    std::vector<CoeffVector> empty = {CoeffVector(), CoeffVector()};
     EXPECT_ANAHEIM_ERROR(conv.convert(empty), InvalidArgument,
                          "zero-length limbs");
-    std::vector<std::vector<uint64_t>> shortCount = {
-        std::vector<uint64_t>(8, 1)};
+    std::vector<CoeffVector> shortCount = {CoeffVector(8, 1)};
     EXPECT_ANAHEIM_ERROR(conv.convert(shortCount), InvalidArgument,
                          "limb count mismatch");
 }

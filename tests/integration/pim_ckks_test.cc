@@ -48,7 +48,7 @@ class PimCkksIntegration : public ::testing::Test
     }
 
     static PimVector
-    toPim(const std::vector<uint64_t> &limb)
+    toPim(const CoeffVector &limb)
     {
         return PimVector(limb.begin(), limb.end());
     }

@@ -59,7 +59,7 @@ class FunctionalRecoveryTest : public ::testing::Test
     }
 
     static PimVector
-    toPim(const std::vector<uint64_t> &limb)
+    toPim(const CoeffVector &limb)
     {
         return PimVector(limb.begin(), limb.end());
     }

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Backend-equivalence matrix: every kernel backend compiled into this
+ * binary must be bitwise identical to the division-based reference
+ * oracle, across every context-grade prime size and every degree the
+ * library accepts, in both transform directions.
+ *
+ * The matrix runs three ways in CI (see tests/CMakeLists.txt):
+ *   - plain: runtime CPUID dispatch picks the widest backend;
+ *   - ANAHEIM_NTT_BACKEND=scalar: env override pins the scalar lanes;
+ *   - ANAHEIM_NTT_REFERENCE=1: the oracle itself is forced, so the
+ *     "lazy" entry points must route through it and trivially agree.
+ * The per-backend loops below additionally pin each compiled backend
+ * programmatically via setBackend(), so one run of the plain binary
+ * still covers scalar, AVX2, and AVX-512 wherever the host CPU allows.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/aligned.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "math/kernels.h"
+#include "math/modarith.h"
+#include "math/ntt.h"
+#include "math/primes.h"
+
+namespace anaheim {
+namespace {
+
+using kernels::Backend;
+
+/** Context-grade prime sizes: smallest NTT-friendly, the 40-bit scale
+ *  primes, the ~50-bit first primes, and the largest the lazy kernels
+ *  accept (59-bit boundary, q < kLazyModulusBound). A degree-n prime
+ *  needs q ≡ 1 (mod 2n); 30-bit primes exist for every n tested. */
+constexpr int kPrimeBits[] = {30, 40, 50, 59};
+
+class KernelBackendMatrix : public ::testing::Test
+{
+  protected:
+    void TearDown() override { kernels::resetBackend(); }
+};
+
+/** Runnable backends compiled into this binary (CPUID-filtered). */
+std::vector<const kernels::KernelOps *>
+runnableBackends()
+{
+    std::vector<const kernels::KernelOps *> out;
+    for (const kernels::KernelOps *ops : kernels::compiledBackends()) {
+        if (kernels::cpuSupports(ops->backend))
+            out.push_back(ops);
+    }
+    return out;
+}
+
+TEST_F(KernelBackendMatrix, TransformsBitwiseMatchReferenceEverywhere)
+{
+    for (size_t n = 4; n <= 4096; n *= 2) {
+        for (const int bits : kPrimeBits) {
+            const auto primes = generateNttPrimes(n, bits, 1);
+            ASSERT_FALSE(primes.empty()) << "no " << bits
+                                         << "-bit prime for n=" << n;
+            const uint64_t q = primes[0];
+            if (q >= NttTable::kLazyModulusBound)
+                continue;
+            const auto table = NttTable::shared(q, n);
+
+            Rng rng(n * 1000 + static_cast<size_t>(bits));
+            const CoeffVector input = sampleUniform(rng, n, q);
+
+            // Oracle: division-based reference, both directions.
+            CoeffVector refFwd = input;
+            table->forwardReference(refFwd.data());
+            CoeffVector refRound = refFwd;
+            table->inverseReference(refRound.data());
+            ASSERT_EQ(refRound, input)
+                << "reference roundtrip broken at n=" << n;
+
+            for (const kernels::KernelOps *ops : runnableBackends()) {
+                ASSERT_TRUE(kernels::setBackend(ops->backend));
+                CoeffVector fwd = input;
+                table->forwardLazy(fwd.data());
+                EXPECT_EQ(fwd, refFwd)
+                    << ops->name << " forward diverges from reference "
+                    << "at n=" << n << " q=" << q << " (" << bits
+                    << "-bit)";
+                CoeffVector inv = fwd;
+                table->inverseLazy(inv.data());
+                EXPECT_EQ(inv, input)
+                    << ops->name << " inverse diverges from reference "
+                    << "at n=" << n << " q=" << q << " (" << bits
+                    << "-bit)";
+            }
+        }
+    }
+}
+
+TEST_F(KernelBackendMatrix, DispatchedEntryPointsMatchReference)
+{
+    // Whatever dispatch resolves to right now — CPUID best, an env
+    // override, or the forced oracle — forward()/inverse() must equal
+    // the reference bit for bit. This is the body the env-variant ctest
+    // entries (ANAHEIM_NTT_BACKEND=scalar, ANAHEIM_NTT_REFERENCE=1)
+    // exercise without any programmatic override.
+    for (size_t n : {size_t{8}, size_t{256}, size_t{4096}}) {
+        const uint64_t q = generateNttPrimes(n, 40, 1)[0];
+        const auto table = NttTable::shared(q, n);
+        Rng rng(n);
+        const CoeffVector input = sampleUniform(rng, n, q);
+
+        CoeffVector ref = input;
+        table->forwardReference(ref.data());
+        CoeffVector got = input;
+        table->forward(got.data());
+        EXPECT_EQ(got, ref) << "dispatched forward at n=" << n;
+
+        table->inverseReference(ref.data());
+        table->inverse(got.data());
+        EXPECT_EQ(got, ref) << "dispatched inverse at n=" << n;
+        EXPECT_EQ(got, input) << "dispatched roundtrip at n=" << n;
+    }
+}
+
+TEST_F(KernelBackendMatrix, ElementWiseOpsMatchScalarBackend)
+{
+    // The element-wise kernel paths (Shoup/Barrett/add/sub/neg) must
+    // agree across backends too — they share the approximate-quotient
+    // trick with the transforms.
+    const size_t n = 1031; // odd: exercises every vector tail path
+    const uint64_t q = generateNttPrimes(2048, 50, 1)[0];
+    Rng rng(7);
+    const CoeffVector a = sampleUniform(rng, n, q);
+    const CoeffVector b = sampleUniform(rng, n, q);
+    const uint64_t w = rng.uniform(q);
+    const ShoupMul prepared(w, q);
+    const Barrett br(q);
+
+    const kernels::KernelOps &scalar = kernels::scalarOps();
+    auto runAll = [&](const kernels::KernelOps &ops) {
+        std::vector<CoeffVector> out;
+        CoeffVector t(n);
+        ops.mulShoup(t.data(), a.data(), n, prepared.operand(),
+                     prepared.precon(), q);
+        out.push_back(t);
+        t = b;
+        ops.mulShoupAcc(t.data(), a.data(), n, prepared.operand(),
+                        prepared.precon(), q);
+        out.push_back(t);
+        ops.subMulShoup(t.data(), a.data(), b.data(), n,
+                        prepared.operand(), prepared.precon(), q);
+        out.push_back(t);
+        ops.addMod(t.data(), a.data(), b.data(), n, q);
+        out.push_back(t);
+        ops.subMod(t.data(), a.data(), b.data(), n, q);
+        out.push_back(t);
+        ops.negMod(t.data(), a.data(), n, q);
+        out.push_back(t);
+        ops.mulBarrett(t.data(), a.data(), b.data(), n, br);
+        out.push_back(t);
+        t = b;
+        ops.macBarrett(t.data(), a.data(), a.data(), n, br);
+        out.push_back(t);
+        return out;
+    };
+
+    const auto expect = runAll(scalar);
+    for (const kernels::KernelOps *ops : runnableBackends()) {
+        const auto got = runAll(*ops);
+        ASSERT_EQ(got.size(), expect.size());
+        for (size_t i = 0; i < got.size(); ++i)
+            EXPECT_EQ(got[i], expect[i])
+                << ops->name << " element-wise op " << i;
+    }
+}
+
+TEST_F(KernelBackendMatrix, MatrixHoldsUnderConcurrentTransforms)
+{
+    // The TSan leg runs this at ANAHEIM_THREADS=4: shared tables, many
+    // threads transforming distinct buffers; results must stay bitwise
+    // equal to the serially-computed reference.
+    setParallelThreads(4);
+    const size_t n = 1024;
+    const uint64_t q = generateNttPrimes(n, 50, 1)[0];
+    const auto table = NttTable::shared(q, n);
+
+    constexpr size_t kJobs = 32;
+    std::vector<CoeffVector> inputs(kJobs), outputs(kJobs);
+    std::vector<CoeffVector> expected(kJobs);
+    for (size_t j = 0; j < kJobs; ++j) {
+        Rng rng(j + 1);
+        inputs[j] = sampleUniform(rng, n, q);
+        expected[j] = inputs[j];
+        table->forwardReference(expected[j].data());
+        outputs[j] = inputs[j];
+    }
+    parallelFor(0, kJobs, [&](size_t j) {
+        table->forwardLazy(outputs[j].data());
+    });
+    for (size_t j = 0; j < kJobs; ++j)
+        EXPECT_EQ(outputs[j], expected[j]) << "job " << j;
+
+    parallelFor(0, kJobs, [&](size_t j) {
+        table->inverseLazy(outputs[j].data());
+    });
+    for (size_t j = 0; j < kJobs; ++j)
+        EXPECT_EQ(outputs[j], inputs[j]) << "job " << j << " roundtrip";
+    setParallelThreads(defaultThreadCount());
+}
+
+} // namespace
+} // namespace anaheim

@@ -4,6 +4,7 @@
 
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "math/kernels.h"
 #include "math/modarith.h"
 #include "math/ntt.h"
 #include "math/primes.h"
@@ -88,7 +89,7 @@ TEST_P(NttTest, TransformIsLinear)
     const auto b = sampleUniform(rng, n(), q);
     const uint64_t c = rng.uniform(q);
 
-    std::vector<uint64_t> combo(n());
+    CoeffVector combo(n());
     for (size_t i = 0; i < n(); ++i)
         combo[i] = addMod(mulMod(c, a[i], q), b[i], q);
 
@@ -145,11 +146,10 @@ TEST_P(NttTest, LazyKernelsMatchReferenceBitwise)
     // lazy-reduction kernels and the division-based reference kernels
     // produce bit-identical outputs, in both directions, including when
     // chained (forward then inverse on the lazy path).
-    // Under ANAHEIM_NTT_REFERENCE the default dispatch goes to the
-    // oracle, but the lazy kernels themselves stay testable directly.
-    const char *refEnv = std::getenv("ANAHEIM_NTT_REFERENCE");
-    const bool refForced = refEnv != nullptr && refEnv[0] != '\0' &&
-                           std::string(refEnv) != "0";
+    // Under ANAHEIM_NTT_REFERENCE or ANAHEIM_NTT_BACKEND=reference the
+    // default dispatch goes to the oracle, but the lazy kernels
+    // themselves stay testable directly.
+    const bool refForced = kernels::nttReferenceForced();
     for (uint64_t q : contextGradePrimes(n())) {
         const NttTable table(q, n());
         ASSERT_EQ(table.usesLazyKernels(), !refForced) << "q=" << q;
@@ -182,8 +182,8 @@ TEST_P(NttTest, LazyKernelsMatchReferenceUnderThreads)
     // Same identity with limb-level parallelism on top: one task per
     // prime at 4 threads, mirroring how Polynomial::toEval dispatches.
     const auto primes = contextGradePrimes(n());
-    std::vector<std::vector<uint64_t>> lazyOut(primes.size());
-    std::vector<std::vector<uint64_t>> refOut(primes.size());
+    std::vector<CoeffVector> lazyOut(primes.size());
+    std::vector<CoeffVector> refOut(primes.size());
     for (size_t i = 0; i < primes.size(); ++i) {
         Rng rng(primes[i] + i);
         lazyOut[i] = sampleUniform(rng, n(), primes[i]);
@@ -227,6 +227,104 @@ TEST(NttTable, SharedCacheReturnsOneInstancePerKey)
     EXPECT_NE(a.get(), d.get());
     EXPECT_EQ(a->modulus(), q);
     EXPECT_EQ(a->degree(), n);
+}
+
+TEST(NttTable, SharedCacheConcurrentLookupBuildsOnce)
+{
+    // Concurrent first lookups of the same (q, n) keys must build each
+    // table exactly once and never tear the cache (TSan covers the
+    // mutex/future discipline when this runs under the tsan build).
+    NttTable::clearShared();
+    const size_t n = 512;
+    const auto primes = generateNttPrimes(n, 40, 6);
+    setParallelThreads(4);
+    std::vector<std::shared_ptr<const NttTable>> got(4 * primes.size());
+    parallelFor(0, got.size(), [&](size_t i) {
+        got[i] = NttTable::shared(primes[i % primes.size()], n);
+    });
+    setParallelThreads(defaultThreadCount());
+    for (size_t i = 0; i < got.size(); ++i) {
+        ASSERT_NE(got[i], nullptr);
+        EXPECT_EQ(got[i].get(), got[i % primes.size()].get())
+            << "same key must resolve to one instance, i=" << i;
+    }
+    EXPECT_EQ(NttTable::sharedCacheSize(), primes.size());
+}
+
+TEST(NttTable, SharedCacheBoundsGrowthAndSupportsClear)
+{
+    // Sweeping more keys than the capacity must not grow the cache
+    // without bound: the least recently used entries are recycled, and
+    // evicted tables stay alive through outstanding shared_ptrs.
+    NttTable::clearShared();
+    const size_t n = 32;
+    const auto primes =
+        generateNttPrimes(n, 30, NttTable::kSharedCacheCapacity + 8);
+    const auto first = NttTable::shared(primes[0], n);
+    for (uint64_t q : primes)
+        (void)NttTable::shared(q, n);
+    EXPECT_LE(NttTable::sharedCacheSize(), NttTable::kSharedCacheCapacity);
+    // primes[0] was the least recently used entry, so the sweep evicted
+    // it; a fresh lookup rebuilds while the old instance stays valid.
+    const auto rebuilt = NttTable::shared(primes[0], n);
+    EXPECT_NE(first.get(), rebuilt.get());
+    EXPECT_EQ(first->modulus(), rebuilt->modulus());
+    NttTable::clearShared();
+    EXPECT_EQ(NttTable::sharedCacheSize(), 0u);
+    EXPECT_EQ(first->degree(), n) << "evicted table must remain usable";
+}
+
+TEST(NttTable, LazyGatingBoundaryPrimes)
+{
+    // Satellite audit of the q < 2^59 gate: the largest NTT-friendly
+    // prime below the bound must take the lazy kernels and match the
+    // oracle bitwise (its 4q is the closest any admitted modulus gets
+    // to the 64-bit edge: 4q < 2^61); the smallest prime above must
+    // fall back to the reference kernels and still round-trip.
+    const size_t n = 256;
+    uint64_t below = NttTable::kLazyModulusBound + 1 - 2 * n;
+    while (!isPrime(below))
+        below -= 2 * n; // keeps q == 1 (mod 2N)
+    ASSERT_LT(below, NttTable::kLazyModulusBound);
+    const NttTable lazyTable(below, n);
+    if (!kernels::nttReferenceForced()) {
+        EXPECT_TRUE(lazyTable.usesLazyKernels());
+    }
+    Rng rng(13);
+    const auto data = sampleUniform(rng, n, below);
+    auto lazy = data, ref = data;
+    lazyTable.forwardLazy(lazy.data());
+    lazyTable.forwardReference(ref.data());
+    EXPECT_EQ(lazy, ref) << "forward at boundary prime " << below;
+    lazy = data;
+    ref = data;
+    lazyTable.inverseLazy(lazy.data());
+    lazyTable.inverseReference(ref.data());
+    EXPECT_EQ(lazy, ref) << "inverse at boundary prime " << below;
+    // Worst-case magnitudes: every coefficient at q-1.
+    std::vector<uint64_t> maxed(n, below - 1);
+    auto maxedRef = maxed;
+    lazyTable.forwardLazy(maxed.data());
+    lazyTable.forwardReference(maxedRef.data());
+    EXPECT_EQ(maxed, maxedRef);
+
+    uint64_t above = NttTable::kLazyModulusBound + 1;
+    while (above % (2 * n) != 1 || !isPrime(above))
+        above += 2;
+    const NttTable refTable(above, n);
+    EXPECT_FALSE(refTable.usesLazyKernels());
+    auto copy = data;
+    refTable.forward(copy.data());
+    refTable.inverse(copy.data());
+    EXPECT_EQ(copy, data);
+
+    // And the widest primes the generator can emit (59 "bits" caps at
+    // values below 2^59) must be admitted by the gate.
+    for (uint64_t q : generateNttPrimes(n, 59, 2)) {
+        ASSERT_LT(q, NttTable::kLazyModulusBound);
+        EXPECT_TRUE(NttTable(q, n).usesLazyKernels() ||
+                    kernels::nttReferenceForced());
+    }
 }
 
 TEST(NttTable, LargeModulusFallsBackToReferenceKernels)

@@ -62,7 +62,7 @@ TEST(Polynomial, EvalDomainMultIsNegacyclicConvolution)
     auto a = randomPoly(basis, rng, Domain::Coeff);
     auto b = randomPoly(basis, rng, Domain::Coeff);
 
-    std::vector<std::vector<uint64_t>> expect(basis.size());
+    std::vector<CoeffVector> expect(basis.size());
     for (size_t i = 0; i < basis.size(); ++i)
         expect[i] = negacyclicMultiply(a.limb(i), b.limb(i),
                                        basis.prime(i));

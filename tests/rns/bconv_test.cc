@@ -128,7 +128,7 @@ TEST(BasisConverter, VectorPathMatchesScalarPath)
     BasisConverter conv(fx.source, fx.target);
     Rng rng(22);
     const size_t n = 16;
-    std::vector<std::vector<uint64_t>> input(fx.source.size());
+    std::vector<CoeffVector> input(fx.source.size());
     for (size_t i = 0; i < input.size(); ++i)
         input[i] = sampleUniform(rng, n, fx.source.prime(i));
 
@@ -154,8 +154,7 @@ TEST_P(BconvShapeTest, OutputShapeMatchesTarget)
     const auto [ls, lt] = GetParam();
     BconvFixture fx(32, ls, lt);
     BasisConverter conv(fx.source, fx.target);
-    std::vector<std::vector<uint64_t>> input(
-        ls, std::vector<uint64_t>(32, 7));
+    std::vector<CoeffVector> input(ls, CoeffVector(32, 7));
     const auto out = conv.convert(input);
     EXPECT_EQ(out.size(), lt);
     for (const auto &limb : out)
