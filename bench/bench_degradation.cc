@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Monte Carlo permanent-fault degradation campaign: availability and
+ * throughput vs permanent bank-failure rate.
+ *
+ * Each campaign cell fixes a per-bank permanent-failure probability,
+ * samples `--trials` devices (each trial draws its own failed-bank set
+ * from its fault seed), and runs a long chained-HMULT trace through
+ * the full escalation ladder — ECC retry, checkpoint rollback/replay,
+ * health-monitor quarantine + remap + replay, and GPU redirection once
+ * healthy capacity falls under the configured floor. Reported per
+ * cell: the mean failed/quarantined bank counts, migrations,
+ * availability (the fraction of trials finishing with zero unrecovered
+ * corruption), throughput relative to the fault-free run, the ending
+ * healthy-capacity fraction, and the per-cause GPU fallback split.
+ *
+ * Flags:
+ *   --rate=X         sweep only this permanent bank-failure rate
+ *   --trials=N       Monte Carlo trials per cell (default 5)
+ *   --repeats=N      HMULTs chained into the long trace (default 6)
+ *   --fault-seed=S   base fault seed (trial t uses S + t * 1000003)
+ *   --smoke          tiny grid / two trials for ctest
+ *   --json <path>    machine-readable degradation curve
+ *   --trace/--metrics <path>   Perfetto / metrics export
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "anaheim/framework.h"
+#include "bench_util.h"
+#include "common/status.h"
+#include "obs/report.h"
+#include "sim/fault.h"
+#include "trace/builders.h"
+
+using namespace anaheim;
+
+namespace {
+
+struct Options {
+    std::vector<double> rates{0.0, 5e-4, 2e-3, 8e-3, 0.6};
+    size_t trials = 5;
+    size_t repeats = 6;
+    uint64_t seed = 0x0ddfa117u;
+    bool smoke = false;
+};
+
+Options
+parseOptions(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--smoke") {
+            opts.smoke = true;
+            // One clean cell, one quarantine cell, one floor cell.
+            opts.rates = {0.0, 2e-3, 0.6};
+            opts.trials = 2;
+            opts.repeats = 3;
+        } else if (arg.rfind("--rate=", 0) == 0) {
+            opts.rates = {std::strtod(arg.c_str() + 7, nullptr)};
+        } else if (arg.rfind("--trials=", 0) == 0) {
+            opts.trials = std::strtoull(arg.c_str() + 9, nullptr, 0);
+        } else if (arg.rfind("--repeats=", 0) == 0) {
+            opts.repeats = std::strtoull(arg.c_str() + 10, nullptr, 0);
+        } else if (arg.rfind("--fault-seed=", 0) == 0) {
+            opts.seed = std::strtoull(arg.c_str() + 13, nullptr, 0);
+        } else if ((arg == "--json" || arg == "--trace" ||
+                    arg == "--metrics") &&
+                   i + 1 < argc) {
+            ++i; // handled by bench::JsonScope
+        } else {
+            std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+            std::exit(2);
+        }
+    }
+    return opts;
+}
+
+/** Degradation-campaign resilience policy: everything on. */
+AnaheimConfig
+campaignConfig(double rate, uint64_t faultSeed)
+{
+    AnaheimConfig config = AnaheimConfig::a100NearBank();
+    ResilienceConfig &rc = config.resilience;
+    // A small transient storage BER keeps the retry path honest next
+    // to the permanent faults (quarantine must not trigger on it).
+    rc.ber = 1e-7;
+    rc.permanentBankRate = rate;
+    rc.faultSeed = faultSeed;
+    rc.checksumEnabled = true;
+    rc.checkpoint.enabled = true;
+    rc.checkpoint.intervalSegments = 8;
+    rc.checkpoint.maxRollbacks = 32;
+    rc.health.enabled = true;
+    rc.health.permanentThreshold = 2;
+    rc.health.minCapacityFraction = 0.5;
+    return config;
+}
+
+struct CellResult {
+    double failedBanks = 0.0;
+    double quarantinedBanks = 0.0;
+    double migrations = 0.0;
+    double rollbacks = 0.0;
+    double availability = 0.0;        ///< trials with zero unrecovered
+    double capacityFraction = 0.0;    ///< ending healthy-bank fraction
+    double throughputVsHealthy = 0.0; ///< healthy time / degraded time
+    double offlineRate = 0.0;        ///< trials ending PIM-offline
+    double fbRetryExhausted = 0.0;
+    double fbUncheckpointed = 0.0;
+    double fbCapacityFloor = 0.0;
+};
+
+CellResult
+runCell(double rate, const Options &opts, const OpSequence &seq,
+        const RunResult &base)
+{
+    CellResult out;
+    for (size_t trial = 0; trial < opts.trials; ++trial) {
+        const uint64_t seed = opts.seed + trial * 1000003ull;
+        const AnaheimConfig config = campaignConfig(rate, seed);
+
+        // The trial's device: count its failed banks directly from the
+        // fault model (the run only reports what it quarantined).
+        FaultConfig faults;
+        faults.seed = seed;
+        faults.permanentBankRate = rate;
+        const size_t failed =
+            rate > 0.0 ? FaultModel(faults)
+                             .samplePermanentBanks(
+                                 config.pim.dieGroups,
+                                 config.pim.banksPerDieGroup)
+                             .size()
+                       : 0;
+
+        const RunResult run = AnaheimFramework(config).execute(seq);
+        const ResilienceStats &r = run.resilience;
+        out.failedBanks += static_cast<double>(failed);
+        out.quarantinedBanks += static_cast<double>(r.quarantinedBanks);
+        out.migrations += static_cast<double>(r.migrations);
+        out.rollbacks += static_cast<double>(r.rollbacks);
+        out.availability += r.unrecovered == 0 ? 1.0 : 0.0;
+        out.capacityFraction += run.pimCapacityFraction;
+        out.throughputVsHealthy += base.totalNs / run.totalNs;
+        out.offlineRate += run.pimOffline ? 1.0 : 0.0;
+        out.fbRetryExhausted +=
+            static_cast<double>(r.gpuFallbacksRetryExhausted);
+        out.fbUncheckpointed +=
+            static_cast<double>(r.gpuFallbacksUncheckpointed);
+        out.fbCapacityFloor +=
+            static_cast<double>(r.gpuFallbacksCapacityFloor);
+    }
+    const double trials = static_cast<double>(opts.trials);
+    out.failedBanks /= trials;
+    out.quarantinedBanks /= trials;
+    out.migrations /= trials;
+    out.rollbacks /= trials;
+    out.availability /= trials;
+    out.capacityFraction /= trials;
+    out.throughputVsHealthy /= trials;
+    out.offlineRate /= trials;
+    out.fbRetryExhausted /= trials;
+    out.fbUncheckpointed /= trials;
+    out.fbCapacityFloor /= trials;
+    return out;
+}
+
+} // namespace
+
+static int
+run(int argc, char **argv)
+{
+    const Options opts = parseOptions(argc, argv);
+    bench::JsonScope json(opts.smoke ? "degradation_smoke"
+                                     : "degradation",
+                          argc, argv);
+    json.report().metric("smoke", opts.smoke ? "yes" : "no");
+    json.report().metric("trials", static_cast<double>(opts.trials));
+    json.report().metric("repeats", static_cast<double>(opts.repeats));
+    json.report().metric("fault_seed", static_cast<double>(opts.seed));
+    bench::reportConfig(json.report(), campaignConfig(0.0, opts.seed));
+
+    const TraceParams params;
+    OpSequence seq = buildHMult(params);
+    OpSequence one = seq;
+    for (size_t r = 1; r < opts.repeats; ++r)
+        seq.append(one);
+    seq.name = "hmult_chain";
+
+    // Healthy-device baseline under the same resilience policy, so
+    // the throughput column isolates degradation (not the checkpoint /
+    // checksum overhead, which bench_fault_campaign already reports).
+    const RunResult base =
+        AnaheimFramework(campaignConfig(0.0, opts.seed)).execute(seq);
+
+    bench::header(
+        "Permanent-fault degradation campaign (" +
+        std::to_string(opts.repeats) + " chained HMULTs, " +
+        std::to_string(opts.trials) +
+        " trials/cell; ECC + checksums + checkpoint + health on)");
+
+    std::printf("%-10s %8s %8s %7s %7s %7s %9s %9s %8s %9s\n", "rate",
+                "failed", "quarant", "migr", "rbacks", "avail",
+                "capacity", "thruput", "offline", "fb-floor");
+    for (const double rate : opts.rates) {
+        const CellResult res = runCell(rate, opts, seq, base);
+        std::printf("%-10.1e %8.1f %8.1f %7.1f %7.1f %6.0f%% %9.4f "
+                    "%8.3fx %7.0f%% %9.1f\n",
+                    rate, res.failedBanks, res.quarantinedBanks,
+                    res.migrations, res.rollbacks,
+                    100.0 * res.availability, res.capacityFraction,
+                    res.throughputVsHealthy, 100.0 * res.offlineRate,
+                    res.fbCapacityFloor);
+        bench::JsonReport &report = json.report();
+        report.beginRow();
+        report.rowMetric("permanent_bank_rate", rate);
+        report.rowMetric("failed_banks", res.failedBanks);
+        report.rowMetric("quarantined_banks", res.quarantinedBanks);
+        report.rowMetric("migrations", res.migrations);
+        report.rowMetric("rollbacks", res.rollbacks);
+        report.rowMetric("availability", res.availability);
+        report.rowMetric("capacity_fraction", res.capacityFraction);
+        report.rowMetric("throughput_vs_healthy",
+                         res.throughputVsHealthy);
+        report.rowMetric("pim_offline_rate", res.offlineRate);
+        report.rowMetric("gpu_fallbacks_retry_exhausted",
+                         res.fbRetryExhausted);
+        report.rowMetric("gpu_fallbacks_uncheckpointed",
+                         res.fbUncheckpointed);
+        report.rowMetric("gpu_fallbacks_capacity_floor",
+                         res.fbCapacityFloor);
+    }
+
+    // End-of-run availability report for one representative trial of
+    // the most degraded cell (also exercises the obs helper).
+    const double worst = opts.rates.back();
+    const RunResult sample =
+        AnaheimFramework(campaignConfig(worst, opts.seed)).execute(seq);
+    std::printf("\nAvailability report (rate %.1e, seed trial 0):\n",
+                worst);
+    obs::printAvailability(sample);
+
+    bench::note("availability = fraction of trials finishing with zero "
+                "unrecovered corruption; quarantine+remap keeps the "
+                "device available until the healthy-bank capacity floor "
+                "(0.5), past which PIM segments redirect to the GPU "
+                "(fb-floor)");
+    return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return runGuardedMain("bench_degradation",
+                          [&] { return run(argc, argv); });
+}

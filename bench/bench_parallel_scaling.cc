@@ -21,6 +21,7 @@
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "math/kernels.h"
 #include "poly/polynomial.h"
 #include "rns/bconv.h"
 
@@ -103,12 +104,17 @@ run(int argc, char **argv)
     using namespace anaheim;
 
     bench::JsonScope json("parallel_scaling", argc, argv);
+    // Headline numbers depend on which NTT kernel backend dispatch
+    // resolved to; stamp it into the JSON so cross-machine trend
+    // comparisons do not mix SIMD tiers.
+    const char *backend = kernels::backendName(kernels::activeBackend());
+    json.report().metric("backend", backend);
     bench::header("Parallel scaling of host CKKS hot paths "
                   "(N = 2^14, L = 8)");
     bench::note("best-of-3 wall time; speedup relative to 1 thread; "
                 "outputs checked bitwise against the 1-thread run");
-    std::printf("  hardware threads available: %zu\n\n",
-                defaultThreadCount());
+    std::printf("  hardware threads available: %zu\n", defaultThreadCount());
+    std::printf("  ntt kernel backend: %s\n\n", backend);
 
     const std::vector<size_t> threadCounts = {1, 2, 4, 8};
 

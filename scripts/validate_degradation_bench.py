@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Schema check for bench_degradation --json output.
+
+The degradation bench emits one row per permanent bank-failure rate so
+the availability / throughput-vs-fault-rate curves stay
+machine-comparable across PRs. CI runs this after the --smoke campaign
+to catch schema drift (a renamed key silently breaks trend tooling)
+and semantic nonsense: an availability outside [0, 1], a cell that
+quarantined more banks than failed, a clean cell that migrated, a
+PIM-offline cell with no capacity-floor fallbacks, or per-cause GPU
+fallback counters that disagree with the escalation ladder.
+
+Usage: validate_degradation_bench.py [path]  (default: BENCH_degradation.json)
+Exits 0 when the document conforms, 1 with a message per violation.
+"""
+
+import json
+import sys
+
+TOP_LEVEL_REQUIRED = {
+    "bench": str,
+    "trials": (int, float),
+    "repeats": (int, float),
+    "fault_seed": (int, float),
+    "config.health_enabled": str,
+    "config.checkpoint_enabled": str,
+    "config.checksum_enabled": str,
+    "rows": list,
+}
+
+ROW_REQUIRED = {
+    "permanent_bank_rate": (int, float),
+    "failed_banks": (int, float),
+    "quarantined_banks": (int, float),
+    "migrations": (int, float),
+    "rollbacks": (int, float),
+    "availability": (int, float),
+    "capacity_fraction": (int, float),
+    "throughput_vs_healthy": (int, float),
+    "pim_offline_rate": (int, float),
+    "gpu_fallbacks_retry_exhausted": (int, float),
+    "gpu_fallbacks_uncheckpointed": (int, float),
+    "gpu_fallbacks_capacity_floor": (int, float),
+}
+
+
+def validate(doc):
+    errors = []
+
+    for key, want in TOP_LEVEL_REQUIRED.items():
+        if key not in doc:
+            errors.append(f"missing top-level key '{key}'")
+        elif not isinstance(doc[key], want):
+            errors.append(
+                f"top-level '{key}' has type {type(doc[key]).__name__}")
+    if errors:
+        return errors
+
+    if doc["bench"] not in ("degradation", "degradation_smoke"):
+        errors.append(f"bench is '{doc['bench']}', want 'degradation' "
+                      "or 'degradation_smoke'")
+    # The campaign is meaningless with the escalation ladder off.
+    for key in ("config.health_enabled", "config.checkpoint_enabled",
+                "config.checksum_enabled"):
+        if doc[key] != "true":
+            errors.append(f"{key} is '{doc[key]}' — the campaign must "
+                          "run with the full escalation ladder on")
+    if not doc["rows"]:
+        errors.append("no campaign rows")
+
+    rates = []
+    for i, row in enumerate(doc["rows"]):
+        for key, want in ROW_REQUIRED.items():
+            if key not in row:
+                errors.append(f"row {i}: missing key '{key}'")
+            elif not isinstance(row[key], want):
+                errors.append(f"row {i}: '{key}' has type "
+                              f"{type(row[key]).__name__}")
+        if any(f"row {i}:" in e for e in errors):
+            continue
+        rates.append(row["permanent_bank_rate"])
+
+        for key in ("availability", "capacity_fraction",
+                    "pim_offline_rate"):
+            if not 0.0 <= row[key] <= 1.0:
+                errors.append(f"row {i}: {key}={row[key]} outside [0,1]")
+        if row["throughput_vs_healthy"] <= 0:
+            errors.append(f"row {i}: throughput_vs_healthy must be "
+                          "positive")
+        for key in ("failed_banks", "quarantined_banks", "migrations",
+                    "rollbacks", "gpu_fallbacks_retry_exhausted",
+                    "gpu_fallbacks_uncheckpointed",
+                    "gpu_fallbacks_capacity_floor"):
+            if row[key] < 0:
+                errors.append(f"row {i}: {key} is negative")
+
+        # Quarantine can only remove banks that actually failed, and a
+        # quarantine implies at least one migration.
+        if row["quarantined_banks"] > row["failed_banks"]:
+            errors.append(f"row {i}: quarantined more banks "
+                          f"({row['quarantined_banks']}) than failed "
+                          f"({row['failed_banks']})")
+        if row["quarantined_banks"] > 0 and row["migrations"] == 0:
+            errors.append(f"row {i}: banks quarantined with zero "
+                          "migrations")
+        if row["permanent_bank_rate"] == 0:
+            for key in ("failed_banks", "quarantined_banks",
+                        "migrations", "gpu_fallbacks_capacity_floor"):
+                if row[key] != 0:
+                    errors.append(f"row {i}: clean cell has nonzero "
+                                  f"{key}={row[key]}")
+            if row["availability"] != 1:
+                errors.append(f"row {i}: clean cell availability "
+                              f"{row['availability']} != 1")
+        # Offline trials redirect PIM segments to the GPU, so a fully
+        # offline cell must report capacity-floor fallbacks.
+        if (row["pim_offline_rate"] == 1
+                and row["gpu_fallbacks_capacity_floor"] == 0):
+            errors.append(f"row {i}: PIM offline in every trial but no "
+                          "capacity-floor GPU fallbacks")
+
+    if rates != sorted(rates):
+        errors.append("rows not sorted by permanent_bank_rate")
+    if len(set(rates)) != len(rates):
+        errors.append("duplicate permanent_bank_rate rows")
+
+    return errors
+
+
+def main(argv):
+    path = argv[1] if len(argv) > 1 else "BENCH_degradation.json"
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"validate_degradation_bench: cannot read {path}: {e}",
+              file=sys.stderr)
+        return 1
+
+    errors = validate(doc)
+    for e in errors:
+        print(f"validate_degradation_bench: {path}: {e}",
+              file=sys.stderr)
+    if not errors:
+        worst = doc["rows"][-1]
+        print(f"validate_degradation_bench: {path}: OK "
+              f"({len(doc['rows'])} rows, worst cell rate "
+              f"{worst['permanent_bank_rate']} -> availability "
+              f"{worst['availability']:.2f}, capacity "
+              f"{worst['capacity_fraction']:.3f})")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

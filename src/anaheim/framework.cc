@@ -7,7 +7,9 @@
 #include "common/logging.h"
 #include "obs/report.h"
 #include "obs/trace.h"
+#include "planner.h"
 #include "sim/fault.h"
+#include "sim/health.h"
 #include "trace/validate.h"
 
 namespace anaheim {
@@ -161,9 +163,61 @@ AnaheimFramework::execute(const OpSequence &seq) const
         faults.laneBer = rc.laneBer;
         faults.retentionBerPerWindow = rc.retentionBerPerWindow;
         faults.seed = rc.faultSeed;
+        faults.permanentBanks = rc.permanentBanks;
+        faults.permanentLanes = rc.permanentLanes;
+        faults.permanentBankRate = rc.permanentBankRate;
         if (faults.enabled())
             faultModel.emplace(faults);
     }
+
+    // Permanent-fault universe and health monitoring. A failed site is
+    // "active" while it still carries data; once the monitor
+    // quarantines it and execution migrates, it stops corrupting.
+    const size_t totalBanks =
+        config_.pim.banksPerDieGroup * config_.pim.dieGroups;
+    std::vector<FaultSiteId> failedBankSites;
+    std::vector<FaultSiteId> failedLaneSites;
+    if (faultModel) {
+        for (const PermanentBankFault &bank :
+             faultModel->samplePermanentBanks(config_.pim.dieGroups,
+                                              config_.pim.banksPerDieGroup))
+            failedBankSites.push_back(
+                {FaultSiteId::Kind::Bank, bank.dieGroup, bank.bank});
+        for (const PermanentLaneFault &lane :
+             faultModel->config().permanentLanes) {
+            if (lane.dieGroup < config_.pim.dieGroups &&
+                lane.lane < config_.pim.lanes)
+                failedLaneSites.push_back({FaultSiteId::Kind::MmacLane,
+                                           lane.dieGroup, lane.lane});
+        }
+    }
+    std::optional<HealthMonitor> health;
+    if (rc.health.enabled)
+        health.emplace(rc.health, config_.pim.dieGroups,
+                       config_.pim.banksPerDieGroup, config_.pim.lanes);
+    size_t activeFailedBanks = 0;
+    size_t activeFailedLanes = 0;
+    auto refreshActiveFaults = [&]() {
+        activeFailedBanks = 0;
+        activeFailedLanes = 0;
+        for (const FaultSiteId &site : failedBankSites)
+            activeFailedBanks += health && health->isQuarantined(site)
+                                     ? 0
+                                     : 1;
+        for (const FaultSiteId &site : failedLaneSites)
+            activeFailedLanes += health && health->isQuarantined(site)
+                                     ? 0
+                                     : 1;
+    };
+    refreshActiveFaults();
+    // After a quarantine the device runs degraded: limbs stripe over
+    // the healthy banks (more chunks per bank), surviving lanes absorb
+    // the dead ones' multiplies.
+    std::optional<PimKernelModel> degradedPim;
+    auto pimModel = [&]() -> const PimKernelModel & {
+        return degradedPim ? *degradedPim : pim_;
+    };
+    bool pimOffline = false;
     // Stream ids keep every (generation, op, retry attempt) draw
     // distinct while staying reproducible across runs with the same
     // seed. Generation 0 reproduces the pre-checkpoint stream layout;
@@ -295,6 +349,81 @@ AnaheimFramework::execute(const OpSequence &seq) const
         pendingSilent = 0;
         pendingRetUncorrectable = 0;
     };
+    enum class FallbackCause { RetryExhausted, Uncheckpointed,
+                               CapacityFloor };
+    auto countFallback = [&](FallbackCause cause) {
+        ++res.gpuFallbacks;
+        switch (cause) {
+          case FallbackCause::RetryExhausted:
+            ++res.gpuFallbacksRetryExhausted;
+            break;
+          case FallbackCause::Uncheckpointed:
+            ++res.gpuFallbacksUncheckpointed;
+            break;
+          case FallbackCause::CapacityFloor:
+            ++res.gpuFallbacksCapacityFloor;
+            break;
+        }
+    };
+    // Feed a detected error to the health monitor against every still-
+    // active permanently failed site that could have caused it (the
+    // detector cannot localize beyond that). Returns true when a site
+    // newly crossed the permanent threshold — the caller migrates.
+    // Pure transients leave the suspect set empty, so healthy banks
+    // are never quarantined by an upset storm.
+    auto recordSuspects = [&](bool banks, bool lanes) {
+        if (!health)
+            return false;
+        bool newlyQuarantined = false;
+        if (banks) {
+            for (const FaultSiteId &site : failedBankSites)
+                newlyQuarantined |= health->recordError(site, clock);
+        }
+        if (lanes) {
+            for (const FaultSiteId &site : failedLaneSites)
+                newlyQuarantined |= health->recordError(site, clock);
+        }
+        return newlyQuarantined;
+    };
+    // Quarantine + remap: re-plan the trace on the healthy subset,
+    // migrate the live footprint onto it, and resume — from the last
+    // checkpoint when one exists (the segment group replays on the
+    // degraded device), else from `resumeAt`. Does NOT consume the
+    // rollback budget: the broken site is being removed, not retried.
+    // When quarantine leaves too little capacity (the configured floor,
+    // or the degraded plan no longer fits), PIM offload is abandoned
+    // and the remaining PIM segments are redirected to the GPU.
+    auto quarantineAndMigrate = [&](size_t next, size_t resumeAt) {
+        ++res.migrations;
+        const ResourceMap &rm = health->resources();
+        refreshActiveFaults();
+        ++generation; // replays resample their transient faults
+        // Control-plane cost: remap tables + lockstep re-fusing.
+        chargePhase("Quarantine", "DRAM", 1.0e3, 0.0);
+        const PimConfig degraded = config_.pim.degraded(rm);
+        const MemoryPlan degradedPlan =
+            PimMemoryPlanner(config_.dram, degraded).plan(seq);
+        if (health->belowCapacityFloor() || !degradedPlan.fits) {
+            pimOffline = true;
+            degradedPim.reset();
+        } else {
+            degradedPim.emplace(config_.dram, degraded);
+            // One pass over the live footprint into the new layout.
+            chargePhase("Migrate", "DRAM",
+                        liveBytes > 0.0 ? 2.0 * liveBytes / extBw : 0.0,
+                        2.0 * liveBytes * denergy.globalIoPerBytePj);
+        }
+        pendingSilent = 0;
+        pendingRetCorrectable = 0;
+        pendingRetUncorrectable = 0;
+        segmentsSinceCkpt = 0;
+        prevWasPim = false;
+        if (rc.checkpoint.enabled) {
+            res.replayedSegments += next - checkpointIndex;
+            return checkpointIndex;
+        }
+        return resumeAt;
+    };
 
     size_t i = 0;
     while (true) {
@@ -303,6 +432,11 @@ AnaheimFramework::execute(const OpSequence &seq) const
             // verification before they are decrypted.
             if (checksumOn) {
                 if (!verifyChecksums(liveBytes)) {
+                    if (recordSuspects(!rc.eccEnabled, true) &&
+                        rc.checkpoint.enabled) {
+                        i = quarantineAndMigrate(i, i);
+                        continue;
+                    }
                     if (canRollBack()) {
                         i = rollBack(i);
                         continue;
@@ -359,6 +493,10 @@ AnaheimFramework::execute(const OpSequence &seq) const
             // Verify before snapshotting: never checkpoint corrupt
             // state, or rollback would replay the corruption forever.
             if (checksumOn && !verifyChecksums(liveBytes)) {
+                if (recordSuspects(!rc.eccEnabled, true)) {
+                    i = quarantineAndMigrate(i, i);
+                    continue;
+                }
                 if (canRollBack()) {
                     i = rollBack(i);
                     continue;
@@ -377,10 +515,10 @@ AnaheimFramework::execute(const OpSequence &seq) const
         }
 
         const KernelOp &op = seq.ops[i];
-        const bool onPim = onPimFlags[i];
+        const bool onPim = onPimFlags[i] && !pimOffline;
 
         if (onPim) {
-            const PimExecStats stats = pim_.execute(
+            const PimExecStats stats = pimModel().execute(
                 opcodeFor(op.type), op.fanIn, op.limbs, op.n);
             ANAHEIM_ASSERT(stats.supported, "unsupported PIM instruction");
             // GPU<->PIM transition overhead (§V-C) applies once per PIM
@@ -396,35 +534,59 @@ AnaheimFramework::execute(const OpSequence &seq) const
             double pimEnergyPj = stats.energyPj;
             double pimChunks = stats.chunksMoved;
             bool fellBack = false;
+            FallbackCause cause = FallbackCause::RetryExhausted;
             bool needRollback = false;
+            bool needMigrate = false;
             if (faultModel) {
                 const uint64_t opStream = generation * opStreams + i;
-                if (rc.ber > 0.0) {
+                // Permanent-bank damage is deterministic: the same
+                // share of the op's accesses lands on dead banks on
+                // every attempt and every generation — only a remap
+                // (or retirement of the banks) makes it go away.
+                const size_t words =
+                    pimWordsRead(op) + pimWordsWritten(op);
+                const uint64_t permWords = permanentFaultyWords(
+                    words, activeFailedBanks, totalBanks);
+                if (rc.ber > 0.0 || permWords > 0) {
                     // Storage sites: operand reads plus the result
                     // write-back ride the same ECC boundary.
-                    const size_t words =
-                        pimWordsRead(op) + pimWordsWritten(op);
                     for (uint64_t attempt = 0;; ++attempt) {
                         const FaultEventCounts events =
                             faultModel->sampleEvents(
                                 words, opStream * retryStreams + attempt);
-                        res.faultyWords += events.faulty;
+                        res.faultyWords += events.faulty + permWords;
+                        res.permanentFaultyWords += permWords;
                         if (!rc.eccEnabled) {
                             // Nothing at the word boundary detects the
                             // corruption: no retry signal; checksums
                             // are the only remaining net.
-                            addSilent(events.faulty);
+                            addSilent(events.faulty + permWords);
                             break;
                         }
                         res.eccCorrected += events.singleBit;
-                        if (events.multiBit == 0)
+                        const uint64_t multi =
+                            events.multiBit + permWords;
+                        if (multi == 0)
                             break;
-                        res.eccUncorrectable += events.multiBit;
+                        res.eccUncorrectable += multi;
                         if (attempt >= rc.maxPimRetries) {
-                            if (canRollBack())
+                            // Escalation past the retry budget: a site
+                            // crossing the permanent threshold is
+                            // quarantined and execution migrates off
+                            // it; otherwise roll back while the budget
+                            // lasts, else abandon the segment to the
+                            // GPU.
+                            if (permWords > 0 &&
+                                recordSuspects(true, false)) {
+                                needMigrate = true;
+                            } else if (canRollBack()) {
                                 needRollback = true;
-                            else
+                            } else {
                                 fellBack = true;
+                                cause = rc.checkpoint.enabled
+                                            ? FallbackCause::RetryExhausted
+                                            : FallbackCause::Uncheckpointed;
+                            }
                             break;
                         }
                         ++res.pimRetries;
@@ -433,14 +595,21 @@ AnaheimFramework::execute(const OpSequence &seq) const
                         pimChunks += stats.chunksMoved;
                     }
                 }
-                if (rc.laneBer > 0.0 && !needRollback && !fellBack) {
+                if ((rc.laneBer > 0.0 || activeFailedLanes > 0) &&
+                    !needRollback && !fellBack && !needMigrate) {
                     // Post-multiply lane flips: no ECC reaches the
                     // 28-bit datapath, so every hit is silent here.
+                    // Dead lanes corrupt their share of every op's
+                    // multiplies the same way — deterministically.
+                    const size_t laneOps =
+                        static_cast<size_t>(op.modMults());
                     const FaultEventCounts lane =
-                        faultModel->sampleLaneEvents(
-                            static_cast<size_t>(op.modMults()), opStream);
-                    res.laneFaults += lane.faulty;
-                    addSilent(lane.faulty);
+                        faultModel->sampleLaneEvents(laneOps, opStream);
+                    const uint64_t permLane = permanentFaultyWords(
+                        laneOps, activeFailedLanes, config_.pim.lanes);
+                    res.laneFaults += lane.faulty + permLane;
+                    res.permanentLaneFaults += permLane;
+                    addSilent(lane.faulty + permLane);
                 }
             }
 
@@ -462,6 +631,13 @@ AnaheimFramework::execute(const OpSequence &seq) const
                 pimChunks * config_.dram.chunkBytes;
             prevWasPim = true;
 
+            if (needMigrate) {
+                // Quarantine + remap + replay. Without a checkpoint
+                // only op i re-runs — its operands are intact, since
+                // failed attempts never commit.
+                i = quarantineAndMigrate(i + 1, i);
+                continue;
+            }
             if (needRollback) {
                 // Replay the whole segment group from the snapshot —
                 // op i included, hence the +1 before rewinding.
@@ -472,7 +648,7 @@ AnaheimFramework::execute(const OpSequence &seq) const
                 // The segment's PIM result is untrustworthy even after
                 // the replays: re-run it on the GPU (unfused — its
                 // operands live in DRAM, not the cache).
-                ++res.gpuFallbacks;
+                countFallback(cause);
                 const GpuKernelStats gpuStats = gpu_.run(op);
                 GanttEntry fallback;
                 fallback.phase = op.phase;
@@ -497,6 +673,21 @@ AnaheimFramework::execute(const OpSequence &seq) const
                 // about to consume this segment's outputs — verify
                 // their checksums before corruption can propagate.
                 if (!verifyChecksums(op.writeBytes())) {
+                    // Checksums are the only detector that sees dead
+                    // lanes (and dead banks with ECC off): those sites
+                    // are the permanent suspects here.
+                    if (recordSuspects(!rc.eccEnabled, true)) {
+                        if (rc.checkpoint.enabled) {
+                            i = quarantineAndMigrate(i + 1, i);
+                            continue;
+                        }
+                        // Quarantine stops future corruption, but the
+                        // committed outputs are already lost without a
+                        // snapshot to replay from.
+                        surfaceUnrecovered();
+                        i = quarantineAndMigrate(i + 1, i + 1);
+                        continue;
+                    }
                     if (canRollBack()) {
                         i = rollBack(i + 1);
                         continue;
@@ -509,6 +700,11 @@ AnaheimFramework::execute(const OpSequence &seq) const
             continue;
         }
 
+        // PIM-eligible ops arriving after the capacity floor tripped
+        // are redirected here; each redirection is a counted fallback.
+        if (onPimFlags[i] && pimOffline)
+            countFallback(FallbackCause::CapacityFloor);
+
         const bool fused = fusesWithPrev(i);
         const bool writesCached =
             i + 1 < seq.ops.size() && fusesWithPrev(i + 1);
@@ -516,8 +712,8 @@ AnaheimFramework::execute(const OpSequence &seq) const
         // Coherence write-backs (§V-C): a GPU kernel whose outputs feed
         // a PIM kernel must push them out of the L2 first.
         double writeBack = 0.0;
-        if (config_.pimEnabled && i + 1 < seq.ops.size() &&
-            onPimFlags[i + 1]) {
+        if (config_.pimEnabled && !pimOffline &&
+            i + 1 < seq.ops.size() && onPimFlags[i + 1]) {
             for (const auto &operand : op.writes) {
                 if (operand.kind == OperandKind::Intermediate)
                     writeBack += operand.limbs * limbBytes(op.n);
@@ -546,6 +742,13 @@ AnaheimFramework::execute(const OpSequence &seq) const
         ++segmentsSinceCkpt;
     }
 
+    if (health) {
+        res.healthErrorEvents = health->errorEvents();
+        res.quarantinedBanks = health->resources().quarantinedBanks();
+        res.quarantinedLanes = health->resources().quarantinedLanes();
+        result.pimCapacityFraction = health->capacityFraction();
+    }
+    result.pimOffline = pimOffline;
     result.totalNs = clock;
     // Canonical timeline order — (startNs, device, phase) — so trace
     // exports and golden comparisons are reproducible regardless of

@@ -18,6 +18,7 @@
 #include "gpu/gpumodel.h"
 #include "pim/kernelmodel.h"
 #include "sim/fault.h"
+#include "sim/health.h"
 #include "trace/kernel.h"
 
 namespace anaheim {
@@ -81,6 +82,22 @@ struct ResilienceConfig {
     ScrubConfig scrub;
     /** Segment-group checkpoint / rollback replay. */
     CheckpointConfig checkpoint;
+
+    /** Permanently failed banks injected into the run (in addition to
+     *  the Monte-Carlo draw at `permanentBankRate`). Unlike transient
+     *  upsets these fail every retry, every replay, every generation. */
+    std::vector<PermanentBankFault> permanentBanks;
+    /** Permanently broken MMAC lanes: silent corruption on every op
+     *  (no ECC on the lane datapath; only checksums detect it). */
+    std::vector<PermanentLaneFault> permanentLanes;
+    /** Per-bank permanent-failure probability, sampled
+     *  deterministically from `faultSeed` per physical bank. */
+    double permanentBankRate = 0.0;
+    /** Health monitoring + quarantine/remap policy. Disabled, a
+     *  permanent fault burns the rollback budget and falls back to
+     *  the GPU; enabled, repeated failures at one site quarantine it
+     *  and execution migrates onto the healthy subset. */
+    HealthConfig health;
 };
 
 /** Observability knobs (src/obs). Tracing can also be forced globally
@@ -174,6 +191,30 @@ struct ResilienceStats {
     /** Detected corruption events with no recovery path left
      *  (checkpointing off or rollback budget exhausted). */
     uint64_t unrecovered = 0;
+
+    // --- Permanent-fault / graceful-degradation counters ---
+    /** Codeword accesses landing on permanently failed banks (fail
+     *  deterministically on every attempt and generation). */
+    uint64_t permanentFaultyWords = 0;
+    /** Lane multiplies routed through permanently broken lanes. */
+    uint64_t permanentLaneFaults = 0;
+    /** Detected-error events fed to the health monitor. */
+    uint64_t healthErrorEvents = 0;
+    /** Banks / lanes quarantined by the health monitor this run. */
+    uint64_t quarantinedBanks = 0;
+    uint64_t quarantinedLanes = 0;
+    /** Quarantine + remap + replay migrations (do not consume the
+     *  rollback budget: the fault is removed, not retried). */
+    uint64_t migrations = 0;
+    /** gpuFallbacks split by cause; the three always sum to
+     *  gpuFallbacks. retry_exhausted: ECC retries and rollback budget
+     *  both spent. uncheckpointed: no checkpoint to replay from.
+     *  capacity_floor: quarantine pushed healthy-bank capacity under
+     *  ResilienceConfig::health.minCapacityFraction (or the degraded
+     *  plan no longer fits), so PIM offload was abandoned. */
+    uint64_t gpuFallbacksRetryExhausted = 0;
+    uint64_t gpuFallbacksUncheckpointed = 0;
+    uint64_t gpuFallbacksCapacityFloor = 0;
 };
 
 struct RunResult {
@@ -185,6 +226,12 @@ struct RunResult {
     double gpuDramBytes = 0.0;
     double pimInternalBytes = 0.0;
     ResilienceStats resilience;
+    /** Healthy-bank fraction the run ended with (1.0 = no
+     *  quarantine). */
+    double pimCapacityFraction = 1.0;
+    /** True when quarantine drove capacity under the configured floor
+     *  and remaining PIM segments were redirected to the GPU. */
+    bool pimOffline = false;
     std::vector<GanttEntry> timeline;
 
     double totalSeconds() const { return totalNs * 1e-9; }

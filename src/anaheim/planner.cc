@@ -9,6 +9,20 @@ namespace anaheim {
 MemoryPlan
 PimMemoryPlanner::plan(const OpSequence &seq) const
 {
+    return planWith(seq, pim_);
+}
+
+MemoryPlan
+PimMemoryPlanner::plan(const OpSequence &seq,
+                       const ResourceMap &resources) const
+{
+    return planWith(seq, pim_.degraded(resources));
+}
+
+MemoryPlan
+PimMemoryPlanner::planWith(const OpSequence &seq,
+                           const PimConfig &pim) const
+{
     MemoryPlan result;
     for (size_t i = 0; i < seq.ops.size(); ++i) {
         const KernelOp &op = seq.ops[i];
@@ -18,9 +32,11 @@ PimMemoryPlanner::plan(const OpSequence &seq) const
 
         // Each operand polynomial occupies one row group per limb in
         // its column-group slice; operands sharing a PolyGroup share
-        // rows across (up to) the column-group count.
-        ColumnPartitionLayout layout(dram_, pim_.banksPerDieGroup, op.n,
-                                     8);
+        // rows across (up to) the column-group count. Offline banks
+        // deepen the row groups: the same chunks stripe over fewer
+        // healthy banks.
+        ColumnPartitionLayout layout(dram_, pim.banksPerDieGroup, op.n,
+                                     8, pim.offlineBanks);
         const size_t columnGroups = layout.columnGroups();
         auto rowsFor = [&](const std::vector<Operand> &operands) {
             // Limbs per die group (each group holds its own share).
@@ -28,7 +44,7 @@ PimMemoryPlanner::plan(const OpSequence &seq) const
             for (const auto &operand : operands)
                 totalLimbs += operand.limbs;
             const size_t limbsPerGroup =
-                (totalLimbs + pim_.dieGroups - 1) / pim_.dieGroups;
+                (totalLimbs + pim.dieGroups - 1) / pim.dieGroups;
             // PolyGroups pack polynomials columnGroups-wide.
             const size_t packed =
                 (limbsPerGroup + columnGroups - 1) / columnGroups;

@@ -128,7 +128,14 @@ publishRunMetrics(const RunResult &result, MetricsRegistry &registry)
         {"resilience.ecc_uncorrectable", res.eccUncorrectable},
         {"resilience.silent_errors", res.silentErrors},
         {"resilience.pim_retries", res.pimRetries},
-        {"resilience.gpu_fallbacks", res.gpuFallbacks},
+        // The GPU-fallback aggregate is published per cause; the sum
+        // of the three reproduces the old resilience.gpu_fallbacks.
+        {"resilience.gpu_fallbacks.retry_exhausted",
+         res.gpuFallbacksRetryExhausted},
+        {"resilience.gpu_fallbacks.uncheckpointed",
+         res.gpuFallbacksUncheckpointed},
+        {"resilience.gpu_fallbacks.capacity_floor",
+         res.gpuFallbacksCapacityFloor},
         {"resilience.lane_faults", res.laneFaults},
         {"resilience.retention_faulty_words", res.retentionFaultyWords},
         {"resilience.scrub_passes", res.scrubPasses},
@@ -140,6 +147,12 @@ publishRunMetrics(const RunResult &result, MetricsRegistry &registry)
         {"resilience.rollbacks", res.rollbacks},
         {"resilience.replayed_segments", res.replayedSegments},
         {"resilience.unrecovered", res.unrecovered},
+        {"resilience.permanent_faulty_words", res.permanentFaultyWords},
+        {"resilience.permanent_lane_faults", res.permanentLaneFaults},
+        {"resilience.health_events", res.healthErrorEvents},
+        {"resilience.quarantined_banks", res.quarantinedBanks},
+        {"resilience.quarantined_lanes", res.quarantinedLanes},
+        {"resilience.migrations", res.migrations},
     };
     for (const auto &[name, value] : counters)
         registry.counter(name).add(value);
@@ -151,6 +164,9 @@ publishRunMetrics(const RunResult &result, MetricsRegistry &registry)
     registry.gauge("run.pim_internal_bytes").set(result.pimInternalBytes);
     registry.gauge("run.timeline_entries")
         .set(static_cast<double>(result.timeline.size()));
+    registry.gauge("run.pim_capacity_fraction")
+        .set(result.pimCapacityFraction);
+    registry.gauge("run.pim_offline").set(result.pimOffline ? 1.0 : 0.0);
     for (const auto &[category, ns] : result.timeNsByCategory)
         registry.gauge("run.time_ns." + category).set(ns);
 }
@@ -201,8 +217,52 @@ configSummary(const AnaheimConfig &config)
     kv.emplace_back("checkpoint_enabled",
                     config.resilience.checkpoint.enabled ? "true"
                                                          : "false");
+    kv.emplace_back("health_enabled",
+                    config.resilience.health.enabled ? "true" : "false");
+    kv.emplace_back(
+        "health_permanent_threshold",
+        std::to_string(config.resilience.health.permanentThreshold));
+    kv.emplace_back(
+        "health_min_capacity_fraction",
+        formatDouble(config.resilience.health.minCapacityFraction));
+    kv.emplace_back("permanent_bank_rate",
+                    formatDouble(config.resilience.permanentBankRate));
+    kv.emplace_back(
+        "permanent_banks",
+        std::to_string(config.resilience.permanentBanks.size()));
+    kv.emplace_back(
+        "permanent_lanes",
+        std::to_string(config.resilience.permanentLanes.size()));
     kv.emplace_back("obs_trace", config.obs.trace ? "true" : "false");
     return kv;
+}
+
+void
+printAvailability(const RunResult &result, std::FILE *out)
+{
+    const ResilienceStats &res = result.resilience;
+    std::fprintf(out,
+                 "  availability: %s (unrecovered events: %" PRIu64
+                 ", pim %s)\n",
+                 res.unrecovered == 0 ? "OK" : "DEGRADED",
+                 res.unrecovered,
+                 result.pimOffline ? "offline (capacity floor)"
+                                   : "online");
+    std::fprintf(out,
+                 "  capacity: %.4f healthy-bank fraction "
+                 "(%" PRIu64 " banks, %" PRIu64 " lanes quarantined, "
+                 "%" PRIu64 " migrations)\n",
+                 result.pimCapacityFraction, res.quarantinedBanks,
+                 res.quarantinedLanes, res.migrations);
+    std::fprintf(out,
+                 "  escalations: %" PRIu64 " retries, %" PRIu64
+                 " rollbacks, gpu fallbacks %" PRIu64
+                 " (retry-exhausted %" PRIu64 ", uncheckpointed %" PRIu64
+                 ", capacity-floor %" PRIu64 ")\n",
+                 res.pimRetries, res.rollbacks, res.gpuFallbacks,
+                 res.gpuFallbacksRetryExhausted,
+                 res.gpuFallbacksUncheckpointed,
+                 res.gpuFallbacksCapacityFloor);
 }
 
 } // namespace anaheim::obs

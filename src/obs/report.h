@@ -83,6 +83,14 @@ void publishRunMetrics(const RunResult &result,
                        MetricsRegistry &registry = MetricsRegistry::global());
 
 /**
+ * End-of-run availability report: unrecovered-corruption verdict,
+ * healthy-bank capacity left after quarantine, and the escalation
+ * counters (retries / rollbacks / migrations / per-cause GPU
+ * fallbacks).
+ */
+void printAvailability(const RunResult &result, std::FILE *out = stdout);
+
+/**
  * Flat key/value description of a resolved AnaheimConfig (gpu/dram/pim
  * names and the load-bearing knobs), for self-describing bench JSON
  * headers and metrics dumps.

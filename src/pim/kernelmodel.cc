@@ -9,6 +9,30 @@
 namespace anaheim {
 
 PimConfig
+PimConfig::degraded(const ResourceMap &resources) const
+{
+    PimConfig config = *this;
+    // All banks of a die group run in lockstep, so the device follows
+    // its worst group; the healthier groups idle their excess banks.
+    size_t worstGroup = 0;
+    size_t worstCount = 0;
+    for (size_t g = 0; g < resources.dieGroups; ++g) {
+        const size_t count = resources.quarantinedBanksInGroup(g);
+        if (count > worstCount) {
+            worstCount = count;
+            worstGroup = g;
+        }
+    }
+    config.offlineBanks = resources.offlineBanksInGroup(worstGroup);
+    if (config.offlineBanks.size() >= config.banksPerDieGroup)
+        config.offlineBanks.resize(config.banksPerDieGroup - 1);
+    config.quarantinedLanes =
+        std::min(resources.maxQuarantinedLanesPerGroup(),
+                 config.lanes > 0 ? config.lanes - 1 : size_t{0});
+    return config;
+}
+
+PimConfig
 PimConfig::nearBankA100()
 {
     PimConfig config;
@@ -70,7 +94,8 @@ PimKernelModel::executeNearBank(const PimInstrProfile &profile,
                                 size_t limbs, size_t n) const
 {
     PimExecStats stats;
-    ColumnPartitionLayout layout(dram_, pim_.banksPerDieGroup, n, 8);
+    ColumnPartitionLayout layout(dram_, pim_.banksPerDieGroup, n, 8,
+                                 pim_.offlineBanks);
     const size_t chunksPerBank = layout.chunksPerBankPerLimb();
     size_t g = pim_.bufferEntries / profile.bufferRegions;
     if (g == 0) {
@@ -86,9 +111,13 @@ PimKernelModel::executeNearBank(const PimInstrProfile &profile,
     const size_t limbBatches =
         (limbs + pim_.dieGroups - 1) / pim_.dieGroups;
 
+    // Dead MMAC lanes stretch the per-chunk processing time: the
+    // surviving lanes serialize the missing lanes' multiplies.
+    const double laneFactor = static_cast<double>(pim_.lanes) /
+                              static_cast<double>(pim_.healthyLanes());
     DramTiming timing = dram_.timing;
     timing.tCCD = chunkPeriodCycles(dram_.timing, pim_.clockGHz,
-                                    profile.mmacPerChunk);
+                                    profile.mmacPerChunk * laneFactor);
     BankEngine bank(timing);
 
     const size_t actsPerPhase =
@@ -145,8 +174,10 @@ PimKernelModel::executeNearBank(const PimInstrProfile &profile,
     stats.timeNs = bank.elapsedNs();
     stats.commands = bank.counts();
 
-    const double banks = static_cast<double>(pim_.banksPerDieGroup) *
-                         pim_.dieGroups;
+    // Only the healthy banks still switch; quarantined ones idle.
+    const double banks =
+        static_cast<double>(pim_.healthyBanksPerDieGroup()) *
+        pim_.dieGroups;
     const double chunksPerBankTotal = static_cast<double>(
         (profile.readsGroup0 + profile.readsGroup1 + profile.writes) * g *
         iterations * limbBatches);
@@ -167,7 +198,8 @@ PimKernelModel::executeCustomHbm(const PimInstrProfile &profile,
                                  size_t limbs, size_t n) const
 {
     PimExecStats stats;
-    ColumnPartitionLayout layout(dram_, pim_.banksPerDieGroup, n, 8);
+    ColumnPartitionLayout layout(dram_, pim_.banksPerDieGroup, n, 8,
+                                 pim_.offlineBanks);
     const size_t chunksPerBank = layout.chunksPerBankPerLimb();
     size_t g = pim_.bufferEntries / profile.bufferRegions;
     if (g == 0) {
@@ -187,8 +219,12 @@ PimKernelModel::executeCustomHbm(const PimInstrProfile &profile,
     // The logic-die unit serves banksPerUnit banks: streaming is bound
     // by the unit's MMAC rate (one chunk per pass), while ACT/PRE of
     // one bank hides behind the streaming of the other banks. Residual
-    // exposure shrinks with both G and the banks-per-unit ratio.
-    const double chunkNs = profile.mmacPerChunk / pim_.clockGHz;
+    // exposure shrinks with both G and the banks-per-unit ratio. Dead
+    // lanes stretch the per-chunk pass like on the near-bank variant.
+    const double laneFactor = static_cast<double>(pim_.lanes) /
+                              static_cast<double>(pim_.healthyLanes());
+    const double chunkNs =
+        profile.mmacPerChunk * laneFactor / pim_.clockGHz;
     const double streamNs =
         chunksPerBankTotal * static_cast<double>(pim_.banksPerUnit) *
         chunkNs;
@@ -208,8 +244,9 @@ PimKernelModel::executeCustomHbm(const PimInstrProfile &profile,
         phases * actPreNs / static_cast<double>(pim_.banksPerUnit);
     stats.timeNs = streamNs + exposedActNs;
 
-    const double banks = static_cast<double>(pim_.banksPerDieGroup) *
-                         pim_.dieGroups;
+    const double banks =
+        static_cast<double>(pim_.healthyBanksPerDieGroup()) *
+        pim_.dieGroups;
     stats.chunksMoved = chunksPerBankTotal * banks;
     const double bytesMoved = stats.chunksMoved * dram_.chunkBytes;
     const double mmacs = stats.chunksMoved * pim_.lanes *

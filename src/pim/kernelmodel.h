@@ -18,6 +18,7 @@
 #include "dram/timing.h"
 #include "isa.h"
 #include "layout.h"
+#include "sim/health.h"
 
 namespace anaheim {
 
@@ -43,6 +44,38 @@ struct PimConfig {
     /** Energy per modular multiply-accumulate, pJ (ASAP7-derived with
      *  the paper's conservative DRAM-process compensation). */
     double mmacEnergyPj = 1.5;
+
+    /**
+     * Degraded-mode state (set by the framework after a health-driven
+     * quarantine; empty/zero on a healthy device). Because all banks
+     * of a die group run in lockstep, the device degrades to the
+     * *worst* group: `offlineBanks` holds that group's quarantined
+     * bank indices — layouts stripe each limb over the remaining
+     * healthy banks (more chunks per bank, so longer lockstep
+     * streams), and energy only charges the banks that still switch.
+     */
+    std::vector<size_t> offlineBanks;
+    /** Quarantined MMAC lanes per unit: the surviving lanes absorb the
+     *  dead lanes' multiplies, stretching the chunk cadence by
+     *  lanes / healthyLanes(). */
+    size_t quarantinedLanes = 0;
+
+    size_t healthyBanksPerDieGroup() const
+    {
+        return banksPerDieGroup > offlineBanks.size()
+                   ? banksPerDieGroup - offlineBanks.size()
+                   : 1;
+    }
+    size_t healthyLanes() const
+    {
+        return lanes > quarantinedLanes ? lanes - quarantinedLanes : 1;
+    }
+
+    /** Config degraded by a quarantine set: the worst die group's
+     *  offline banks (lockstep makes it the device bottleneck) and its
+     *  quarantined lane count, clamped so at least one bank and one
+     *  lane survive. Identity when nothing is quarantined. */
+    PimConfig degraded(const ResourceMap &resources) const;
 
     /** Near-bank A100 configuration (Table III column 1). */
     static PimConfig nearBankA100();

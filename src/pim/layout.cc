@@ -1,5 +1,7 @@
 #include "layout.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "common/status.h"
 
@@ -7,18 +9,37 @@ namespace anaheim {
 
 ColumnPartitionLayout::ColumnPartitionLayout(const DramConfig &config,
                                              size_t banksPerGroup,
-                                             size_t n, size_t columnGroups)
-    : chunksPerRow_(config.chunksPerRow()), columnGroups_(columnGroups)
+                                             size_t n, size_t columnGroups,
+                                             std::vector<size_t> offlineBanks)
+    : chunksPerRow_(config.chunksPerRow()), columnGroups_(columnGroups),
+      offlineBanks_(std::move(offlineBanks))
 {
     ANAHEIM_ASSERT(columnGroups >= 1 &&
                        chunksPerRow_ % columnGroups == 0,
                    "column groups must divide the row");
     chunksPerCg_ = chunksPerRow_ / columnGroups;
+    std::sort(offlineBanks_.begin(), offlineBanks_.end());
+    offlineBanks_.erase(
+        std::unique(offlineBanks_.begin(), offlineBanks_.end()),
+        offlineBanks_.end());
+    for (const size_t bank : offlineBanks_) {
+        ANAHEIM_CHECK(bank < banksPerGroup, InvalidArgument,
+                      "offline bank ", bank, " outside the die group's ",
+                      banksPerGroup, " banks");
+    }
+    ANAHEIM_CHECK(offlineBanks_.size() < banksPerGroup,
+                  ResourceExhausted,
+                  "every bank of the die group is quarantined");
+    healthyBanks_ = banksPerGroup - offlineBanks_.size();
     const size_t limbBytes = 4 * n;
-    const size_t bankBytes = limbBytes / banksPerGroup;
-    ANAHEIM_ASSERT(bankBytes >= config.chunkBytes,
-                   "fewer chunks than banks in the die group");
-    chunksPerBank_ = bankBytes / config.chunkBytes;
+    const size_t totalChunks = limbBytes / config.chunkBytes;
+    ANAHEIM_ASSERT(totalChunks >= healthyBanks_,
+                   "fewer chunks than healthy banks in the die group");
+    // Each limb stripes over the healthy banks only; the ceil absorbs
+    // the remainder chunks on part of the banks (identical to the
+    // floor division whenever the geometry divides exactly, i.e. on
+    // every fault-free standard configuration).
+    chunksPerBank_ = (totalChunks + healthyBanks_ - 1) / healthyBanks_;
     // A limb occupies one CG slice of rowsPerRg adjacent rows.
     rowsPerRg_ = (chunksPerBank_ + chunksPerCg_ - 1) / chunksPerCg_;
     // Generous per-bank row budget (a real bank has 2^14+ rows; we only
@@ -35,6 +56,7 @@ ColumnPartitionLayout::allocate(size_t polys, size_t limbs)
     desc.id = nextId_++;
     desc.polys = polys;
     desc.limbsPerBank = limbs;
+    desc.offlineBanks = offlineBanks_;
     // Each limb takes one row group; different polynomials share the
     // row group through different column groups.
     for (size_t p = 0; p < polys; ++p) {

@@ -34,6 +34,9 @@ struct PolyGroupDesc {
     size_t polys = 0;
     size_t limbsPerBank = 0;
     std::vector<LimbPlacement> placements; ///< poly-major
+    /** Quarantined banks this group was allocated around (its chunks
+     *  are striped over the healthy banks only). */
+    std::vector<size_t> offlineBanks;
 };
 
 class ColumnPartitionLayout
@@ -44,15 +47,31 @@ class ColumnPartitionLayout
      * @param banksPerGroup Banks of one die group sharing a limb.
      * @param n             Ring degree.
      * @param columnGroups  Row partition factor (4, 8 or 16).
+     * @param offlineBanks  Quarantined bank indices (< banksPerGroup)
+     *                      to allocate around: each limb is striped
+     *                      over the healthy banks only, so every
+     *                      healthy bank absorbs
+     *                      ceil(chunks / healthyBanks) chunks per limb.
+     *                      With no offline banks and an exactly
+     *                      divisible geometry this is the original
+     *                      layout bit for bit.
      */
     ColumnPartitionLayout(const DramConfig &config, size_t banksPerGroup,
-                          size_t n, size_t columnGroups);
+                          size_t n, size_t columnGroups,
+                          std::vector<size_t> offlineBanks = {});
 
-    /** Chunks each bank stores per limb (the paper's example: 16). */
+    /** Chunks each *healthy* bank stores per limb (the paper's
+     *  example: 16). */
     size_t chunksPerBankPerLimb() const { return chunksPerBank_; }
     size_t chunksPerColumnGroup() const { return chunksPerCg_; }
     size_t rowsPerRowGroup() const { return rowsPerRg_; }
     size_t columnGroups() const { return columnGroups_; }
+    /** Banks actually carrying data. */
+    size_t healthyBanks() const { return healthyBanks_; }
+    const std::vector<size_t> &offlineBanks() const
+    {
+        return offlineBanks_;
+    }
 
     /**
      * Allocate a PolyGroup of `polys` polynomials x `limbs` limbs.
@@ -83,6 +102,8 @@ class ColumnPartitionLayout
     size_t chunksPerBank_;
     size_t rowsPerRg_;
     size_t rowCapacity_;
+    size_t healthyBanks_;
+    std::vector<size_t> offlineBanks_;
     size_t nextRow_ = 0;
     size_t nextId_ = 0;
 };

@@ -1,5 +1,6 @@
 #include "fault.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/rng.h"
@@ -75,6 +76,7 @@ wordClassProbs(double ber, double n)
 constexpr uint64_t kStorageStream = 0xfa117;
 constexpr uint64_t kLaneStream = 0x1a4e5;
 constexpr uint64_t kRetentionStream = 0x4e7e4;
+constexpr uint64_t kPermanentStream = 0xdeadb;
 
 } // namespace
 
@@ -92,6 +94,11 @@ FaultModel::FaultModel(FaultConfig config) : config_(std::move(config))
                   InvalidArgument,
                   "retention bit-error rate must be in [0, 1), got ",
                   config_.retentionBerPerWindow);
+    ANAHEIM_CHECK(config_.permanentBankRate >= 0.0 &&
+                      config_.permanentBankRate < 1.0,
+                  InvalidArgument,
+                  "permanent bank-failure rate must be in [0, 1), got ",
+                  config_.permanentBankRate);
     for (const TargetedFault &target : config_.targets) {
         ANAHEIM_CHECK(target.bitMask != 0, InvalidArgument,
                       "targeted fault with empty bit mask at limb ",
@@ -148,6 +155,44 @@ FaultModel::corruptAtRate(uint64_t codeword, double rate, size_t limb,
         }
     }
     return codeword;
+}
+
+std::vector<PermanentBankFault>
+FaultModel::samplePermanentBanks(size_t dieGroups,
+                                 size_t banksPerGroup) const
+{
+    std::vector<PermanentBankFault> failed;
+    for (const PermanentBankFault &bank : config_.permanentBanks) {
+        if (bank.dieGroup < dieGroups && bank.bank < banksPerGroup)
+            failed.push_back(bank);
+    }
+    if (config_.permanentBankRate > 0.0) {
+        // One independent draw per physical bank, keyed only by the
+        // seed and the bank's coordinates: no epoch, no stream — the
+        // failure set is a property of the device, not of the run.
+        for (size_t g = 0; g < dieGroups; ++g) {
+            for (size_t b = 0; b < banksPerGroup; ++b) {
+                Rng rng(siteKey(config_.seed, kPermanentStream,
+                                g * banksPerGroup + b, 0));
+                if (rng.uniformReal() < config_.permanentBankRate)
+                    failed.push_back({g, b});
+            }
+        }
+    }
+    std::sort(failed.begin(), failed.end(),
+              [](const PermanentBankFault &a, const PermanentBankFault &b) {
+                  return a.dieGroup != b.dieGroup
+                             ? a.dieGroup < b.dieGroup
+                             : a.bank < b.bank;
+              });
+    failed.erase(std::unique(failed.begin(), failed.end(),
+                             [](const PermanentBankFault &a,
+                                const PermanentBankFault &b) {
+                                 return a.dieGroup == b.dieGroup &&
+                                        a.bank == b.bank;
+                             }),
+                 failed.end());
+    return failed;
 }
 
 double

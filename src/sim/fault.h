@@ -78,6 +78,20 @@ struct TargetedFault {
     FaultKind kind = FaultKind::Transient;
 };
 
+/** A permanently failed DRAM bank: every codeword access striped onto
+ *  it is multi-bit corrupt, on every attempt and every generation. */
+struct PermanentBankFault {
+    size_t dieGroup = 0;
+    size_t bank = 0; ///< bank index within the die group
+};
+
+/** A permanently broken MMAC lane: every modular multiply routed
+ *  through it is silently wrong (no ECC on the 28-bit datapath). */
+struct PermanentLaneFault {
+    size_t dieGroup = 0;
+    size_t lane = 0; ///< lane index within the group's units
+};
+
 struct FaultConfig {
     /** Raw per-bit error probability per codeword access on the
      *  storage sites (operand reads and write-backs). */
@@ -93,10 +107,20 @@ struct FaultConfig {
     uint64_t seed = 0x0ddfa117u;
     std::vector<TargetedFault> targets;
 
+    /** Explicitly dead banks/lanes (always failed, any seed). */
+    std::vector<PermanentBankFault> permanentBanks;
+    std::vector<PermanentLaneFault> permanentLanes;
+    /** Monte-Carlo permanent-failure probability per bank, sampled
+     *  deterministically per (seed, die group, bank) by
+     *  FaultModel::samplePermanentBanks — the fabrication/wear-out
+     *  axis of a degradation campaign. */
+    double permanentBankRate = 0.0;
+
     bool enabled() const
     {
         return ber > 0.0 || laneBer > 0.0 || retentionBerPerWindow > 0.0 ||
-               !targets.empty();
+               !targets.empty() || !permanentBanks.empty() ||
+               !permanentLanes.empty() || permanentBankRate > 0.0;
     }
 };
 
@@ -157,6 +181,16 @@ class FaultModel
      * (seed, window).
      */
     FaultEventCounts sampleRetention(uint64_t window, size_t words) const;
+
+    /**
+     * The permanently failed banks of a `dieGroups` x `banksPerGroup`
+     * device: the explicitly configured ones plus a deterministic
+     * per-(seed, die group, bank) draw at `permanentBankRate`. Sorted
+     * and de-duplicated; independent of epoch/stream by design — a
+     * dead bank fails every replay.
+     */
+    std::vector<PermanentBankFault>
+    samplePermanentBanks(size_t dieGroups, size_t banksPerGroup) const;
 
     /** P(a 39-bit codeword has >= 1 flipped bit) at the configured
      *  BER. */

@@ -2,6 +2,7 @@
 
 #include "anaheim/planner.h"
 #include "anaheim/workloads.h"
+#include "sim/health.h"
 
 namespace anaheim {
 namespace {
@@ -67,6 +68,33 @@ TEST(PimMemoryPlanner, SmallerDeviceHasTighterBudget)
     // The 4090 needs more rows per bank for the same kernel.
     EXPECT_GT(rtx.plan(boot).peakRowsPerBank,
               a100.plan(boot).peakRowsPerBank);
+}
+
+TEST(PimMemoryPlanner, FailureAwarePlanAllocatesAroundOfflineBanks)
+{
+    // A quarantine set tightens the per-healthy-bank budget: the
+    // degraded plan needs at least as many rows per bank, and enough
+    // quarantine must eventually break feasibility.
+    const PimMemoryPlanner planner(DramConfig::hbm2A100(),
+                                   PimConfig::nearBankA100());
+    const auto boot = makeBootWorkload();
+    const auto healthyPlan = planner.plan(boot);
+
+    ResourceMap map;
+    map.dieGroups = 5;
+    map.banksPerDieGroup = 512;
+    map.lanesPerUnit = 8;
+    for (size_t b = 0; b < 128; ++b)
+        map.quarantined.push_back({FaultSiteId::Kind::Bank, 2, b});
+    const auto degradedPlan = planner.plan(boot, map);
+    EXPECT_TRUE(degradedPlan.fits);
+    EXPECT_GT(degradedPlan.peakRowsPerBank,
+              healthyPlan.peakRowsPerBank);
+    // An empty quarantine set reproduces the healthy plan exactly.
+    const auto samePlan = planner.plan(boot, ResourceMap{
+                                                 5, 512, 8, {}});
+    EXPECT_EQ(samePlan.peakRowsPerBank, healthyPlan.peakRowsPerBank);
+    EXPECT_EQ(samePlan.pimKernels, healthyPlan.pimKernels);
 }
 
 } // namespace

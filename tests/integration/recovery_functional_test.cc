@@ -18,6 +18,8 @@
 #include "ckks/encryptor.h"
 #include "ckks/integrity.h"
 #include "pim/functional.h"
+#include "sim/ecc.h"
+#include "sim/health.h"
 #include "sim/readpath.h"
 
 namespace anaheim {
@@ -66,9 +68,12 @@ class FunctionalRecoveryTest : public ::testing::Test
 
     /** HADD on the PIM unit, limb by limb, through `path` when one is
      *  attached. Each (component, limb) pair gets its own fault-site
-     *  limb coordinate, as distinct PIM rows would. */
+     *  limb coordinate, as distinct PIM rows would; `limbOffset`
+     *  relocates the whole ciphertext to a different physical region
+     *  (spare rows after a quarantine remap). */
     Ciphertext
-    addOnPim(const Ciphertext &x, const Ciphertext &y, PimDataPath *path)
+    addOnPim(const Ciphertext &x, const Ciphertext &y, PimDataPath *path,
+             size_t limbOffset = 0)
     {
         Ciphertext sum = x;
         const size_t limbCount = x.b.limbCount();
@@ -80,7 +85,7 @@ class FunctionalRecoveryTest : public ::testing::Test
                 PimFunctionalUnit unit(px.basis().prime(limb));
                 unit.attachReadPath(path);
                 if (path != nullptr)
-                    path->setLimb(comp * limbCount + limb);
+                    path->setLimb(limbOffset + comp * limbCount + limb);
                 const PimVector r = unit.add(toPim(px.limb(limb)),
                                              toPim(py.limb(limb)));
                 out.limb(limb).assign(r.begin(), r.end());
@@ -199,6 +204,79 @@ TEST_F(FunctionalRecoveryTest, ChecksumIsTheOnlyNetWithoutEcc)
     EXPECT_EQ(path.counters().corrected, 0u); // nothing ever detected
     EXPECT_FALSE(path.uncorrectableSeen());
     expectBitwiseEqual(*sum, golden);
+    expectDecryptsToSum(*sum);
+}
+
+TEST_F(FunctionalRecoveryTest,
+       StuckAtSiteIsClassifiedPermanentAndRemappedToSpareRows)
+{
+    // The graceful-degradation ladder on real ciphertext data. A
+    // stuck-at cell (a *permanent* fault) poisons the same words on
+    // every replay — epoch bumps do not help, which is exactly how
+    // the health monitor tells it from a transient. After the
+    // permanent threshold the site is quarantined and the operands
+    // are remapped to spare rows (a disjoint fault-site region);
+    // the replay there must be bitwise the golden run.
+    const Ciphertext golden = addOnPim(*ctU_, *ctV_, nullptr);
+    const CiphertextChecksum seal = sealCiphertext(golden);
+
+    // Two cells stuck at one in the physical region limb coordinate 0
+    // maps to, on bits the stored codeword has clear — a guaranteed
+    // detected-uncorrectable (double-bit) event on every read of that
+    // word, independent of the replay epoch.
+    const uint64_t codeword = SecDed3932::encode(
+        static_cast<uint32_t>(ctU_->b.limb(0)[7]));
+    uint64_t stuckMask = 0;
+    int stuckBits = 0;
+    for (unsigned bit = 0;
+         bit < SecDed3932::kCodeBits && stuckBits < 2; ++bit) {
+        if (((codeword >> bit) & 1) == 0) {
+            stuckMask |= uint64_t{1} << bit;
+            ++stuckBits;
+        }
+    }
+    ASSERT_EQ(stuckBits, 2);
+    FaultConfig faults;
+    faults.targets.push_back(
+        {0, operandWord(0, 7), stuckMask, FaultKind::StuckAtOne});
+    PimDataPath path(faults, /*eccEnabled=*/true);
+
+    HealthConfig healthConfig;
+    healthConfig.enabled = true;
+    healthConfig.permanentThreshold = 3;
+    // One die group, one "bank" per mapped region, 8 lanes.
+    HealthMonitor monitor(healthConfig, 1, 2, 8);
+    const FaultSiteId site{FaultSiteId::Kind::Bank, 0, 0};
+    const size_t kSpareOffset = 64; // remap target region
+
+    std::optional<Ciphertext> sum;
+    size_t failedReplays = 0;
+    size_t attempts = 0;
+    for (attempts = 1; attempts <= 10; ++attempts) {
+        path.clearUncorrectableSeen();
+        const size_t offset =
+            monitor.isQuarantined(site) ? kSpareOffset : 0;
+        sum.emplace(addOnPim(*ctU_, *ctV_, &path, offset));
+        if (!path.uncorrectableSeen())
+            break;
+        ++failedReplays;
+        monitor.recordError(site, static_cast<double>(attempts));
+        path.nextEpoch(); // the replay a transient would survive
+    }
+    ASSERT_LE(attempts, 10u) << "remap never produced a clean run";
+
+    // Replay alone never cleared the fault: it failed deterministically
+    // exactly until the monitor quarantined the region.
+    ASSERT_GT(failedReplays, 0u)
+        << "stuck-at site produced no detected fault; test is vacuous";
+    EXPECT_EQ(failedReplays, healthConfig.permanentThreshold);
+    EXPECT_TRUE(monitor.isQuarantined(site));
+    EXPECT_EQ(attempts, healthConfig.permanentThreshold + 1);
+
+    // The remapped run is bitwise the golden value, passes the
+    // ciphertext checksum, and decrypts to u + v.
+    expectBitwiseEqual(*sum, golden);
+    EXPECT_TRUE(verifyCiphertext(*sum, seal).ok());
     expectDecryptsToSum(*sum);
 }
 

@@ -59,6 +59,40 @@ TEST(PimLayout, ActsPerIterationContrast)
     EXPECT_EQ(layout.actsPerIteration(4, false), 4u);
 }
 
+TEST(PimLayout, OfflineBanksStripeOverTheHealthySubset)
+{
+    // Quarantining two of the 512 banks leaves 8192 chunks over 510
+    // healthy banks: ceil -> 17 chunks per bank (vs 16), and the
+    // allocation remembers the banks it routed around.
+    ColumnPartitionLayout layout(DramConfig::hbm2A100(), 512, 1 << 16, 8,
+                                 {17, 3, 17}); // unsorted, duplicated
+    EXPECT_EQ(layout.healthyBanks(), 510u);
+    EXPECT_EQ(layout.offlineBanks(), (std::vector<size_t>{3, 17}));
+    EXPECT_EQ(layout.chunksPerBankPerLimb(), 17u);
+    const auto group = layout.allocate(2, 4);
+    EXPECT_EQ(group.offlineBanks, (std::vector<size_t>{3, 17}));
+    // The healthy-path layout is bit-identical to the original.
+    ColumnPartitionLayout healthy(DramConfig::hbm2A100(), 512, 1 << 16,
+                                  8);
+    EXPECT_EQ(healthy.chunksPerBankPerLimb(), 16u);
+    EXPECT_TRUE(healthy.allocate(2, 4).offlineBanks.empty());
+}
+
+TEST(PimLayout, RejectsImpossibleQuarantineSets)
+{
+    EXPECT_ANAHEIM_ERROR(
+        ColumnPartitionLayout(DramConfig::hbm2A100(), 512, 1 << 16, 8,
+                              {512}),
+        InvalidArgument, "offline bank");
+    std::vector<size_t> all(512);
+    for (size_t b = 0; b < all.size(); ++b)
+        all[b] = b;
+    EXPECT_ANAHEIM_ERROR(
+        ColumnPartitionLayout(DramConfig::hbm2A100(), 512, 1 << 16, 8,
+                              all),
+        ResourceExhausted, "quarantined");
+}
+
 class PimFunctionalTest : public ::testing::Test
 {
   protected:
@@ -243,6 +277,61 @@ TEST_F(PimModelTest, ColumnPartitioningIsCrucial)
     const double slowdown = without.timeNs / with.timeNs;
     EXPECT_GT(slowdown, 1.5);
     EXPECT_LT(slowdown, 4.0);
+}
+
+TEST_F(PimModelTest, DegradedDeviceStretchesLockstepStreams)
+{
+    // Offline banks: each healthy bank absorbs more chunks per limb,
+    // so the lockstep stream takes longer; energy only charges the
+    // banks that still switch, so it must not grow with the slowdown.
+    PimConfig degraded = PimConfig::nearBankA100();
+    for (size_t b = 0; b < 32; ++b)
+        degraded.offlineBanks.push_back(b);
+    const PimKernelModel degradedModel(DramConfig::hbm2A100(), degraded);
+    const auto healthy = model_.execute(PimOpcode::PAccum, 4, 68, 1 << 16);
+    const auto slower =
+        degradedModel.execute(PimOpcode::PAccum, 4, 68, 1 << 16);
+    EXPECT_GT(slower.timeNs, healthy.timeNs);
+
+    // Dead lanes: survivors serialize their multiplies.
+    PimConfig laneDegraded = PimConfig::nearBankA100();
+    laneDegraded.quarantinedLanes = 4; // 8 -> 4 lanes
+    const PimKernelModel laneModel(DramConfig::hbm2A100(), laneDegraded);
+    const auto laneSlower =
+        laneModel.execute(PimOpcode::Mult, 1, 54, 1 << 16);
+    const auto laneHealthy =
+        model_.execute(PimOpcode::Mult, 1, 54, 1 << 16);
+    EXPECT_GT(laneSlower.timeNs, laneHealthy.timeNs);
+    // Total multiplies are unchanged, so MMAC energy is too: the lane
+    // quarantine costs time, not energy.
+    EXPECT_NEAR(laneSlower.energyPj, laneHealthy.energyPj,
+                0.05 * laneHealthy.energyPj);
+}
+
+TEST_F(PimModelTest, DegradedConfigTracksTheWorstDieGroup)
+{
+    // Lockstep ties the device to its worst group: degraded() must
+    // adopt that group's offline banks and the worst lane count.
+    ResourceMap map;
+    map.dieGroups = 5;
+    map.banksPerDieGroup = 512;
+    map.lanesPerUnit = 8;
+    map.quarantined = {
+        {FaultSiteId::Kind::Bank, 1, 40},
+        {FaultSiteId::Kind::Bank, 3, 7},
+        {FaultSiteId::Kind::Bank, 3, 200},
+        {FaultSiteId::Kind::MmacLane, 0, 2},
+    };
+    const PimConfig degraded = PimConfig::nearBankA100().degraded(map);
+    EXPECT_EQ(degraded.offlineBanks, (std::vector<size_t>{7, 200}));
+    EXPECT_EQ(degraded.quarantinedLanes, 1u);
+    EXPECT_EQ(degraded.healthyBanksPerDieGroup(), 510u);
+    EXPECT_EQ(degraded.healthyLanes(), 7u);
+    // Nothing quarantined: identity.
+    const PimConfig same =
+        PimConfig::nearBankA100().degraded(ResourceMap{});
+    EXPECT_TRUE(same.offlineBanks.empty());
+    EXPECT_EQ(same.quarantinedLanes, 0u);
 }
 
 TEST_F(PimModelTest, CustomHbmHidesActPreButStreamsSlower)

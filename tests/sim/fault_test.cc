@@ -372,6 +372,59 @@ TEST_F(ReadPathTest, LaneFaultIsSilentUntilAChecksumCatchesIt)
     EXPECT_NE(limbChecksum(out), limbChecksum(clean));
 }
 
+TEST_F(ReadPathTest, StuckAtSiteFailsEveryReplayGeneration)
+{
+    // The nextEpoch() contract: transient BER faults re-sample on a
+    // replay, stuck-at faults persist by construction. A retry/replay
+    // loop into a stuck-at site must therefore fail deterministically
+    // on every generation — the signature the health monitor uses to
+    // classify a site permanent.
+    PimFunctionalUnit unit(kQ);
+    auto a = randomVector(64, 21);
+    a[9] = 0; // encode(0) has bits 0/2 clear: StuckAtOne lands 2 flips
+    FaultConfig faults;
+    faults.targets.push_back(
+        {0, operandWord(0, 9), 0b101, FaultKind::StuckAtOne});
+    PimReadPath path(faults, /*eccEnabled=*/true);
+    unit.attachReadPath(&path);
+
+    for (uint64_t generation = 0; generation < 4; ++generation) {
+        path.clearUncorrectableSeen();
+        unit.move(a);
+        EXPECT_TRUE(path.uncorrectableSeen())
+            << "generation " << generation;
+        path.nextEpoch(); // the replay that would clear a transient
+    }
+    EXPECT_EQ(path.counters().uncorrectable, 4u);
+    EXPECT_EQ(path.counters().corrected, 0u);
+}
+
+TEST_F(ReadPathTest, TransientFaultsResampleAcrossReplayGenerations)
+{
+    // The counterpart: at a heavy transient BER some words that failed
+    // in one generation read clean in the next — replay is the right
+    // response to a transient, and only to a transient.
+    PimFunctionalUnit unit(kQ);
+    const auto a = randomVector(256, 22);
+    FaultConfig faults;
+    faults.ber = 1e-3;
+    faults.seed = 4321;
+    PimReadPath path(faults, /*eccEnabled=*/true);
+    unit.attachReadPath(&path);
+
+    std::vector<uint64_t> faultyPerGen;
+    for (uint64_t generation = 0; generation < 4; ++generation) {
+        path.resetCounters();
+        unit.move(a);
+        faultyPerGen.push_back(path.counters().faultyWords);
+        path.nextEpoch();
+    }
+    bool differs = false;
+    for (size_t g = 1; g < faultyPerGen.size(); ++g)
+        differs |= faultyPerGen[g] != faultyPerGen[0];
+    EXPECT_TRUE(differs);
+}
+
 TEST_F(ReadPathTest, EccKeepsOutputsExactUnderModerateBer)
 {
     const PimFunctionalUnit golden(kQ);
