@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Schema check for bench_serving --json output.
+
+The serving bench emits one row per offered-load point so the
+throughput-vs-latency (p50/p99) curves stay machine-comparable across
+PRs. CI runs this after the --smoke sweep to catch schema drift and
+semantic nonsense: a utilization outside [0, 1], p99 below p50, rows
+out of offered-load order, more completions than admissions, or a
+saturated sweep whose cross-trace GPU<->PIM overlap no longer beats
+the serial back-to-back baseline by the 1.5x the scheduler is built
+to deliver.
+
+Usage: validate_serving_bench.py [path]  (default: BENCH_serving.json)
+Exits 0 when the document conforms, 1 with a message per violation.
+"""
+
+import json
+import sys
+
+MIN_TOP_LOAD_SPEEDUP = 1.5
+
+TOP_LEVEL_REQUIRED = {
+    "bench": str,
+    "streams": (int, float),
+    "requests_per_stream": (int, float),
+    "arrival_seed": (int, float),
+    "serial_capacity_rps": (int, float),
+    "peak_speedup_vs_serial": (int, float),
+    "config.serve_arrival": str,
+    "rows": list,
+}
+
+ROW_REQUIRED = {
+    "offered_rps": (int, float),
+    "throughput_rps": (int, float),
+    "serial_throughput_rps": (int, float),
+    "speedup_vs_serial": (int, float),
+    "p50_ms": (int, float),
+    "p99_ms": (int, float),
+    "mean_ms": (int, float),
+    "gpu_util": (int, float),
+    "pim_util": (int, float),
+    "batches": (int, float),
+    "batched_ops": (int, float),
+    "admitted": (int, float),
+    "rejected": (int, float),
+    "completed": (int, float),
+}
+
+
+def validate(doc):
+    errors = []
+
+    for key, want in TOP_LEVEL_REQUIRED.items():
+        if key not in doc:
+            errors.append(f"missing top-level key '{key}'")
+        elif not isinstance(doc[key], want):
+            errors.append(
+                f"top-level '{key}' has type {type(doc[key]).__name__}")
+    if errors:
+        return errors
+
+    if doc["bench"] not in ("serving", "serving_smoke"):
+        errors.append(f"bench is '{doc['bench']}', want 'serving' or "
+                      "'serving_smoke'")
+    if doc["serial_capacity_rps"] <= 0:
+        errors.append("serial_capacity_rps must be positive")
+    if not doc["rows"]:
+        errors.append("no load points")
+
+    offered = []
+    for i, row in enumerate(doc["rows"]):
+        for key, want in ROW_REQUIRED.items():
+            if key not in row:
+                errors.append(f"row {i}: missing key '{key}'")
+            elif not isinstance(row[key], want):
+                errors.append(f"row {i}: '{key}' has type "
+                              f"{type(row[key]).__name__}")
+        if any(f"row {i}:" in e for e in errors):
+            continue
+        offered.append(row["offered_rps"])
+
+        for key in ("gpu_util", "pim_util"):
+            if not 0.0 <= row[key] <= 1.0:
+                errors.append(f"row {i}: {key}={row[key]} outside [0,1]")
+        for key in ("offered_rps", "throughput_rps",
+                    "serial_throughput_rps", "p50_ms", "p99_ms"):
+            if row[key] <= 0:
+                errors.append(f"row {i}: {key} must be positive")
+        if row["p99_ms"] < row["p50_ms"]:
+            errors.append(f"row {i}: p99_ms={row['p99_ms']} below "
+                          f"p50_ms={row['p50_ms']}")
+        # Batched ops count the members of fused dispatches, which
+        # always cover at least two streams.
+        if row["batches"] > 0 and row["batched_ops"] < 2 * row["batches"]:
+            errors.append(f"row {i}: {row['batches']} batches but only "
+                          f"{row['batched_ops']} batched ops")
+        if row["completed"] > row["admitted"]:
+            errors.append(f"row {i}: completed {row['completed']} "
+                          f"exceeds admitted {row['admitted']}")
+        if row["rejected"] < 0:
+            errors.append(f"row {i}: rejected is negative")
+
+    if offered != sorted(offered):
+        errors.append("rows not sorted by offered_rps")
+    if len(set(offered)) != len(offered):
+        errors.append("duplicate offered_rps rows")
+
+    # The headline claim: at the saturating top load point, cross-trace
+    # overlap + batching must beat the serial baseline by >= 1.5x.
+    if doc["rows"] and not any(f"row {len(doc['rows'])-1}:" in e
+                               for e in errors):
+        top = doc["rows"][-1]
+        if top["speedup_vs_serial"] < MIN_TOP_LOAD_SPEEDUP:
+            errors.append(
+                f"top-load speedup_vs_serial {top['speedup_vs_serial']} "
+                f"below the {MIN_TOP_LOAD_SPEEDUP}x scheduler target")
+
+    return errors
+
+
+def main(argv):
+    path = argv[1] if len(argv) > 1 else "BENCH_serving.json"
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"validate_serving_bench: cannot read {path}: {e}",
+              file=sys.stderr)
+        return 1
+
+    errors = validate(doc)
+    if errors:
+        for err in errors:
+            print(f"validate_serving_bench: {err}", file=sys.stderr)
+        return 1
+    rows = doc["rows"]
+    print(f"validate_serving_bench: OK: {path} ({len(rows)} load "
+          f"points, peak speedup {doc['peak_speedup_vs_serial']:.2f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,16 +1,11 @@
 #include "framework.h"
 
-#include <algorithm>
-#include <optional>
 #include <vector>
 
 #include "common/logging.h"
 #include "obs/report.h"
 #include "obs/trace.h"
-#include "planner.h"
-#include "sim/fault.h"
-#include "sim/health.h"
-#include "trace/validate.h"
+#include "runcontext.h"
 
 namespace anaheim {
 
@@ -95,672 +90,20 @@ AnaheimFramework::opcodeFor(KernelType type)
     }
 }
 
-namespace {
-
-/** Operand words a PIM op streams through its word-read boundary:
- *  every read operand limb, n words each. */
-size_t
-pimWordsRead(const KernelOp &op)
-{
-    size_t limbs = 0;
-    for (const auto &operand : op.reads)
-        limbs += operand.limbs;
-    return std::max(limbs, op.limbs) * op.n;
-}
-
-/** Result words a PIM op pushes back through the write drivers. */
-size_t
-pimWordsWritten(const KernelOp &op)
-{
-    size_t limbs = 0;
-    for (const auto &operand : op.writes)
-        limbs += operand.limbs;
-    return limbs * op.n;
-}
-
-/** Live ciphertext footprint: the working/intermediate operand bytes
- *  of the widest op (Evk / plaintext constants are reproducible from
- *  the keys and never need checkpointing or scrubbing). */
-double
-liveFootprintBytes(const OpSequence &seq)
-{
-    double live = 0.0;
-    for (const KernelOp &op : seq.ops) {
-        double bytes = 0.0;
-        for (const auto &operand : op.reads) {
-            if (operand.kind == OperandKind::Working ||
-                operand.kind == OperandKind::Intermediate)
-                bytes += operand.limbs * limbBytes(op.n);
-        }
-        for (const auto &operand : op.writes) {
-            if (operand.kind == OperandKind::Working ||
-                operand.kind == OperandKind::Intermediate)
-                bytes += operand.limbs * limbBytes(op.n);
-        }
-        live = std::max(live, bytes);
-    }
-    return live;
-}
-
-} // namespace
-
 RunResult
 AnaheimFramework::execute(const OpSequence &seq) const
 {
     OBS_SPAN("framework/execute");
-    checkTrace(seq);
-    RunResult result;
-    double clock = 0.0;
-    bool prevWasPim = false;
-    const ResilienceConfig &rc = config_.resilience;
-
-    // Fault/ECC event model for the PIM datapath. Only constructed
-    // when faults are configured: the all-rates-zero path is untouched.
-    std::optional<FaultModel> faultModel;
-    {
-        FaultConfig faults;
-        faults.ber = rc.ber;
-        faults.laneBer = rc.laneBer;
-        faults.retentionBerPerWindow = rc.retentionBerPerWindow;
-        faults.seed = rc.faultSeed;
-        faults.permanentBanks = rc.permanentBanks;
-        faults.permanentLanes = rc.permanentLanes;
-        faults.permanentBankRate = rc.permanentBankRate;
-        if (faults.enabled())
-            faultModel.emplace(faults);
+    RunContext ctx(*this, seq);
+    while (!ctx.done())
+        ctx.step();
+    RunResult result = ctx.finish();
+    if (config_.obs.trace || obs::tracingEnabled()) {
+        const uint32_t run = obs::recordRunTimeline(seq.name, result);
+        obs::publishRunMetrics(result, run);
+    } else {
+        obs::publishRunMetrics(result);
     }
-
-    // Permanent-fault universe and health monitoring. A failed site is
-    // "active" while it still carries data; once the monitor
-    // quarantines it and execution migrates, it stops corrupting.
-    const size_t totalBanks =
-        config_.pim.banksPerDieGroup * config_.pim.dieGroups;
-    std::vector<FaultSiteId> failedBankSites;
-    std::vector<FaultSiteId> failedLaneSites;
-    if (faultModel) {
-        for (const PermanentBankFault &bank :
-             faultModel->samplePermanentBanks(config_.pim.dieGroups,
-                                              config_.pim.banksPerDieGroup))
-            failedBankSites.push_back(
-                {FaultSiteId::Kind::Bank, bank.dieGroup, bank.bank});
-        for (const PermanentLaneFault &lane :
-             faultModel->config().permanentLanes) {
-            if (lane.dieGroup < config_.pim.dieGroups &&
-                lane.lane < config_.pim.lanes)
-                failedLaneSites.push_back({FaultSiteId::Kind::MmacLane,
-                                           lane.dieGroup, lane.lane});
-        }
-    }
-    std::optional<HealthMonitor> health;
-    if (rc.health.enabled)
-        health.emplace(rc.health, config_.pim.dieGroups,
-                       config_.pim.banksPerDieGroup, config_.pim.lanes);
-    size_t activeFailedBanks = 0;
-    size_t activeFailedLanes = 0;
-    auto refreshActiveFaults = [&]() {
-        activeFailedBanks = 0;
-        activeFailedLanes = 0;
-        for (const FaultSiteId &site : failedBankSites)
-            activeFailedBanks += health && health->isQuarantined(site)
-                                     ? 0
-                                     : 1;
-        for (const FaultSiteId &site : failedLaneSites)
-            activeFailedLanes += health && health->isQuarantined(site)
-                                     ? 0
-                                     : 1;
-    };
-    refreshActiveFaults();
-    // After a quarantine the device runs degraded: limbs stripe over
-    // the healthy banks (more chunks per bank), surviving lanes absorb
-    // the dead ones' multiplies.
-    std::optional<PimKernelModel> degradedPim;
-    auto pimModel = [&]() -> const PimKernelModel & {
-        return degradedPim ? *degradedPim : pim_;
-    };
-    bool pimOffline = false;
-    // Stream ids keep every (generation, op, retry attempt) draw
-    // distinct while staying reproducible across runs with the same
-    // seed. Generation 0 reproduces the pre-checkpoint stream layout;
-    // each rollback bumps the generation so replayed segments resample
-    // their transient faults.
-    const uint64_t retryStreams =
-        static_cast<uint64_t>(rc.maxPimRetries) + 1;
-    const uint64_t opStreams = static_cast<uint64_t>(seq.ops.size()) + 1;
-
-    // Fusion analysis: op i consumes its predecessor's intermediates
-    // from cache when both run on the GPU in the same phase. ModSwitch
-    // chains (INTT -> BConv -> NTT) fuse unconditionally as in
-    // Cheddar/100x [38]; element-wise chains need the ExtraFuse flag
-    // (the +ExtraFuse arm of Fig. 10).
-    std::vector<bool> onPimFlags(seq.ops.size());
-    for (size_t i = 0; i < seq.ops.size(); ++i) {
-        const KernelOp &op = seq.ops[i];
-        onPimFlags[i] = config_.pimEnabled && op.pimEligible &&
-                        pimInstrSupported(opcodeFor(op.type), op.fanIn,
-                                          config_.pim.bufferEntries);
-    }
-    auto fusesWithPrev = [&](size_t i) {
-        if (i == 0 || onPimFlags[i] || onPimFlags[i - 1])
-            return false;
-        const KernelOp &op = seq.ops[i];
-        const KernelOp &prev = seq.ops[i - 1];
-        if (prev.phase != op.phase)
-            return false;
-        bool readsIntermediate = false;
-        for (const auto &operand : op.reads)
-            readsIntermediate |= operand.kind == OperandKind::Intermediate;
-        if (!readsIntermediate)
-            return false;
-        const bool elementWiseChain =
-            kernelClass(op.type) == KernelClass::ElementWise &&
-            kernelClass(prev.type) == KernelClass::ElementWise;
-        return elementWiseChain ? config_.fusion.extraFuse : true;
-    };
-
-    // Detect-and-recover state. With the default config (all rates 0,
-    // scrub / checksums / checkpointing off) none of this ever charges
-    // time or energy, so execution is bitwise identical to the plain
-    // fault-free schedule.
-    ResilienceStats &res = result.resilience;
-    const bool checksumOn = rc.checksumEnabled;
-    std::optional<ScrubEngine> scrubber;
-    if (rc.scrub.enabled)
-        scrubber.emplace(config_.dram, rc.scrub);
-    const DramEnergy &denergy = config_.dram.energy;
-    // GB/s is bytes-per-ns at the 1e9 scale, so bytes / bw is ns.
-    const double extBw = config_.dram.externalBwGBs;
-    const double liveBytes = liveFootprintBytes(seq);
-    const size_t residentWords = static_cast<size_t>(liveBytes / 4.0);
-    const double windowNs = static_cast<double>(config_.dram.timing.tREFI) *
-                            config_.dram.timing.tCkNs;
-
-    uint64_t generation = 0;
-    size_t checkpointIndex = 0; ///< trace inputs are always restorable
-    size_t segmentsSinceCkpt = 0;
-    uint64_t retentionWindow = 0;
-    double nextScrubNs = scrubber ? rc.scrub.intervalNs : 0.0;
-    // Corruption in flight: silent corrupt words a checksum could still
-    // catch, and retention decay awaiting a scrub or verify pass.
-    uint64_t pendingSilent = 0;
-    uint64_t pendingRetCorrectable = 0;
-    uint64_t pendingRetUncorrectable = 0;
-
-    // Maintenance phases get their own Gantt entries and breakdown
-    // categories so recovery overhead is visible in the timeline.
-    auto chargePhase = [&](const char *phase, const char *device,
-                           double durNs, double energyPj) {
-        GanttEntry entry;
-        entry.phase = phase;
-        entry.device = device;
-        entry.cls = KernelClass::ElementWise;
-        entry.startNs = clock;
-        clock += durNs;
-        entry.endNs = clock;
-        entry.energyPj = energyPj;
-        entry.bound = BoundBy::None;
-        result.timeline.push_back(entry);
-        result.timeNsByCategory[phase] += durNs;
-        result.energyPj += energyPj;
-    };
-    auto addSilent = [&](uint64_t words) {
-        if (words == 0)
-            return;
-        if (checksumOn)
-            pendingSilent += words;
-        else
-            res.silentErrors += words;
-    };
-    // Whether a rollback is still available (vs surfacing the event as
-    // unrecovered / falling back to the GPU).
-    auto canRollBack = [&]() {
-        return rc.checkpoint.enabled &&
-               res.rollbacks < rc.checkpoint.maxRollbacks;
-    };
-    // Roll back to the last checkpoint: restore the live footprint from
-    // the snapshot region, drop all in-flight corruption, and resample
-    // the replayed segments' faults under a new generation.
-    auto rollBack = [&](size_t i) {
-        ++res.rollbacks;
-        ++generation;
-        res.replayedSegments += i - checkpointIndex;
-        chargePhase("Rollback", "DRAM",
-                    liveBytes > 0.0 ? 2.0 * liveBytes / extBw : 0.0,
-                    2.0 * liveBytes * denergy.globalIoPerBytePj);
-        pendingSilent = 0;
-        pendingRetCorrectable = 0;
-        pendingRetUncorrectable = 0;
-        segmentsSinceCkpt = 0;
-        prevWasPim = false;
-        return checkpointIndex;
-    };
-    // Verify the ciphertext checksums over `bytes` of residues; true
-    // when the data is clean.
-    auto verifyChecksums = [&](double bytes) {
-        ++res.checksumChecks;
-        chargePhase("Verify", "GPU", bytes / extBw,
-                    bytes * denergy.nearBankPerBytePj);
-        if (pendingSilent + pendingRetUncorrectable == 0)
-            return true;
-        ++res.checksumMismatches;
-        return false;
-    };
-    auto surfaceUnrecovered = [&]() {
-        ++res.unrecovered;
-        pendingSilent = 0;
-        pendingRetUncorrectable = 0;
-    };
-    enum class FallbackCause { RetryExhausted, Uncheckpointed,
-                               CapacityFloor };
-    auto countFallback = [&](FallbackCause cause) {
-        ++res.gpuFallbacks;
-        switch (cause) {
-          case FallbackCause::RetryExhausted:
-            ++res.gpuFallbacksRetryExhausted;
-            break;
-          case FallbackCause::Uncheckpointed:
-            ++res.gpuFallbacksUncheckpointed;
-            break;
-          case FallbackCause::CapacityFloor:
-            ++res.gpuFallbacksCapacityFloor;
-            break;
-        }
-    };
-    // Feed a detected error to the health monitor against every still-
-    // active permanently failed site that could have caused it (the
-    // detector cannot localize beyond that). Returns true when a site
-    // newly crossed the permanent threshold — the caller migrates.
-    // Pure transients leave the suspect set empty, so healthy banks
-    // are never quarantined by an upset storm.
-    auto recordSuspects = [&](bool banks, bool lanes) {
-        if (!health)
-            return false;
-        bool newlyQuarantined = false;
-        if (banks) {
-            for (const FaultSiteId &site : failedBankSites)
-                newlyQuarantined |= health->recordError(site, clock);
-        }
-        if (lanes) {
-            for (const FaultSiteId &site : failedLaneSites)
-                newlyQuarantined |= health->recordError(site, clock);
-        }
-        return newlyQuarantined;
-    };
-    // Quarantine + remap: re-plan the trace on the healthy subset,
-    // migrate the live footprint onto it, and resume — from the last
-    // checkpoint when one exists (the segment group replays on the
-    // degraded device), else from `resumeAt`. Does NOT consume the
-    // rollback budget: the broken site is being removed, not retried.
-    // When quarantine leaves too little capacity (the configured floor,
-    // or the degraded plan no longer fits), PIM offload is abandoned
-    // and the remaining PIM segments are redirected to the GPU.
-    auto quarantineAndMigrate = [&](size_t next, size_t resumeAt) {
-        ++res.migrations;
-        const ResourceMap &rm = health->resources();
-        refreshActiveFaults();
-        ++generation; // replays resample their transient faults
-        // Control-plane cost: remap tables + lockstep re-fusing.
-        chargePhase("Quarantine", "DRAM", 1.0e3, 0.0);
-        const PimConfig degraded = config_.pim.degraded(rm);
-        const MemoryPlan degradedPlan =
-            PimMemoryPlanner(config_.dram, degraded).plan(seq);
-        if (health->belowCapacityFloor() || !degradedPlan.fits) {
-            pimOffline = true;
-            degradedPim.reset();
-        } else {
-            degradedPim.emplace(config_.dram, degraded);
-            // One pass over the live footprint into the new layout.
-            chargePhase("Migrate", "DRAM",
-                        liveBytes > 0.0 ? 2.0 * liveBytes / extBw : 0.0,
-                        2.0 * liveBytes * denergy.globalIoPerBytePj);
-        }
-        pendingSilent = 0;
-        pendingRetCorrectable = 0;
-        pendingRetUncorrectable = 0;
-        segmentsSinceCkpt = 0;
-        prevWasPim = false;
-        if (rc.checkpoint.enabled) {
-            res.replayedSegments += next - checkpointIndex;
-            return checkpointIndex;
-        }
-        return resumeAt;
-    };
-
-    size_t i = 0;
-    while (true) {
-        if (i >= seq.ops.size()) {
-            // End-of-trace boundary: the final outputs get one last
-            // verification before they are decrypted.
-            if (checksumOn) {
-                if (!verifyChecksums(liveBytes)) {
-                    if (recordSuspects(!rc.eccEnabled, true) &&
-                        rc.checkpoint.enabled) {
-                        i = quarantineAndMigrate(i, i);
-                        continue;
-                    }
-                    if (canRollBack()) {
-                        i = rollBack(i);
-                        continue;
-                    }
-                    surfaceUnrecovered();
-                }
-            }
-            break;
-        }
-
-        // --- Time-driven maintenance ahead of op i ---
-        // Retention decay accumulates on the resident footprint per
-        // crossed refresh window; windows are keyed by absolute index,
-        // so replays never resample a window already paid for.
-        if (faultModel && rc.retentionBerPerWindow > 0.0 && windowNs > 0.0) {
-            const uint64_t window =
-                static_cast<uint64_t>(clock / windowNs);
-            while (retentionWindow < window) {
-                ++retentionWindow;
-                const FaultEventCounts decay = faultModel->sampleRetention(
-                    retentionWindow, residentWords);
-                res.retentionFaultyWords += decay.faulty;
-                if (!rc.eccEnabled) {
-                    // Raw arrays: decay is indistinguishable from data.
-                    addSilent(decay.faulty);
-                } else {
-                    pendingRetCorrectable += decay.singleBit;
-                    pendingRetUncorrectable += decay.multiBit;
-                }
-            }
-        }
-        if (scrubber && clock >= nextScrubNs) {
-            // One pass covers every missed interval (a long GPU kernel
-            // may straddle several).
-            while (clock >= nextScrubNs)
-                nextScrubNs += rc.scrub.intervalNs;
-            ++res.scrubPasses;
-            const ScrubPassStats pass = scrubber->pass(liveBytes);
-            chargePhase("Scrub", "DRAM", pass.timeNs, pass.energyPj);
-            res.scrubCorrected += pendingRetCorrectable;
-            pendingRetCorrectable = 0;
-            if (pendingRetUncorrectable > 0) {
-                res.scrubUncorrectable += pendingRetUncorrectable;
-                pendingRetUncorrectable = 0;
-                if (canRollBack()) {
-                    i = rollBack(i);
-                    continue;
-                }
-                surfaceUnrecovered();
-            }
-        }
-        if (rc.checkpoint.enabled && i > checkpointIndex &&
-            segmentsSinceCkpt >= rc.checkpoint.intervalSegments) {
-            // Verify before snapshotting: never checkpoint corrupt
-            // state, or rollback would replay the corruption forever.
-            if (checksumOn && !verifyChecksums(liveBytes)) {
-                if (recordSuspects(!rc.eccEnabled, true)) {
-                    i = quarantineAndMigrate(i, i);
-                    continue;
-                }
-                if (canRollBack()) {
-                    i = rollBack(i);
-                    continue;
-                }
-                surfaceUnrecovered();
-                segmentsSinceCkpt = 0; // retry next interval
-            } else {
-                ++res.checkpoints;
-                chargePhase(
-                    "Checkpoint", "DRAM",
-                    liveBytes > 0.0 ? 2.0 * liveBytes / extBw : 0.0,
-                    2.0 * liveBytes * denergy.globalIoPerBytePj);
-                checkpointIndex = i;
-                segmentsSinceCkpt = 0;
-            }
-        }
-
-        const KernelOp &op = seq.ops[i];
-        const bool onPim = onPimFlags[i] && !pimOffline;
-
-        if (onPim) {
-            const PimExecStats stats = pimModel().execute(
-                opcodeFor(op.type), op.fanIn, op.limbs, op.n);
-            ANAHEIM_ASSERT(stats.supported, "unsupported PIM instruction");
-            // GPU<->PIM transition overhead (§V-C) applies once per PIM
-            // kernel; consecutive PIM instructions share one kernel.
-            const double transitionNs = prevWasPim ? 0.0 : 2.0e3;
-
-            // One initial attempt, plus replays charged at full price
-            // for every detected-uncorrectable ECC event; when the
-            // retry budget runs out, roll back to the last checkpoint
-            // if one is available, else fall back to the GPU (§VI-A
-            // datapath riding raw DRAM arrays).
-            double pimNs = stats.timeNs + transitionNs;
-            double pimEnergyPj = stats.energyPj;
-            double pimChunks = stats.chunksMoved;
-            bool fellBack = false;
-            FallbackCause cause = FallbackCause::RetryExhausted;
-            bool needRollback = false;
-            bool needMigrate = false;
-            if (faultModel) {
-                const uint64_t opStream = generation * opStreams + i;
-                // Permanent-bank damage is deterministic: the same
-                // share of the op's accesses lands on dead banks on
-                // every attempt and every generation — only a remap
-                // (or retirement of the banks) makes it go away.
-                const size_t words =
-                    pimWordsRead(op) + pimWordsWritten(op);
-                const uint64_t permWords = permanentFaultyWords(
-                    words, activeFailedBanks, totalBanks);
-                if (rc.ber > 0.0 || permWords > 0) {
-                    // Storage sites: operand reads plus the result
-                    // write-back ride the same ECC boundary.
-                    for (uint64_t attempt = 0;; ++attempt) {
-                        const FaultEventCounts events =
-                            faultModel->sampleEvents(
-                                words, opStream * retryStreams + attempt);
-                        res.faultyWords += events.faulty + permWords;
-                        res.permanentFaultyWords += permWords;
-                        if (!rc.eccEnabled) {
-                            // Nothing at the word boundary detects the
-                            // corruption: no retry signal; checksums
-                            // are the only remaining net.
-                            addSilent(events.faulty + permWords);
-                            break;
-                        }
-                        res.eccCorrected += events.singleBit;
-                        const uint64_t multi =
-                            events.multiBit + permWords;
-                        if (multi == 0)
-                            break;
-                        res.eccUncorrectable += multi;
-                        if (attempt >= rc.maxPimRetries) {
-                            // Escalation past the retry budget: a site
-                            // crossing the permanent threshold is
-                            // quarantined and execution migrates off
-                            // it; otherwise roll back while the budget
-                            // lasts, else abandon the segment to the
-                            // GPU.
-                            if (permWords > 0 &&
-                                recordSuspects(true, false)) {
-                                needMigrate = true;
-                            } else if (canRollBack()) {
-                                needRollback = true;
-                            } else {
-                                fellBack = true;
-                                cause = rc.checkpoint.enabled
-                                            ? FallbackCause::RetryExhausted
-                                            : FallbackCause::Uncheckpointed;
-                            }
-                            break;
-                        }
-                        ++res.pimRetries;
-                        pimNs += stats.timeNs;
-                        pimEnergyPj += stats.energyPj;
-                        pimChunks += stats.chunksMoved;
-                    }
-                }
-                if ((rc.laneBer > 0.0 || activeFailedLanes > 0) &&
-                    !needRollback && !fellBack && !needMigrate) {
-                    // Post-multiply lane flips: no ECC reaches the
-                    // 28-bit datapath, so every hit is silent here.
-                    // Dead lanes corrupt their share of every op's
-                    // multiplies the same way — deterministically.
-                    const size_t laneOps =
-                        static_cast<size_t>(op.modMults());
-                    const FaultEventCounts lane =
-                        faultModel->sampleLaneEvents(laneOps, opStream);
-                    const uint64_t permLane = permanentFaultyWords(
-                        laneOps, activeFailedLanes, config_.pim.lanes);
-                    res.laneFaults += lane.faulty + permLane;
-                    res.permanentLaneFaults += permLane;
-                    addSilent(lane.faulty + permLane);
-                }
-            }
-
-            GanttEntry entry;
-            entry.phase = op.phase;
-            entry.device = "PIM";
-            entry.cls = kernelClass(op.type);
-            entry.startNs = clock;
-            clock += pimNs;
-            entry.endNs = clock;
-            entry.energyPj = pimEnergyPj;
-            // Near-bank PIM time is internal-streaming limited by
-            // construction (§VI-A all-bank lockstep).
-            entry.bound = BoundBy::Bandwidth;
-            result.timeline.push_back(entry);
-            result.timeNsByCategory["PIM"] += pimNs;
-            result.energyPj += pimEnergyPj;
-            result.pimInternalBytes +=
-                pimChunks * config_.dram.chunkBytes;
-            prevWasPim = true;
-
-            if (needMigrate) {
-                // Quarantine + remap + replay. Without a checkpoint
-                // only op i re-runs — its operands are intact, since
-                // failed attempts never commit.
-                i = quarantineAndMigrate(i + 1, i);
-                continue;
-            }
-            if (needRollback) {
-                // Replay the whole segment group from the snapshot —
-                // op i included, hence the +1 before rewinding.
-                i = rollBack(i + 1);
-                continue;
-            }
-            if (fellBack) {
-                // The segment's PIM result is untrustworthy even after
-                // the replays: re-run it on the GPU (unfused — its
-                // operands live in DRAM, not the cache).
-                countFallback(cause);
-                const GpuKernelStats gpuStats = gpu_.run(op);
-                GanttEntry fallback;
-                fallback.phase = op.phase;
-                fallback.device = "GPU";
-                fallback.cls = kernelClass(op.type);
-                fallback.startNs = clock;
-                clock += gpuStats.timeNs;
-                fallback.endNs = clock;
-                fallback.energyPj = gpuStats.energyPj;
-                fallback.bound = gpuStats.memoryBound()
-                                     ? BoundBy::Bandwidth
-                                     : BoundBy::Compute;
-                result.timeline.push_back(fallback);
-                result.timeNsByCategory[kernelClassName(
-                    kernelClass(op.type))] += gpuStats.timeNs;
-                result.energyPj += gpuStats.energyPj;
-                result.gpuDramBytes += gpuStats.traffic.total();
-                prevWasPim = false;
-            } else if (checksumOn && i + 1 < seq.ops.size() &&
-                       !onPimFlags[i + 1]) {
-                // Coherence write-back boundary (§V-C): the GPU is
-                // about to consume this segment's outputs — verify
-                // their checksums before corruption can propagate.
-                if (!verifyChecksums(op.writeBytes())) {
-                    // Checksums are the only detector that sees dead
-                    // lanes (and dead banks with ECC off): those sites
-                    // are the permanent suspects here.
-                    if (recordSuspects(!rc.eccEnabled, true)) {
-                        if (rc.checkpoint.enabled) {
-                            i = quarantineAndMigrate(i + 1, i);
-                            continue;
-                        }
-                        // Quarantine stops future corruption, but the
-                        // committed outputs are already lost without a
-                        // snapshot to replay from.
-                        surfaceUnrecovered();
-                        i = quarantineAndMigrate(i + 1, i + 1);
-                        continue;
-                    }
-                    if (canRollBack()) {
-                        i = rollBack(i + 1);
-                        continue;
-                    }
-                    surfaceUnrecovered();
-                }
-            }
-            ++i;
-            ++segmentsSinceCkpt;
-            continue;
-        }
-
-        // PIM-eligible ops arriving after the capacity floor tripped
-        // are redirected here; each redirection is a counted fallback.
-        if (onPimFlags[i] && pimOffline)
-            countFallback(FallbackCause::CapacityFloor);
-
-        const bool fused = fusesWithPrev(i);
-        const bool writesCached =
-            i + 1 < seq.ops.size() && fusesWithPrev(i + 1);
-
-        // Coherence write-backs (§V-C): a GPU kernel whose outputs feed
-        // a PIM kernel must push them out of the L2 first.
-        double writeBack = 0.0;
-        if (config_.pimEnabled && !pimOffline &&
-            i + 1 < seq.ops.size() && onPimFlags[i + 1]) {
-            for (const auto &operand : op.writes) {
-                if (operand.kind == OperandKind::Intermediate)
-                    writeBack += operand.limbs * limbBytes(op.n);
-            }
-        }
-
-        prevWasPim = false;
-        const GpuKernelStats stats =
-            gpu_.run(op, fused, writeBack, writesCached);
-        GanttEntry entry;
-        entry.phase = op.phase;
-        entry.device = "GPU";
-        entry.cls = kernelClass(op.type);
-        entry.startNs = clock;
-        clock += stats.timeNs;
-        entry.endNs = clock;
-        entry.energyPj = stats.energyPj;
-        entry.bound = stats.memoryBound() ? BoundBy::Bandwidth
-                                          : BoundBy::Compute;
-        result.timeline.push_back(entry);
-        result.timeNsByCategory[kernelClassName(kernelClass(op.type))] +=
-            stats.timeNs;
-        result.energyPj += stats.energyPj;
-        result.gpuDramBytes += stats.traffic.total();
-        ++i;
-        ++segmentsSinceCkpt;
-    }
-
-    if (health) {
-        res.healthErrorEvents = health->errorEvents();
-        res.quarantinedBanks = health->resources().quarantinedBanks();
-        res.quarantinedLanes = health->resources().quarantinedLanes();
-        result.pimCapacityFraction = health->capacityFraction();
-    }
-    result.pimOffline = pimOffline;
-    result.totalNs = clock;
-    // Canonical timeline order — (startNs, device, phase) — so trace
-    // exports and golden comparisons are reproducible regardless of
-    // host thread count or future scheduler changes. Execution already
-    // appends in start order; the stable sort only tie-breaks.
-    std::stable_sort(result.timeline.begin(), result.timeline.end(),
-                     timelineEntryLess);
-    ANAHEIM_ASSERT(timelineIsCanonical(result.timeline),
-                   "timeline sort failed");
-    obs::publishRunMetrics(result);
-    if (config_.obs.trace || obs::tracingEnabled())
-        obs::recordRunTimeline(seq.name, result);
     return result;
 }
 

@@ -108,6 +108,45 @@ struct ObsConfig {
     bool trace = false;
 };
 
+/** Arrival process the serving scheduler (src/serve) drives streams
+ *  with. */
+enum class ArrivalKind {
+    Closed,      ///< next request starts when the previous completes
+    OpenPoisson, ///< open-loop Poisson arrivals at offeredRps
+};
+
+/** Multi-tenant serving knobs (src/serve, DESIGN.md §15): how many
+ *  client streams the scheduler admits, how requests arrive, and the
+ *  batching / overlap / admission policies. */
+struct ServeConfig {
+    /** Concurrent client streams (tenants). */
+    size_t streams = 8;
+    ArrivalKind arrival = ArrivalKind::OpenPoisson;
+    /** Aggregate offered load across all streams, requests/second of
+     *  simulated time (split evenly per stream). */
+    double offeredRps = 100.0;
+    /** Requests generated per stream before the arrival process
+     *  stops. */
+    size_t requestsPerStream = 4;
+    /** Seed for the deterministic Poisson arrival draws. */
+    uint64_t arrivalSeed = 0x5eedca11u;
+    /** Streams cycle through priority classes 0..priorityClasses-1
+     *  (0 = highest); dispatch breaks start-time ties by class. */
+    size_t priorityClasses = 1;
+    /** Admission control: an arrival finding this many requests
+     *  already waiting on its stream is rejected. */
+    size_t maxQueuedPerStream = 64;
+    /** Batch compatible element-wise PIM dispatches across streams
+     *  (same opcode/degree/limbs/fan-in -> one fused kernel, the
+     *  followers skip the GPU<->PIM transition). */
+    bool batching = true;
+    /** Ciphertexts per fused PIM dispatch. */
+    size_t maxBatch = 8;
+    /** Clock GPU and PIM as independent resources so independent
+     *  traces overlap; off = the serial back-to-back baseline. */
+    bool overlap = true;
+};
+
 struct AnaheimConfig {
     GpuConfig gpu;
     LibraryProfile library;
@@ -117,6 +156,7 @@ struct AnaheimConfig {
     FusionFlags fusion;
     ResilienceConfig resilience;
     ObsConfig obs;
+    ServeConfig serve;
 
     /** A100 80GB with near-bank PIM (Table III column 1). */
     static AnaheimConfig a100NearBank();
@@ -246,12 +286,18 @@ class AnaheimFramework
 
     const AnaheimConfig &config() const { return config_; }
 
-    /** Execute a trace and return time/energy/traffic. */
+    /** Execute a trace and return time/energy/traffic. Equivalent to
+     *  stepping a RunContext to completion (runcontext.h); the serving
+     *  scheduler interleaves several contexts instead. */
     RunResult execute(const OpSequence &seq) const;
 
   private:
     /** Map an element-wise kernel type onto its PIM opcode. */
     static PimOpcode opcodeFor(KernelType type);
+
+    /** Per-run device state lives in RunContext, which replays the
+     *  schedule against this framework's models. */
+    friend class RunContext;
 
     AnaheimConfig config_;
     GpuModel gpu_;

@@ -50,6 +50,13 @@ struct NttView {
     uint64_t lastWShoup = 0;
 };
 
+/** High bit of a permutation-table entry: negate the gathered value
+ *  (the negacyclic wrap of a coefficient-domain automorphism). The low
+ *  bits are the source index. */
+inline constexpr uint64_t kPermuteNegBit = uint64_t{1} << 63;
+/** Mask extracting the source index from a permutation-table entry. */
+inline constexpr uint64_t kPermuteIndexMask = kPermuteNegBit - 1;
+
 /** Which backend a KernelOps table implements. */
 enum class Backend {
     Reference, ///< division-based oracle (NttTable's own kernels)
@@ -102,6 +109,13 @@ struct KernelOps {
     /** acc[i] = (acc[i] + a[i] * b[i]) mod q. */
     void (*macBarrett)(uint64_t *acc, const uint64_t *a,
                        const uint64_t *b, size_t n, const Barrett &br);
+    /** Index permutation with optional negation — the automorphism /
+     *  monomial-shift inner loop. dst[i] = src[idx[i] & kPermuteIndexMask],
+     *  negated mod q when idx[i] has kPermuteNegBit set. src holds
+     *  canonical residues; dst must not alias src. Vector backends run
+     *  this as a 64-bit gather plus a sign-select blend. */
+    void (*permuteNeg)(uint64_t *dst, const uint64_t *src,
+                       const uint64_t *idx, size_t n, uint64_t q);
 };
 
 /**

@@ -740,6 +740,30 @@ struct Kernels {
                             br.modulus());
     }
 
+    static void
+    permuteNegV(uint64_t *dst, const uint64_t *src, const uint64_t *idx,
+                size_t n, uint64_t q)
+    {
+        size_t i = 0;
+        if constexpr (W > 1) {
+            const V vq = P::set1(q);
+            const V vmask = P::set1(kPermuteIndexMask);
+            for (; i + W <= n; i += W) {
+                const V e = P::load(idx + i);
+                const V r = P::gather(src, P::and_(e, vmask));
+                // q - r lands on q when r == 0; the csub folds it to 0.
+                const V neg = P::csub(P::sub(vq, r), vq);
+                P::store(dst + i, P::blendHighBit(e, r, neg));
+            }
+        }
+        for (; i < n; ++i) {
+            const uint64_t e = idx[i];
+            const uint64_t r = src[e & kPermuteIndexMask];
+            dst[i] = (e & kPermuteNegBit) != 0 ? anaheim::negMod(r, q)
+                                               : r;
+        }
+    }
+
     /** The backend's KernelOps table. */
     static KernelOps
     ops(const char *name, Backend backend)
@@ -759,6 +783,7 @@ struct Kernels {
         k.negMod = &negModV;
         k.mulBarrett = &mulBarrett;
         k.macBarrett = &macBarrett;
+        k.permuteNeg = &permuteNegV;
         return k;
     }
 };

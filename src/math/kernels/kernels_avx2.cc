@@ -46,6 +46,23 @@ struct Avx2Policy {
     static V add(V a, V b) { return _mm256_add_epi64(a, b); }
     static V sub(V a, V b) { return _mm256_sub_epi64(a, b); }
     static V or_(V a, V b) { return _mm256_or_si256(a, b); }
+    static V and_(V a, V b) { return _mm256_and_si256(a, b); }
+
+    /** dst lane i = base[idx lane i] (64-bit indices, 8-byte scale). */
+    static V
+    gather(const uint64_t *base, V idx)
+    {
+        return _mm256_i64gather_epi64(
+            reinterpret_cast<const long long *>(base), idx, 8);
+    }
+
+    /** Per-lane select: b where sel's bit 63 is set, else a. */
+    static V
+    blendHighBit(V sel, V a, V b)
+    {
+        const V m = _mm256_cmpgt_epi64(_mm256_setzero_si256(), sel);
+        return _mm256_blendv_epi8(a, b, m);
+    }
     static V
     srl(V x, unsigned s)
     {

@@ -36,6 +36,21 @@ struct Avx512Policy {
     static V add(V a, V b) { return _mm512_add_epi64(a, b); }
     static V sub(V a, V b) { return _mm512_sub_epi64(a, b); }
     static V or_(V a, V b) { return _mm512_or_si512(a, b); }
+    static V and_(V a, V b) { return _mm512_and_si512(a, b); }
+
+    /** dst lane i = base[idx lane i] (64-bit indices, 8-byte scale). */
+    static V
+    gather(const uint64_t *base, V idx)
+    {
+        return _mm512_i64gather_epi64(idx, base, 8);
+    }
+
+    /** Per-lane select: b where sel's bit 63 is set, else a. */
+    static V
+    blendHighBit(V sel, V a, V b)
+    {
+        return _mm512_mask_blend_epi64(_mm512_movepi64_mask(sel), a, b);
+    }
     static V mullo(V a, V b) { return _mm512_mullo_epi64(a, b); }
     static V
     srl(V x, unsigned s)

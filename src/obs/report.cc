@@ -98,8 +98,15 @@ printAttribution(const RunResult &result, std::FILE *out)
 uint32_t
 recordRunTimeline(const std::string &name, const RunResult &result)
 {
+    const uint32_t run = TraceCollector::global().beginRun(name);
+    recordRunTimeline(run, result);
+    return run;
+}
+
+void
+recordRunTimeline(uint32_t runId, const RunResult &result)
+{
     TraceCollector &collector = TraceCollector::global();
-    const uint32_t run = collector.beginRun(name);
     for (const GanttEntry &entry : result.timeline) {
         SimSpan span;
         span.name = entry.phase;
@@ -109,14 +116,38 @@ recordRunTimeline(const std::string &name, const RunResult &result)
         if (entry.device == "GPU" && entry.bound == BoundBy::None)
             span.lane = entry.phase; // Verify passes priced on the GPU
         span.category = attributionCategory(entry);
-        span.run = run;
+        span.run = runId;
         span.startUs = entry.startNs * 1e-3;
         span.durUs = (entry.endNs - entry.startNs) * 1e-3;
         span.energyPj = entry.energyPj;
         collector.recordSimSpan(std::move(span));
     }
-    return run;
 }
+
+namespace {
+
+/** The per-run gauge block under one namespace prefix ("run.last" or
+ *  "run.<id>"). */
+void
+publishRunGauges(const std::string &prefix, const RunResult &result,
+                 MetricsRegistry &registry)
+{
+    registry.gauge(prefix + ".total_ns").set(result.totalNs);
+    registry.gauge(prefix + ".energy_pj").set(result.energyPj);
+    registry.gauge(prefix + ".gpu_dram_bytes").set(result.gpuDramBytes);
+    registry.gauge(prefix + ".pim_internal_bytes")
+        .set(result.pimInternalBytes);
+    registry.gauge(prefix + ".timeline_entries")
+        .set(static_cast<double>(result.timeline.size()));
+    registry.gauge(prefix + ".pim_capacity_fraction")
+        .set(result.pimCapacityFraction);
+    registry.gauge(prefix + ".pim_offline")
+        .set(result.pimOffline ? 1.0 : 0.0);
+    for (const auto &[category, ns] : result.timeNsByCategory)
+        registry.gauge(prefix + ".time_ns." + category).set(ns);
+}
+
+} // namespace
 
 void
 publishRunMetrics(const RunResult &result, MetricsRegistry &registry)
@@ -158,17 +189,15 @@ publishRunMetrics(const RunResult &result, MetricsRegistry &registry)
         registry.counter(name).add(value);
 
     registry.counter("run.executions").add();
-    registry.gauge("run.total_ns").set(result.totalNs);
-    registry.gauge("run.energy_pj").set(result.energyPj);
-    registry.gauge("run.gpu_dram_bytes").set(result.gpuDramBytes);
-    registry.gauge("run.pim_internal_bytes").set(result.pimInternalBytes);
-    registry.gauge("run.timeline_entries")
-        .set(static_cast<double>(result.timeline.size()));
-    registry.gauge("run.pim_capacity_fraction")
-        .set(result.pimCapacityFraction);
-    registry.gauge("run.pim_offline").set(result.pimOffline ? 1.0 : 0.0);
-    for (const auto &[category, ns] : result.timeNsByCategory)
-        registry.gauge("run.time_ns." + category).set(ns);
+    publishRunGauges("run.last", result, registry);
+}
+
+void
+publishRunMetrics(const RunResult &result, uint32_t runId,
+                  MetricsRegistry &registry)
+{
+    publishRunMetrics(result, registry);
+    publishRunGauges("run." + std::to_string(runId), result, registry);
 }
 
 namespace {
@@ -234,6 +263,19 @@ configSummary(const AnaheimConfig &config)
         "permanent_lanes",
         std::to_string(config.resilience.permanentLanes.size()));
     kv.emplace_back("obs_trace", config.obs.trace ? "true" : "false");
+    kv.emplace_back("serve_streams", std::to_string(config.serve.streams));
+    kv.emplace_back("serve_arrival",
+                    config.serve.arrival == ArrivalKind::OpenPoisson
+                        ? "open-poisson"
+                        : "closed");
+    kv.emplace_back("serve_offered_rps",
+                    formatDouble(config.serve.offeredRps));
+    kv.emplace_back("serve_batching",
+                    config.serve.batching ? "true" : "false");
+    kv.emplace_back("serve_max_batch",
+                    std::to_string(config.serve.maxBatch));
+    kv.emplace_back("serve_overlap",
+                    config.serve.overlap ? "true" : "false");
     return kv;
 }
 

@@ -73,12 +73,23 @@ void printAttribution(const RunResult &result, std::FILE *out = stdout);
 uint32_t recordRunTimeline(const std::string &name,
                            const RunResult &result);
 
+/** Same, but into an already-begun run (one trace-collector run id per
+ *  serve stream, many request timelines recorded onto it). */
+void recordRunTimeline(uint32_t runId, const RunResult &result);
+
 /**
  * Publish a run's statistics into `registry`: every ResilienceStats
- * counter under "resilience.", run totals under "run.", and the
- * per-category time split under "run.time_ns.<category>". Counters
- * accumulate across runs; gauges hold the latest run.
+ * counter under "resilience." and run totals as gauges. Counters
+ * accumulate across runs; gauges are namespaced per run —
+ * "run.<id>.total_ns" etc., mirroring the per-run Perfetto process
+ * groups — so interleaved runs don't clobber each other, with a
+ * "run.last.*" alias always holding the most recently published run.
  */
+void publishRunMetrics(const RunResult &result, uint32_t runId,
+                       MetricsRegistry &registry = MetricsRegistry::global());
+
+/** Convenience overload without a run id: publishes the counters and
+ *  the "run.last.*" gauges only. */
 void publishRunMetrics(const RunResult &result,
                        MetricsRegistry &registry = MetricsRegistry::global());
 

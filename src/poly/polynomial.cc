@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "math/automorph.h"
 #include "math/kernels.h"
 #include "math/modarith.h"
 
@@ -147,35 +148,17 @@ Polynomial::automorphism(uint64_t k) const
     const size_t n = degree();
     ANAHEIM_ASSERT((k & 1) == 1 && k < 2 * n, "Galois element must be odd");
     Polynomial out(basis_, domain_);
-    if (domain_ == Domain::Coeff) {
-        parallelFor(0, limbs_.size(), [&](size_t i) {
-            const uint64_t q = basis_.prime(i);
-            const auto &src = limbs_[i];
-            auto &dst = out.limbs_[i];
-            for (size_t c = 0; c < n; ++c) {
-                const uint64_t target = (c * k) % (2 * n);
-                if (target < n)
-                    dst[target] = src[c];
-                else
-                    dst[target - n] = negMod(src[c], q);
-            }
-        });
-    } else {
-        // Slot j of the result evaluates at psi^{e_j * k}; look up which
-        // input slot holds that evaluation point.
-        parallelFor(0, limbs_.size(), [&](size_t i) {
-            const auto &exps = basis_.table(i).evalExponents();
-            const auto &slotOf = basis_.table(i).slotOfExponent();
-            const auto &src = limbs_[i];
-            auto &dst = out.limbs_[i];
-            for (size_t j = 0; j < n; ++j) {
-                const uint64_t e = (exps[j] * k) % (2 * n);
-                const int32_t srcSlot = slotOf[e];
-                ANAHEIM_ASSERT(srcSlot >= 0, "invalid automorphism slot");
-                dst[j] = src[srcSlot];
-            }
-        });
-    }
+    // Both domains reduce to a gather permutation (with sign wraps on
+    // coefficients); the shared tables depend only on (n, k), and the
+    // active kernel backend runs the inner loop vectorized.
+    const auto tbl = domain_ == Domain::Coeff
+                         ? coeffAutomorphismTable(n, k)
+                         : evalAutomorphismTable(basis_.table(0), k);
+    const kernels::KernelOps &ops = kernels::active();
+    parallelFor(0, limbs_.size(), [&](size_t i) {
+        ops.permuteNeg(out.limbs_[i].data(), limbs_[i].data(),
+                       tbl->data(), n, basis_.prime(i));
+    });
     return out;
 }
 

@@ -1,0 +1,357 @@
+#include "scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <memory>
+
+#include "anaheim/runcontext.h"
+#include "arrival.h"
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+
+namespace anaheim::serve {
+
+double
+ServeStats::percentileNs(double p) const
+{
+    if (latenciesNs.empty())
+        return 0.0;
+    std::vector<double> sorted = latenciesNs;
+    std::sort(sorted.begin(), sorted.end());
+    // Nearest-rank: the smallest latency covering p percent of samples.
+    const double rank =
+        std::ceil(p / 100.0 * static_cast<double>(sorted.size()));
+    const size_t idx = rank <= 1.0 ? 0 : static_cast<size_t>(rank) - 1;
+    return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+double
+ServeStats::throughputRps() const
+{
+    return makespanNs > 0.0
+               ? static_cast<double>(completed) / (makespanNs * 1e-9)
+               : 0.0;
+}
+
+double
+ServeStats::gpuUtil() const
+{
+    return makespanNs > 0.0 ? gpuBusyNs / makespanNs : 0.0;
+}
+
+double
+ServeStats::pimUtil() const
+{
+    return makespanNs > 0.0 ? pimBusyNs / makespanNs : 0.0;
+}
+
+namespace {
+
+/** One client stream's live scheduling state. */
+struct StreamState {
+    const OpSequence *trace = nullptr;
+    size_t priority = 0;
+    /** Open-loop arrival timestamps; unused entries for closed-loop. */
+    std::vector<double> arrivals;
+    /** Next request index not yet released into the queue. */
+    size_t nextArrival = 0;
+    /** Admitted requests waiting for the stream's single run slot. */
+    std::deque<size_t> queue;
+    std::unique_ptr<RunContext> active;
+    size_t activeIndex = 0;
+    bool activeStarted = false;
+    /** Completion time of the stream's last finished request — the
+     *  release time of the next closed-loop request. */
+    double lastEndNs = 0.0;
+    /** Perfetto run id for this stream's track (tracing only). */
+    uint32_t runId = 0;
+};
+
+/** Batching compatibility key: same opcode/shape PIM steps from
+ *  different streams fuse into one dispatch. */
+bool
+sameBatchKey(const KernelOp &a, const KernelOp &b)
+{
+    return a.type == b.type && a.n == b.n && a.limbs == b.limbs &&
+           a.fanIn == b.fanIn;
+}
+
+/** Per-request fault-stream salt: a pure function of the request's
+ *  identity, never of the schedule, so batching/overlap toggles leave
+ *  every per-request result bit-identical. */
+uint64_t
+requestSalt(size_t stream, size_t index)
+{
+    return (static_cast<uint64_t>(stream) << 20) |
+           static_cast<uint64_t>(index);
+}
+
+} // namespace
+
+ServeScheduler::ServeScheduler(const AnaheimFramework &fw,
+                               const ServeConfig &serve)
+    : fw_(fw), serve_(serve)
+{
+    ANAHEIM_ASSERT(serve_.streams > 0, "serving needs >= 1 stream");
+    ANAHEIM_ASSERT(serve_.maxBatch > 0, "maxBatch must be >= 1");
+    ANAHEIM_ASSERT(serve_.priorityClasses > 0,
+                   "priorityClasses must be >= 1");
+}
+
+ServeResult
+ServeScheduler::run(const std::vector<OpSequence> &traces) const
+{
+    OBS_SPAN("serve/run");
+    ANAHEIM_ASSERT(!traces.empty(), "serving needs at least one trace");
+    const bool tracing =
+        fw_.config().obs.trace || obs::tracingEnabled();
+
+    ServeResult out;
+    out.streams.resize(serve_.streams);
+    std::vector<StreamState> streams(serve_.streams);
+    const auto arrivals = buildArrivals(serve_);
+    for (size_t s = 0; s < serve_.streams; ++s) {
+        StreamState &st = streams[s];
+        st.trace = &traces[s % traces.size()];
+        st.priority = s % serve_.priorityClasses;
+        st.arrivals = arrivals[s];
+        ServeStreamResult &res = out.streams[s];
+        res.name = "serve/" + std::to_string(s) + "/" + st.trace->name;
+        res.priority = st.priority;
+        res.requests.resize(serve_.requestsPerStream);
+        for (size_t k = 0; k < serve_.requestsPerStream; ++k) {
+            res.requests[k].stream = s;
+            res.requests[k].index = k;
+        }
+        if (tracing)
+            st.runId = obs::TraceCollector::global().beginRun(res.name);
+    }
+
+    ServeStats &stats = out.stats;
+    // Device occupancy horizons. With overlap off both point at the
+    // same slot, which serializes every dispatch system-wide — the
+    // back-to-back baseline bench_serving measures speedup against.
+    double freeNs[2] = {0.0, 0.0}; // [0]=GPU, [1]=PIM
+    const auto deviceOf = [](const RunContext &ctx) {
+        return ctx.nextOnPim() ? 1 : 0;
+    };
+    const auto freeAt = [&](int dev) -> double & {
+        return serve_.overlap ? freeNs[dev] : freeNs[0];
+    };
+
+    double now = 0.0;
+    const auto release = [&](size_t s, size_t k, double arrivalNs) {
+        StreamState &st = streams[s];
+        ServeRequest &req = out.streams[s].requests[k];
+        req.arrivalNs = arrivalNs;
+        if (st.queue.size() >= serve_.maxQueuedPerStream) {
+            req.rejected = true;
+            ++stats.rejected;
+            return;
+        }
+        ++stats.admitted;
+        st.queue.push_back(k);
+    };
+
+    // Release every open-loop arrival with a timestamp <= `upTo`.
+    const auto admitUpTo = [&](double upTo) {
+        if (serve_.arrival != ArrivalKind::OpenPoisson)
+            return;
+        for (size_t s = 0; s < streams.size(); ++s) {
+            StreamState &st = streams[s];
+            while (st.nextArrival < st.arrivals.size() &&
+                   st.arrivals[st.nextArrival] <= upTo) {
+                const size_t k = st.nextArrival++;
+                release(s, k, st.arrivals[k]);
+            }
+        }
+    };
+
+    // Earliest unreleased open-loop arrival, or +inf.
+    const auto nextArrivalNs = [&]() {
+        double next = std::numeric_limits<double>::infinity();
+        if (serve_.arrival != ArrivalKind::OpenPoisson)
+            return next;
+        for (const StreamState &st : streams) {
+            if (st.nextArrival < st.arrivals.size())
+                next = std::min(next, st.arrivals[st.nextArrival]);
+        }
+        return next;
+    };
+
+    // Fill empty run slots from the queues; closed-loop streams
+    // release their next request the moment the slot frees up.
+    const auto activate = [&]() {
+        for (size_t s = 0; s < streams.size(); ++s) {
+            StreamState &st = streams[s];
+            if (serve_.arrival == ArrivalKind::Closed && !st.active &&
+                st.queue.empty() &&
+                st.nextArrival < serve_.requestsPerStream) {
+                const size_t k = st.nextArrival++;
+                release(s, k, std::max(now, st.lastEndNs));
+            }
+            if (st.active || st.queue.empty())
+                continue;
+            st.activeIndex = st.queue.front();
+            st.queue.pop_front();
+            st.activeStarted = false;
+            st.active = std::make_unique<RunContext>(
+                fw_, *st.trace, requestSalt(s, st.activeIndex));
+        }
+    };
+
+    const auto requestReadyNs = [&](size_t s) {
+        const StreamState &st = streams[s];
+        const ServeRequest &req = out.streams[s].requests[st.activeIndex];
+        return std::max(st.active->clock(), req.arrivalNs);
+    };
+
+    // One step of stream s dispatched at `startNs` on device `dev`;
+    // returns the step's end time and finalizes the request when the
+    // run completed.
+    const auto stepStream = [&](size_t s, double startNs,
+                                bool suppressTransition) {
+        StreamState &st = streams[s];
+        ServeRequest &req = out.streams[s].requests[st.activeIndex];
+        st.active->advanceClockTo(startNs);
+        if (!st.activeStarted) {
+            st.activeStarted = true;
+            req.startNs = startNs;
+        }
+        st.active->step(suppressTransition);
+        const double end = st.active->clock();
+        if (st.active->done()) {
+            req.endNs = end;
+            req.result = st.active->finish();
+            st.active.reset();
+            st.lastEndNs = end;
+            ++stats.completed;
+            stats.latenciesNs.push_back(end - req.arrivalNs);
+            if (tracing) {
+                obs::recordRunTimeline(st.runId, req.result);
+                obs::publishRunMetrics(req.result, st.runId);
+            } else {
+                obs::publishRunMetrics(req.result);
+            }
+        }
+        stats.makespanNs = std::max(stats.makespanNs, end);
+        return end;
+    };
+
+    while (true) {
+        admitUpTo(now);
+        activate();
+
+        // Candidate = earliest dispatch across streams with a live run.
+        size_t best = streams.size();
+        double bestStart = 0.0;
+        for (size_t s = 0; s < streams.size(); ++s) {
+            if (!streams[s].active)
+                continue;
+            // A cost-free boundary (end-of-trace, checksums off)
+            // claims no resource: it completes at the run's own clock.
+            const int dev = deviceOf(*streams[s].active);
+            const double start =
+                streams[s].active->nextCostFree()
+                    ? requestReadyNs(s)
+                    : std::max(requestReadyNs(s), freeAt(dev));
+            const bool wins =
+                best == streams.size() || start < bestStart ||
+                (start == bestStart &&
+                 (streams[s].priority < streams[best].priority ||
+                  (streams[s].priority == streams[best].priority &&
+                   s < best)));
+            if (wins) {
+                best = s;
+                bestStart = start;
+            }
+        }
+        if (best == streams.size()) {
+            const double next = nextArrivalNs();
+            if (!std::isfinite(next))
+                break; // no runs, no queues, no future arrivals
+            now = next;
+            continue;
+        }
+        // A request arriving before the winner's dispatch may belong
+        // in this very decision — admit it and re-evaluate.
+        const double pending = nextArrivalNs();
+        if (pending <= bestStart) {
+            now = pending;
+            continue;
+        }
+
+        StreamState &leader = streams[best];
+        const int dev = deviceOf(*leader.active);
+        double end;
+        if (leader.active->nextCostFree()) {
+            stepStream(best, bestStart, false);
+            now = std::max(now, bestStart);
+            continue;
+        }
+        if (dev == 1 && serve_.batching) {
+            // Fuse compatible PIM steps from other streams into the
+            // leader's dispatch: followers run back-to-back inside one
+            // launch and skip the GPU<->PIM transition charge.
+            const KernelOp &key = *leader.active->nextOp();
+            std::vector<size_t> followers;
+            for (size_t s = 0; s < streams.size(); ++s) {
+                if (s == best || !streams[s].active ||
+                    !streams[s].active->nextOnPim())
+                    continue;
+                if (requestReadyNs(s) <= bestStart &&
+                    sameBatchKey(*streams[s].active->nextOp(), key))
+                    followers.push_back(s);
+            }
+            std::sort(followers.begin(), followers.end(),
+                      [&](size_t a, size_t b) {
+                          if (streams[a].priority != streams[b].priority)
+                              return streams[a].priority <
+                                     streams[b].priority;
+                          return a < b;
+                      });
+            if (followers.size() > serve_.maxBatch - 1)
+                followers.resize(serve_.maxBatch - 1);
+            end = stepStream(best, bestStart, false);
+            for (const size_t s : followers)
+                end = stepStream(s, end, true);
+            if (!followers.empty()) {
+                ++stats.batches;
+                stats.batchedOps += followers.size() + 1;
+            }
+            stats.pimBusyNs += end - bestStart;
+        } else {
+            end = stepStream(best, bestStart, false);
+            (dev == 1 ? stats.pimBusyNs : stats.gpuBusyNs) +=
+                end - bestStart;
+        }
+        freeAt(dev) = end;
+        now = std::max(now, bestStart);
+    }
+
+    publishServeMetrics(stats);
+    return out;
+}
+
+void
+publishServeMetrics(const ServeStats &stats)
+{
+    obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+    reg.counter("serve.requests_admitted").add(stats.admitted);
+    reg.counter("serve.requests_rejected").add(stats.rejected);
+    reg.counter("serve.requests_completed").add(stats.completed);
+    reg.counter("serve.batches").add(stats.batches);
+    reg.counter("serve.batched_ops").add(stats.batchedOps);
+    reg.gauge("serve.makespan_ns").set(stats.makespanNs);
+    reg.gauge("serve.gpu_util").set(stats.gpuUtil());
+    reg.gauge("serve.pim_util").set(stats.pimUtil());
+    reg.gauge("serve.throughput_rps").set(stats.throughputRps());
+    reg.gauge("serve.latency_p50_ns").set(stats.percentileNs(50.0));
+    reg.gauge("serve.latency_p99_ns").set(stats.percentileNs(99.0));
+}
+
+} // namespace anaheim::serve

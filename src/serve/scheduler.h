@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Multi-tenant serving scheduler (DESIGN.md §15): admits N concurrent
+ * client streams of op traces against ONE simulated GPU+PIM device
+ * pair and advances them in global simulated-time order. The GPU and
+ * PIM are separately-clocked resources, so GPU compute of one trace
+ * overlaps PIM execution of independent traces; compatible element-wise
+ * PIM steps from different streams batch into one fused dispatch whose
+ * followers skip the GPU<->PIM transition charge.
+ *
+ * Everything is event-driven simulated time on top of RunContext —
+ * no wall-clock threads — so a serve run is a deterministic pure
+ * function of (config, traces, seeds), bit-identical across host
+ * thread counts and reruns.
+ */
+
+#ifndef ANAHEIM_SERVE_SCHEDULER_H
+#define ANAHEIM_SERVE_SCHEDULER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "anaheim/framework.h"
+
+namespace anaheim::serve {
+
+/** One client request: a full trace execution with its lifecycle
+ *  timestamps in global simulated time. */
+struct ServeRequest {
+    size_t stream = 0;
+    size_t index = 0;
+    /** When the request entered the system (open-loop: generated
+     *  arrival; closed-loop: release time). */
+    double arrivalNs = 0.0;
+    /** First simulated instant the request held a device. */
+    double startNs = 0.0;
+    /** Completion time; latency is endNs - arrivalNs. */
+    double endNs = 0.0;
+    /** Dropped at admission: the per-stream queue was full. */
+    bool rejected = false;
+    RunResult result;
+};
+
+/** Per-stream (per-tenant) outcome. */
+struct ServeStreamResult {
+    std::string name;
+    /** Scheduling class; lower wins ties at equal dispatch time. */
+    size_t priority = 0;
+    std::vector<ServeRequest> requests;
+};
+
+/** Aggregate serving statistics over one scheduler run. */
+struct ServeStats {
+    double makespanNs = 0.0;
+    double gpuBusyNs = 0.0;
+    double pimBusyNs = 0.0;
+    uint64_t admitted = 0;
+    uint64_t rejected = 0;
+    uint64_t completed = 0;
+    /** Fused PIM dispatches covering >= 2 streams. */
+    uint64_t batches = 0;
+    /** Ops that rode inside those fused dispatches. */
+    uint64_t batchedOps = 0;
+    /** End-to-end latency (endNs - arrivalNs) per completed request,
+     *  in completion order. */
+    std::vector<double> latenciesNs = {};
+
+    /** p in [0, 100]; nearest-rank percentile of latenciesNs. */
+    double percentileNs(double p) const;
+    double throughputRps() const;
+    double gpuUtil() const;
+    double pimUtil() const;
+};
+
+struct ServeResult {
+    ServeStats stats;
+    std::vector<ServeStreamResult> streams;
+};
+
+/**
+ * The scheduler itself. `run()` consumes one trace per stream (cycled
+ * when fewer traces than streams are given) and returns when every
+ * admitted request has completed.
+ *
+ * Dispatch rule: among streams with an active run, pick the candidate
+ * minimizing (dispatch time, priority, stream index) where dispatch
+ * time = max(run clock, device-free time of the resource its next step
+ * occupies); with overlap disabled both resources share one free time,
+ * which serializes the whole system and serves as the baseline.
+ * Admission is re-checked against every chosen dispatch time, so a
+ * request arriving before the winner would start is admitted first.
+ */
+class ServeScheduler
+{
+  public:
+    ServeScheduler(const AnaheimFramework &fw, const ServeConfig &serve);
+
+    ServeResult run(const std::vector<OpSequence> &traces) const;
+
+  private:
+    const AnaheimFramework &fw_;
+    ServeConfig serve_;
+};
+
+/** serve.* counters/gauges + optional per-stream Perfetto tracks.
+ *  Called by ServeScheduler::run() before returning. */
+void publishServeMetrics(const ServeStats &stats);
+
+} // namespace anaheim::serve
+
+#endif // ANAHEIM_SERVE_SCHEDULER_H

@@ -139,6 +139,19 @@ TEST_F(KernelBackendMatrix, ElementWiseOpsMatchScalarBackend)
     const ShoupMul prepared(w, q);
     const Barrett br(q);
 
+    // Random gather permutation with negation bits for permuteNeg —
+    // indices may repeat (the kernel contract is a plain gather), and
+    // a sprinkle of zero sources exercises the -0 == 0 fold.
+    std::vector<uint64_t> idx(n);
+    CoeffVector srcWithZeros = a;
+    for (size_t i = 0; i < n; ++i) {
+        idx[i] = rng.uniform(n);
+        if (rng.uniform(2) == 1)
+            idx[i] |= kernels::kPermuteNegBit;
+        if (rng.uniform(16) == 0)
+            srcWithZeros[i] = 0;
+    }
+
     const kernels::KernelOps &scalar = kernels::scalarOps();
     auto runAll = [&](const kernels::KernelOps &ops) {
         std::vector<CoeffVector> out;
@@ -163,6 +176,8 @@ TEST_F(KernelBackendMatrix, ElementWiseOpsMatchScalarBackend)
         out.push_back(t);
         t = b;
         ops.macBarrett(t.data(), a.data(), a.data(), n, br);
+        out.push_back(t);
+        ops.permuteNeg(t.data(), srcWithZeros.data(), idx.data(), n, q);
         out.push_back(t);
         return out;
     };

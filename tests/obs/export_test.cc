@@ -264,9 +264,11 @@ TEST_F(ExportTest, MetricsCsvHasHeaderAndRows)
 TEST_F(ExportTest, PublishRunMetricsExposesRunTotals)
 {
     const RunResult result = smallRun();
-    // execute() already published; check the gauges carry this run.
+    // execute() already published; check the gauges carry this run
+    // under the run.last.* alias.
     const MetricsSnapshot snapshot = MetricsRegistry::global().snapshot();
-    const MetricsSnapshot::Entry *total = snapshot.find("run.total_ns");
+    const MetricsSnapshot::Entry *total =
+        snapshot.find("run.last.total_ns");
     ASSERT_NE(total, nullptr);
     EXPECT_DOUBLE_EQ(total->value, result.totalNs);
     const MetricsSnapshot::Entry *execs = snapshot.find("run.executions");
@@ -274,10 +276,33 @@ TEST_F(ExportTest, PublishRunMetricsExposesRunTotals)
     EXPECT_GE(execs->value, 1.0);
     for (const auto &[category, ns] : result.timeNsByCategory) {
         const MetricsSnapshot::Entry *entry =
-            snapshot.find("run.time_ns." + category);
+            snapshot.find("run.last.time_ns." + category);
         ASSERT_NE(entry, nullptr) << category;
         EXPECT_DOUBLE_EQ(entry->value, ns) << category;
     }
+}
+
+TEST_F(ExportTest, PublishRunMetricsNamespacesGaugesByRunId)
+{
+    // Two interleaved runs published under distinct ids must not
+    // clobber each other's gauges; run.last.* follows the later one.
+    RunResult a;
+    a.totalNs = 1111.0;
+    RunResult b;
+    b.totalNs = 2222.0;
+    publishRunMetrics(a, 41u);
+    publishRunMetrics(b, 42u);
+    const MetricsSnapshot snapshot = MetricsRegistry::global().snapshot();
+    const MetricsSnapshot::Entry *ga = snapshot.find("run.41.total_ns");
+    ASSERT_NE(ga, nullptr);
+    EXPECT_DOUBLE_EQ(ga->value, 1111.0);
+    const MetricsSnapshot::Entry *gb = snapshot.find("run.42.total_ns");
+    ASSERT_NE(gb, nullptr);
+    EXPECT_DOUBLE_EQ(gb->value, 2222.0);
+    const MetricsSnapshot::Entry *last =
+        snapshot.find("run.last.total_ns");
+    ASSERT_NE(last, nullptr);
+    EXPECT_DOUBLE_EQ(last->value, 2222.0);
 }
 
 TEST_F(ExportTest, ConfigSummaryNamesTheArchitecturePoint)
