@@ -1,0 +1,415 @@
+/**
+ * @file
+ * Serving-under-faults chaos benchmark (DESIGN.md §16): the full SLO
+ * stack — deadline classes, per-tenant token-bucket rate limiting,
+ * priority preemption, and mid-serve degradation re-pricing — swept
+ * across fault scenarios x offered load against one simulated GPU+PIM
+ * device.
+ *
+ * Scenarios: a healthy device, a transient-fault device (BER 1e-6,
+ * heavy enough that the ECC/checksum/checkpoint recovery ladder is
+ * visibly exercised), and a degraded device (BER 1e-7 plus one
+ * permanently dead bank that health monitoring quarantines
+ * mid-serve). Each row reports availability
+ * (completed/offered), goodput (deadline-met completions per second),
+ * tail latency, and the three-way rejection split (queue-full vs
+ * rate-limited vs deadline-shed — the causes partition `rejected`
+ * exactly, which the validator re-checks).
+ *
+ * Two headline gates (scripts/validate_serving_faults.py):
+ *   - goodput_floor_ratio: degraded-device goodput at moderate load
+ *     must stay within 20% of the healthy baseline (>= 0.8);
+ *   - preempt_identical: a preempted run's RunResult (energy, traffic,
+ *     fault counters, per-step durations) must match the unpreempted
+ *     schedule — preemption pays with scheduler time, never with any
+ *     tenant's computation.
+ *
+ * Flags:
+ *   --streams=N      concurrent client streams (default 8)
+ *   --requests=N     requests per stream (default 6)
+ *   --seed=S         arrival-process seed
+ *   --smoke          two load points for ctest
+ *   --json <path>    machine-readable sweep
+ *   --trace/--metrics <path>  Perfetto / metrics export (per-stream
+ *                    tracks plus Shed/Preempt event lanes)
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "anaheim/framework.h"
+#include "bench_util.h"
+#include "common/status.h"
+#include "serve/scheduler.h"
+#include "trace/builders.h"
+
+using namespace anaheim;
+
+namespace {
+
+struct Options {
+    size_t streams = 8;
+    size_t requests = 6;
+    uint64_t seed = 0x5eedca11u;
+    bool smoke = false;
+    std::vector<double> multipliers{0.25, 0.5, 1.0, 2.0};
+};
+
+Options
+parseOptions(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--smoke") {
+            opts.smoke = true;
+            opts.multipliers = {0.25, 2.0};
+        } else if (arg.rfind("--streams=", 0) == 0) {
+            opts.streams = std::strtoull(arg.c_str() + 10, nullptr, 0);
+        } else if (arg.rfind("--requests=", 0) == 0) {
+            opts.requests = std::strtoull(arg.c_str() + 11, nullptr, 0);
+        } else if (arg.rfind("--seed=", 0) == 0) {
+            opts.seed = std::strtoull(arg.c_str() + 7, nullptr, 0);
+        } else if ((arg == "--json" || arg == "--trace" ||
+                    arg == "--metrics") &&
+                   i + 1 < argc) {
+            ++i; // handled by bench::JsonScope
+        } else {
+            std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+            std::exit(2);
+        }
+    }
+    return opts;
+}
+
+/** GPU-heavy tenant: chained HMULTs (NTT/BConv dominated). */
+OpSequence
+buildGpuHeavy()
+{
+    OpSequence seq = buildHMult(TraceParams{});
+    seq.name = "hmult_chain";
+    return seq;
+}
+
+/** PIM-heavy tenant: element-wise HADD/PMULT pairs, all offloaded. */
+OpSequence
+buildPimHeavy(size_t pairs)
+{
+    const TraceParams params;
+    OpSequence seq = buildHAdd(params);
+    const OpSequence add = seq;
+    const OpSequence mult = buildPMult(params);
+    seq.append(mult);
+    for (size_t r = 1; r < pairs; ++r) {
+        seq.append(add);
+        seq.append(mult);
+    }
+    seq.name = "ew_chain";
+    return seq;
+}
+
+/** One fault scenario of the sweep. */
+struct Scenario {
+    const char *name;
+    double ber;
+    bool permanentBank;
+};
+
+/** Every scenario pays for the same recovery ladder (ECC + checksums
+ *  + checkpoints + health monitoring); only the injected faults vary,
+ *  so goodput deltas measure fault recovery, not policy overhead. */
+AnaheimConfig
+configFor(const Scenario &scenario)
+{
+    AnaheimConfig config = AnaheimConfig::a100NearBank();
+    ResilienceConfig &rc = config.resilience;
+    rc.ber = scenario.ber;
+    rc.checksumEnabled = true;
+    rc.checkpoint.enabled = true;
+    rc.checkpoint.intervalSegments = 4;
+    rc.checkpoint.maxRollbacks = 32;
+    rc.health.enabled = true;
+    rc.health.permanentThreshold = 2;
+    if (scenario.permanentBank)
+        rc.permanentBanks.push_back({2, 17});
+    return config;
+}
+
+/** Per-step durations + schedule-independent totals must match between
+ *  a preempting and a non-preempting schedule (timestamps may differ:
+ *  the runs embed at different offsets). */
+bool
+resultsIdentical(const serve::ServeResult &a, const serve::ServeResult &b)
+{
+    if (a.streams.size() != b.streams.size())
+        return false;
+    for (size_t s = 0; s < a.streams.size(); ++s) {
+        const auto &ra = a.streams[s].requests;
+        const auto &rb = b.streams[s].requests;
+        if (ra.size() != rb.size())
+            return false;
+        for (size_t k = 0; k < ra.size(); ++k) {
+            const RunResult &x = ra[k].result;
+            const RunResult &y = rb[k].result;
+            if (x.energyPj != y.energyPj ||
+                x.gpuDramBytes != y.gpuDramBytes ||
+                x.pimInternalBytes != y.pimInternalBytes ||
+                x.resilience.faultyWords != y.resilience.faultyWords ||
+                x.resilience.pimRetries != y.resilience.pimRetries ||
+                x.resilience.rollbacks != y.resilience.rollbacks ||
+                x.resilience.unrecovered != y.resilience.unrecovered ||
+                x.timeline.size() != y.timeline.size())
+                return false;
+            for (size_t e = 0; e < x.timeline.size(); ++e) {
+                const double da =
+                    x.timeline[e].endNs - x.timeline[e].startNs;
+                const double db =
+                    y.timeline[e].endNs - y.timeline[e].startNs;
+                if (x.timeline[e].phase != y.timeline[e].phase ||
+                    x.timeline[e].device != y.timeline[e].device ||
+                    std::abs(da - db) > 1e-6)
+                    return false;
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+static int
+run(int argc, char **argv)
+{
+    const Options opts = parseOptions(argc, argv);
+    bench::JsonScope json(
+        opts.smoke ? "serving_faults_smoke" : "serving_faults", argc,
+        argv);
+    AnaheimConfig healthy = AnaheimConfig::a100NearBank();
+    bench::reportConfig(json.report(), healthy);
+    json.report().metric("smoke", opts.smoke ? "yes" : "no");
+    json.report().metric("streams", static_cast<double>(opts.streams));
+    json.report().metric("requests_per_stream",
+                         static_cast<double>(opts.requests));
+    json.report().metric("arrival_seed",
+                         static_cast<double>(opts.seed));
+
+    // Trace population and serial capacity, calibrated on the
+    // healthy-scenario framework — recovery-ladder overhead included —
+    // so load multipliers and deadline classes are sized against what
+    // a request actually costs under the serving policy.
+    const AnaheimFramework calib(configFor({"healthy", 0.0, false}));
+    const OpSequence gpuHeavy = buildGpuHeavy();
+    const double gpuHeavyNs = calib.execute(gpuHeavy).totalNs;
+    const double pairNs = calib.execute(buildPimHeavy(1)).totalNs;
+    const size_t pairs = std::max<size_t>(
+        1, static_cast<size_t>(gpuHeavyNs / pairNs + 0.5));
+    const OpSequence pimHeavy = buildPimHeavy(pairs);
+    const double pimHeavyNs = calib.execute(pimHeavy).totalNs;
+    const std::vector<OpSequence> traces = {gpuHeavy, pimHeavy};
+    const double meanServiceNs = (gpuHeavyNs + pimHeavyNs) / 2.0;
+    const double serialCapacityRps = 1e9 / meanServiceNs;
+    json.report().metric("serial_capacity_rps", serialCapacityRps);
+
+    // The SLO policy under test: two deadline classes spanning a few
+    // service times, a per-tenant rate limit at 1.5x the fair share,
+    // a short queue, and priority preemption.
+    const auto serveFor = [&](double offeredRps) {
+        ServeConfig serve;
+        serve.streams = opts.streams;
+        serve.requestsPerStream = opts.requests;
+        serve.offeredRps = offeredRps;
+        serve.arrivalSeed = opts.seed;
+        serve.priorityClasses = 2;
+        serve.maxQueuedPerStream = 2;
+        serve.deadlineClassNs = {3.0 * meanServiceNs,
+                                 6.0 * meanServiceNs};
+        serve.rateLimitRps =
+            1.5 * serialCapacityRps / static_cast<double>(opts.streams);
+        // Burst deeper than the queue: an over-rate tenant hits the
+        // queue-full wall before its bucket empties, so both rejection
+        // causes show up in the sweep.
+        serve.rateLimitBurst = 3.0;
+        serve.preemption = true;
+        return serve;
+    };
+
+    const std::vector<Scenario> scenarios = {
+        {"healthy", 0.0, false},
+        {"transient", 1e-6, false},
+        {"degraded", 1e-7, true},
+    };
+    const uint64_t totalRequests =
+        static_cast<uint64_t>(opts.streams) * opts.requests;
+
+    bench::header("Serving under faults: SLO stack (deadlines + rate "
+                  "limit + preemption) x fault scenarios x load");
+    std::printf("  service: hmult %.3f ms, ew %.3f ms; serial capacity "
+                "%.0f req/s; deadlines {3x, 6x} mean service\n\n",
+                gpuHeavyNs * 1e-6, pimHeavyNs * 1e-6,
+                serialCapacityRps);
+    std::printf("%-10s %-8s %9s %8s %9s %9s %6s %6s %6s %8s %8s\n",
+                "scenario", "load", "goodput", "avail", "p99 ms",
+                "dl-met", "q-full", "r-lim", "shed", "preempt",
+                "reprice");
+
+    // goodput keyed by load multiplier for the healthy baseline.
+    std::map<double, double> healthyGoodput;
+    double floorRatio = std::numeric_limits<double>::infinity();
+    uint64_t sweepQueueFull = 0;
+    uint64_t sweepRateLimited = 0;
+    uint64_t sweepShed = 0;
+    bool partitionOk = true;
+
+    for (const Scenario &scenario : scenarios) {
+        const AnaheimFramework fw(configFor(scenario));
+        for (const double mult : opts.multipliers) {
+            const double offeredRps = mult * serialCapacityRps;
+            const auto result =
+                serve::ServeScheduler(fw, serveFor(offeredRps))
+                    .run(traces);
+            const serve::ServeStats &st = result.stats;
+
+            const double availability =
+                static_cast<double>(st.completed) /
+                static_cast<double>(totalRequests);
+            const double goodput = st.goodputRps();
+            if (scenario.ber == 0.0 && !scenario.permanentBank)
+                healthyGoodput[mult] = goodput;
+            // The headline resilience gate: degraded-device goodput at
+            // the moderate (lowest) load vs the healthy baseline.
+            if (scenario.permanentBank && mult == opts.multipliers[0] &&
+                healthyGoodput[mult] > 0.0)
+                floorRatio = std::min(floorRatio,
+                                      goodput / healthyGoodput[mult]);
+            partitionOk = partitionOk &&
+                          st.rejected == st.rejectedQueueFull +
+                                             st.rejectedRateLimited +
+                                             st.shedDeadline;
+            sweepQueueFull += st.rejectedQueueFull;
+            sweepRateLimited += st.rejectedRateLimited;
+            sweepShed += st.shedDeadline;
+
+            uint64_t tenantRetries = 0;
+            uint64_t tenantFallbacks = 0;
+            for (const auto &stream : result.streams) {
+                tenantRetries += stream.pimRetries + stream.rollbacks;
+                tenantFallbacks += stream.gpuFallbacks;
+            }
+
+            std::printf("%-10s %6.2fx %7.0f/s %7.2f%% %9.3f %9llu "
+                        "%6llu %6llu %6llu %8llu %8llu\n",
+                        scenario.name, mult, goodput,
+                        100.0 * availability,
+                        st.percentileNs(99.0) * 1e-6,
+                        static_cast<unsigned long long>(st.deadlineMet),
+                        static_cast<unsigned long long>(
+                            st.rejectedQueueFull),
+                        static_cast<unsigned long long>(
+                            st.rejectedRateLimited),
+                        static_cast<unsigned long long>(st.shedDeadline),
+                        static_cast<unsigned long long>(st.preemptions),
+                        static_cast<unsigned long long>(
+                            st.repriceEvents));
+
+            bench::JsonReport &report = json.report();
+            report.beginRow();
+            report.rowMetric("scenario", scenario.name);
+            report.rowMetric("ber", scenario.ber);
+            report.rowMetric("permanent_banks",
+                             scenario.permanentBank ? 1.0 : 0.0);
+            report.rowMetric("load_multiplier", mult);
+            report.rowMetric("offered_rps", offeredRps);
+            report.rowMetric("availability", availability);
+            report.rowMetric("goodput_rps", goodput);
+            report.rowMetric("throughput_rps", st.throughputRps());
+            report.rowMetric("p50_ms", st.percentileNs(50.0) * 1e-6);
+            report.rowMetric("p99_ms", st.percentileNs(99.0) * 1e-6);
+            report.rowMetric("deadline_met",
+                             static_cast<double>(st.deadlineMet));
+            report.rowMetric("admitted",
+                             static_cast<double>(st.admitted));
+            report.rowMetric("completed",
+                             static_cast<double>(st.completed));
+            report.rowMetric("rejected",
+                             static_cast<double>(st.rejected));
+            report.rowMetric("rejected_queue_full",
+                             static_cast<double>(st.rejectedQueueFull));
+            report.rowMetric(
+                "rejected_rate_limited",
+                static_cast<double>(st.rejectedRateLimited));
+            report.rowMetric("shed_deadline",
+                             static_cast<double>(st.shedDeadline));
+            report.rowMetric("preemptions",
+                             static_cast<double>(st.preemptions));
+            report.rowMetric("preemption_overhead_ns",
+                             st.preemptionOverheadNs);
+            report.rowMetric("reprice_events",
+                             static_cast<double>(st.repriceEvents));
+            report.rowMetric("tenant_retries",
+                             static_cast<double>(tenantRetries));
+            report.rowMetric("tenant_gpu_fallbacks",
+                             static_cast<double>(tenantFallbacks));
+        }
+    }
+
+    // Preemption-identity experiment: same faulty device, same
+    // arrivals, preemption on vs off (batching off so transition
+    // charges can't shift between requests; admission policies off so
+    // both schedules execute the identical request set). The schedules
+    // differ — the computations must not.
+    ServeConfig identOn = serveFor(0.5 * serialCapacityRps);
+    identOn.batching = false;
+    identOn.deadlineClassNs.clear();
+    identOn.rateLimitRps = 0.0;
+    identOn.maxQueuedPerStream = 64;
+    ServeConfig identOff = identOn;
+    identOff.preemption = false;
+    const AnaheimFramework faultyFw(configFor(scenarios[1]));
+    const auto preempted =
+        serve::ServeScheduler(faultyFw, identOn).run(traces);
+    const auto unpreempted =
+        serve::ServeScheduler(faultyFw, identOff).run(traces);
+    const bool identical = resultsIdentical(preempted, unpreempted);
+    json.report().metric(
+        "preempt_identical",
+        identical && unpreempted.stats.preemptions == 0 ? 1.0 : 0.0);
+    json.report().metric(
+        "preemptions_observed",
+        static_cast<double>(preempted.stats.preemptions));
+    json.report().metric("goodput_floor_ratio",
+                         std::isfinite(floorRatio) ? floorRatio : 0.0);
+    json.report().metric("causes_partition_ok", partitionOk ? 1.0 : 0.0);
+    json.report().metric("sweep_rejected_queue_full",
+                         static_cast<double>(sweepQueueFull));
+    json.report().metric("sweep_rejected_rate_limited",
+                         static_cast<double>(sweepRateLimited));
+    json.report().metric("sweep_shed_deadline",
+                         static_cast<double>(sweepShed));
+
+    std::printf("\n  preemption identity: %s (%llu preemptions); "
+                "degraded goodput floor %.3f of healthy\n",
+                identical ? "BIT-IDENTICAL" : "DIVERGED",
+                static_cast<unsigned long long>(
+                    preempted.stats.preemptions),
+                std::isfinite(floorRatio) ? floorRatio : 0.0);
+    bench::note("goodput = deadline-met completions/s; availability = "
+                "completed/offered. rejected splits exactly into "
+                "queue-full + rate-limited + deadline-shed. The "
+                "degraded scenario quarantines one dead bank mid-serve "
+                "and re-prices queued work on the degraded geometry");
+    return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return runGuardedMain("bench_serving_faults",
+                          [&] { return run(argc, argv); });
+}

@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Schema + acceptance check for bench_serving_faults --json output.
+
+The chaos bench sweeps fault scenarios x offered load with the full
+SLO stack (deadline classes, per-tenant rate limiting, priority
+preemption, mid-serve degradation re-pricing). CI runs this after the
+--smoke sweep to gate the three §16 acceptance criteria:
+
+  1. goodput_floor_ratio >= 0.8 — goodput with BER + one quarantined
+     bank stays within 20% of the healthy baseline at moderate load;
+  2. preempt_identical == 1 — a preempted run's results (energy,
+     traffic, fault counters, per-step durations) match the
+     unpreempted schedule exactly;
+  3. every row's rejected splits exactly into queue-full +
+     rate-limited + deadline-shed, and the sweep exercises all three
+     causes at least once.
+
+Usage: validate_serving_faults.py [path]
+       (default: BENCH_serving_faults.json)
+Exits 0 when the document conforms, 1 with a message per violation.
+"""
+
+import json
+import sys
+
+MIN_GOODPUT_FLOOR = 0.8
+
+TOP_LEVEL_REQUIRED = {
+    "bench": str,
+    "streams": (int, float),
+    "requests_per_stream": (int, float),
+    "arrival_seed": (int, float),
+    "serial_capacity_rps": (int, float),
+    "goodput_floor_ratio": (int, float),
+    "preempt_identical": (int, float),
+    "preemptions_observed": (int, float),
+    "causes_partition_ok": (int, float),
+    "sweep_rejected_queue_full": (int, float),
+    "sweep_rejected_rate_limited": (int, float),
+    "sweep_shed_deadline": (int, float),
+    "config.serve_arrival": str,
+    "rows": list,
+}
+
+ROW_REQUIRED = {
+    "scenario": str,
+    "ber": (int, float),
+    "permanent_banks": (int, float),
+    "load_multiplier": (int, float),
+    "offered_rps": (int, float),
+    "availability": (int, float),
+    "goodput_rps": (int, float),
+    "throughput_rps": (int, float),
+    "p50_ms": (int, float),
+    "p99_ms": (int, float),
+    "deadline_met": (int, float),
+    "admitted": (int, float),
+    "completed": (int, float),
+    "rejected": (int, float),
+    "rejected_queue_full": (int, float),
+    "rejected_rate_limited": (int, float),
+    "shed_deadline": (int, float),
+    "preemptions": (int, float),
+    "preemption_overhead_ns": (int, float),
+    "reprice_events": (int, float),
+    "tenant_retries": (int, float),
+    "tenant_gpu_fallbacks": (int, float),
+}
+
+SCENARIOS = ("healthy", "transient", "degraded")
+
+
+def validate(doc):
+    errors = []
+
+    for key, want in TOP_LEVEL_REQUIRED.items():
+        if key not in doc:
+            errors.append(f"missing top-level key '{key}'")
+        elif not isinstance(doc[key], want):
+            errors.append(
+                f"top-level '{key}' has type {type(doc[key]).__name__}")
+    if errors:
+        return errors
+
+    if doc["bench"] not in ("serving_faults", "serving_faults_smoke"):
+        errors.append(f"bench is '{doc['bench']}', want 'serving_faults'"
+                      " or 'serving_faults_smoke'")
+    if doc["serial_capacity_rps"] <= 0:
+        errors.append("serial_capacity_rps must be positive")
+    if not doc["rows"]:
+        errors.append("no sweep rows")
+
+    total = doc["streams"] * doc["requests_per_stream"]
+    seen_scenarios = set()
+    for i, row in enumerate(doc["rows"]):
+        for key, want in ROW_REQUIRED.items():
+            if key not in row:
+                errors.append(f"row {i}: missing key '{key}'")
+            elif not isinstance(row[key], want):
+                errors.append(f"row {i}: '{key}' has type "
+                              f"{type(row[key]).__name__}")
+        if any(f"row {i}:" in e for e in errors):
+            continue
+        seen_scenarios.add(row["scenario"])
+
+        if row["scenario"] not in SCENARIOS:
+            errors.append(f"row {i}: unknown scenario "
+                          f"'{row['scenario']}'")
+        if not 0.0 <= row["availability"] <= 1.0:
+            errors.append(f"row {i}: availability "
+                          f"{row['availability']} outside [0,1]")
+        for key in ("offered_rps", "p50_ms", "p99_ms"):
+            if row[key] <= 0:
+                errors.append(f"row {i}: {key} must be positive")
+        if row["p99_ms"] < row["p50_ms"]:
+            errors.append(f"row {i}: p99_ms={row['p99_ms']} below "
+                          f"p50_ms={row['p50_ms']}")
+        # Acceptance criterion 3: the causes partition `rejected`.
+        split = (row["rejected_queue_full"] +
+                 row["rejected_rate_limited"] + row["shed_deadline"])
+        if split != row["rejected"]:
+            errors.append(
+                f"row {i}: rejection causes sum to {split}, "
+                f"rejected is {row['rejected']}")
+        # Conservation: every request resolves exactly once.
+        if row["admitted"] + row["rejected"] != total:
+            errors.append(
+                f"row {i}: admitted+rejected "
+                f"{row['admitted'] + row['rejected']} != offered {total}")
+        if row["completed"] != row["admitted"]:
+            errors.append(f"row {i}: completed {row['completed']} != "
+                          f"admitted {row['admitted']}")
+        if row["deadline_met"] > row["completed"]:
+            errors.append(f"row {i}: deadline_met exceeds completed")
+        # The degraded scenario must actually re-price mid-serve.
+        if row["scenario"] == "degraded" and row["reprice_events"] < 1:
+            errors.append(f"row {i}: degraded scenario never re-priced")
+
+    if seen_scenarios != set(SCENARIOS):
+        errors.append(f"sweep covers {sorted(seen_scenarios)}, want "
+                      f"{sorted(SCENARIOS)}")
+    if doc["causes_partition_ok"] != 1:
+        errors.append("bench-side cause-partition check failed")
+    # The sweep must exercise all three rejection paths somewhere.
+    for key in ("sweep_rejected_queue_full",
+                "sweep_rejected_rate_limited", "sweep_shed_deadline"):
+        if doc[key] < 1:
+            errors.append(f"{key} is {doc[key]}; the sweep never "
+                          "exercised this rejection cause")
+
+    # Acceptance criterion 2: preemption never perturbs any tenant's
+    # computation.
+    if doc["preemptions_observed"] < 1:
+        errors.append("identity experiment observed no preemptions")
+    if doc["preempt_identical"] != 1:
+        errors.append("preempted results diverged from the "
+                      "unpreempted schedule")
+
+    # Acceptance criterion 1: degraded goodput floor at moderate load.
+    if doc["goodput_floor_ratio"] < MIN_GOODPUT_FLOOR:
+        errors.append(
+            f"goodput_floor_ratio {doc['goodput_floor_ratio']} below "
+            f"the {MIN_GOODPUT_FLOOR} resilience target")
+
+    return errors
+
+
+def main(argv):
+    path = argv[1] if len(argv) > 1 else "BENCH_serving_faults.json"
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"validate_serving_faults: cannot read {path}: {e}",
+              file=sys.stderr)
+        return 1
+
+    errors = validate(doc)
+    if errors:
+        for err in errors:
+            print(f"validate_serving_faults: {err}", file=sys.stderr)
+        return 1
+    print(f"validate_serving_faults: OK: {path} "
+          f"({len(doc['rows'])} rows, goodput floor "
+          f"{doc['goodput_floor_ratio']:.3f}, "
+          f"{int(doc['preemptions_observed'])} preemptions identical)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -115,9 +115,9 @@ enum class ArrivalKind {
     OpenPoisson, ///< open-loop Poisson arrivals at offeredRps
 };
 
-/** Multi-tenant serving knobs (src/serve, DESIGN.md §15): how many
+/** Multi-tenant serving knobs (src/serve, DESIGN.md §15/§16): how many
  *  client streams the scheduler admits, how requests arrive, and the
- *  batching / overlap / admission policies. */
+ *  batching / overlap / admission / SLO policies. */
 struct ServeConfig {
     /** Concurrent client streams (tenants). */
     size_t streams = 8;
@@ -145,6 +145,36 @@ struct ServeConfig {
     /** Clock GPU and PIM as independent resources so independent
      *  traces overlap; off = the serial back-to-back baseline. */
     bool overlap = true;
+
+    // --- SLO / resilience policies (DESIGN.md §16) ---
+    /** Relative completion deadline (ns of simulated time after
+     *  arrival) every request carries; 0 disables deadline-based
+     *  shedding. A queued request whose earliest-possible completion
+     *  (dispatch time + fault-free service estimate) already misses
+     *  its deadline is shed at dispatch instead of wasting device
+     *  time on a guaranteed SLO violation. */
+    double deadlineNs = 0.0;
+    /** Per-class relative deadlines: stream s uses
+     *  deadlineClassNs[s % size()] when non-empty (deadlineNs
+     *  otherwise), mirroring the priority-class round-robin. A class
+     *  entry of 0 leaves that stream deadline-free. */
+    std::vector<double> deadlineClassNs = {};
+    /** Token-bucket per-tenant rate limiter: sustained request rate
+     *  (requests/second of simulated time) each stream may submit;
+     *  0 disables. Arrivals finding the bucket empty are rejected
+     *  before touching the queue. */
+    double rateLimitRps = 0.0;
+    /** Token-bucket burst capacity (maximum saved-up tokens). */
+    double rateLimitBurst = 4.0;
+    /** Priority preemption: ready work of a strictly higher priority
+     *  class interrupts a started lower-priority run at its next step
+     *  boundary. The victim's state is checkpoint-coordinated (its
+     *  live footprint is snapshotted out and restored at resume,
+     *  priced on the device like a §10 checkpoint), so the preempted
+     *  run resumes bitwise-identically; candidate order becomes
+     *  (priority, dispatch time) instead of (dispatch time,
+     *  priority). */
+    bool preemption = false;
 };
 
 struct AnaheimConfig {

@@ -87,6 +87,43 @@ class RunContext
      *  surrender the result. Requires done(); call once. */
     RunResult finish();
 
+    // --- Live health / resilience visibility (DESIGN.md §16) ---
+    // The serving scheduler polls these after every step so a
+    // mid-serve quarantine re-prices all queued work instead of
+    // dispatching against the healthy-device plan.
+
+    /** Counters accumulated so far (valid mid-run, unlike finish()). */
+    const ResilienceStats &resilienceStats() const
+    {
+        return result_.resilience;
+    }
+
+    /** Healthy-bank fraction right now (1.0 without health
+     *  monitoring or quarantine). */
+    double capacityFraction() const
+    {
+        return health_ ? health_->capacityFraction() : 1.0;
+    }
+
+    /** True once the capacity floor tripped and remaining PIM
+     *  segments run on the GPU. */
+    bool pimOfflineNow() const { return pimOffline_; }
+
+    /** The run's quarantine map, or nullptr when health monitoring is
+     *  off. Valid only while the context is alive. */
+    const ResourceMap *healthResources() const
+    {
+        return health_ ? &health_->resources() : nullptr;
+    }
+
+    /** Live ciphertext footprint in bytes — what a preemption
+     *  save/restore pass moves (same quantity a checkpoint snapshots). */
+    double liveSnapshotBytes() const { return liveBytes_; }
+
+    /** Bytes-per-ns external bandwidth used to price snapshot-sized
+     *  maintenance passes (checkpoint, rollback, preemption). */
+    double externalBwBytesPerNs() const { return extBw_; }
+
   private:
     enum class FallbackCause { RetryExhausted, Uncheckpointed,
                                CapacityFloor };

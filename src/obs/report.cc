@@ -143,6 +143,20 @@ publishRunGauges(const std::string &prefix, const RunResult &result,
         .set(result.pimCapacityFraction);
     registry.gauge(prefix + ".pim_offline")
         .set(result.pimOffline ? 1.0 : 0.0);
+    // Per-run resilience bill as gauges (the resilience.* counters
+    // aggregate across runs; these attribute the cost to one run —
+    // in serving, to one tenant request).
+    const ResilienceStats &res = result.resilience;
+    registry.gauge(prefix + ".retries")
+        .set(static_cast<double>(res.pimRetries));
+    registry.gauge(prefix + ".rollbacks")
+        .set(static_cast<double>(res.rollbacks));
+    registry.gauge(prefix + ".gpu_fallbacks")
+        .set(static_cast<double>(res.gpuFallbacks));
+    registry.gauge(prefix + ".migrations")
+        .set(static_cast<double>(res.migrations));
+    registry.gauge(prefix + ".unrecovered")
+        .set(static_cast<double>(res.unrecovered));
     for (const auto &[category, ns] : result.timeNsByCategory)
         registry.gauge(prefix + ".time_ns." + category).set(ns);
 }
@@ -276,6 +290,14 @@ configSummary(const AnaheimConfig &config)
                     std::to_string(config.serve.maxBatch));
     kv.emplace_back("serve_overlap",
                     config.serve.overlap ? "true" : "false");
+    kv.emplace_back("serve_deadline_ns",
+                    formatDouble(config.serve.deadlineNs));
+    kv.emplace_back("serve_deadline_classes",
+                    std::to_string(config.serve.deadlineClassNs.size()));
+    kv.emplace_back("serve_rate_limit_rps",
+                    formatDouble(config.serve.rateLimitRps));
+    kv.emplace_back("serve_preemption",
+                    config.serve.preemption ? "true" : "false");
     return kv;
 }
 

@@ -5,6 +5,7 @@
 #include <deque>
 #include <limits>
 #include <memory>
+#include <optional>
 
 #include "anaheim/runcontext.h"
 #include "arrival.h"
@@ -12,6 +13,7 @@
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
+#include "slo.h"
 
 namespace anaheim::serve {
 
@@ -20,12 +22,21 @@ ServeStats::percentileNs(double p) const
 {
     if (latenciesNs.empty())
         return 0.0;
+    // Clamp rather than trust the caller: a NaN or out-of-range p
+    // would otherwise turn into an out-of-bounds rank below.
+    if (!(p > 0.0))
+        p = 0.0;
+    if (p > 100.0)
+        p = 100.0;
     std::vector<double> sorted = latenciesNs;
     std::sort(sorted.begin(), sorted.end());
-    // Nearest-rank: the smallest latency covering p percent of samples.
+    if (p == 0.0)
+        return sorted.front();
+    // Nearest-rank: the smallest latency covering p percent of samples;
+    // p > 0 makes ceil() >= 1, so the -1 below cannot wrap.
     const double rank =
         std::ceil(p / 100.0 * static_cast<double>(sorted.size()));
-    const size_t idx = rank <= 1.0 ? 0 : static_cast<size_t>(rank) - 1;
+    const size_t idx = static_cast<size_t>(rank) - 1;
     return sorted[std::min(idx, sorted.size() - 1)];
 }
 
@@ -34,6 +45,14 @@ ServeStats::throughputRps() const
 {
     return makespanNs > 0.0
                ? static_cast<double>(completed) / (makespanNs * 1e-9)
+               : 0.0;
+}
+
+double
+ServeStats::goodputRps() const
+{
+    return makespanNs > 0.0
+               ? static_cast<double>(deadlineMet) / (makespanNs * 1e-9)
                : 0.0;
 }
 
@@ -51,10 +70,14 @@ ServeStats::pimUtil() const
 
 namespace {
 
+constexpr size_t kNoStream = static_cast<size_t>(-1);
+
 /** One client stream's live scheduling state. */
 struct StreamState {
     const OpSequence *trace = nullptr;
     size_t priority = 0;
+    /** Relative deadline (<= 0 = deadline-free). */
+    double deadlineRelNs = 0.0;
     /** Open-loop arrival timestamps; unused entries for closed-loop. */
     std::vector<double> arrivals;
     /** Next request index not yet released into the queue. */
@@ -64,9 +87,13 @@ struct StreamState {
     std::unique_ptr<RunContext> active;
     size_t activeIndex = 0;
     bool activeStarted = false;
+    /** Preempted between steps; its next dispatch pays the restore. */
+    bool preempted = false;
     /** Completion time of the stream's last finished request — the
      *  release time of the next closed-loop request. */
     double lastEndNs = 0.0;
+    /** Per-tenant rate limiter (absent when rateLimitRps == 0). */
+    std::optional<TokenBucket> bucket;
     /** Perfetto run id for this stream's track (tracing only). */
     uint32_t runId = 0;
 };
@@ -90,6 +117,566 @@ requestSalt(size_t stream, size_t index)
            static_cast<uint64_t>(index);
 }
 
+/**
+ * The per-run() engine: all the state the dispatch loop threads
+ * through — stream slots, device horizons, the SLO machinery — as one
+ * object so admission, shedding, preemption and degradation re-pricing
+ * can share it without a wall of nested lambdas.
+ */
+class ServeEngine
+{
+  public:
+    ServeEngine(const AnaheimFramework &fw, const ServeConfig &serve,
+                const std::vector<OpSequence> &traces)
+        : fw_(fw), serve_(serve), traces_(traces)
+    {
+    }
+
+    ServeResult run();
+
+  private:
+    double deadlineFor(size_t s) const;
+    bool deadlinesEnabled() const;
+    void release(size_t s, size_t k, double arrivalNs);
+    void admitUpTo(double upTo);
+    double nextArrivalNs() const;
+    void activate();
+    void shed(size_t s, size_t k, double atNs);
+    bool wouldMissDeadline(size_t s, size_t k, double startNs) const;
+    void shedQueuedMisses();
+    void observeHealth(const RunContext &ctx);
+    double requestReadyNs(size_t s) const;
+    double stepStream(size_t s, double startNs, bool suppressTransition);
+    double preemptionOverheadNs(size_t winner, int dev, double startNs);
+    void recordServeSpan(uint32_t runId, const char *name,
+                         const char *lane, double startNs, double durNs);
+    void publishStreamTotals() const;
+
+    const AnaheimFramework &fw_;
+    const ServeConfig &serve_;
+    const std::vector<OpSequence> &traces_;
+
+    ServeResult out_;
+    std::vector<StreamState> streams_;
+    std::unique_ptr<ServiceEstimator> estimator_;
+    bool tracing_ = false;
+    double now_ = 0.0;
+    /** Device occupancy horizons; [0]=GPU, [1]=PIM (overlap off maps
+     *  both onto slot 0, serializing the system). */
+    double freeNs_[2] = {0.0, 0.0};
+    /** Stream last dispatched per device slot (preemption victim
+     *  detection). */
+    size_t devLast_[2] = {kNoStream, kNoStream};
+    /** Worst healthy-bank fraction observed across all runs — the
+     *  scheduler's view of the shared device's degradation. */
+    double worstCapacity_ = 1.0;
+    bool deviceOffline_ = false;
+};
+
+double
+ServeEngine::deadlineFor(size_t s) const
+{
+    if (!serve_.deadlineClassNs.empty())
+        return serve_.deadlineClassNs[s % serve_.deadlineClassNs.size()];
+    return serve_.deadlineNs;
+}
+
+bool
+ServeEngine::deadlinesEnabled() const
+{
+    if (serve_.deadlineNs > 0.0)
+        return true;
+    for (const double d : serve_.deadlineClassNs) {
+        if (d > 0.0)
+            return true;
+    }
+    return false;
+}
+
+void
+ServeEngine::recordServeSpan(uint32_t runId, const char *name,
+                             const char *lane, double startNs,
+                             double durNs)
+{
+    if (!tracing_)
+        return;
+    obs::SimSpan span;
+    span.name = name;
+    span.lane = lane;
+    span.category = "Serve";
+    span.run = runId;
+    span.startUs = startNs * 1e-3;
+    span.durUs = durNs * 1e-3;
+    obs::TraceCollector::global().recordSimSpan(std::move(span));
+}
+
+void
+ServeEngine::release(size_t s, size_t k, double arrivalNs)
+{
+    StreamState &st = streams_[s];
+    ServeRequest &req = out_.streams[s].requests[k];
+    req.arrivalNs = arrivalNs;
+    if (st.deadlineRelNs > 0.0)
+        req.deadlineNs = arrivalNs + st.deadlineRelNs;
+    ServeStats &stats = out_.stats;
+    // The token bucket is the tenant's front door: an abusive stream
+    // is clipped before it can occupy queue capacity.
+    if (st.bucket && !st.bucket->tryAcquire(arrivalNs)) {
+        req.rejected = true;
+        req.cause = RejectCause::RateLimited;
+        ++stats.rejected;
+        ++stats.rejectedRateLimited;
+        return;
+    }
+    if (st.queue.size() >= serve_.maxQueuedPerStream) {
+        req.rejected = true;
+        req.cause = RejectCause::QueueFull;
+        ++stats.rejected;
+        ++stats.rejectedQueueFull;
+        return;
+    }
+    st.queue.push_back(k);
+}
+
+// Release every open-loop arrival with a timestamp <= `upTo`.
+void
+ServeEngine::admitUpTo(double upTo)
+{
+    if (serve_.arrival != ArrivalKind::OpenPoisson)
+        return;
+    for (size_t s = 0; s < streams_.size(); ++s) {
+        StreamState &st = streams_[s];
+        while (st.nextArrival < st.arrivals.size() &&
+               st.arrivals[st.nextArrival] <= upTo) {
+            const size_t k = st.nextArrival++;
+            release(s, k, st.arrivals[k]);
+        }
+    }
+}
+
+// Earliest unreleased open-loop arrival, or +inf.
+double
+ServeEngine::nextArrivalNs() const
+{
+    double next = std::numeric_limits<double>::infinity();
+    if (serve_.arrival != ArrivalKind::OpenPoisson)
+        return next;
+    for (const StreamState &st : streams_) {
+        if (st.nextArrival < st.arrivals.size())
+            next = std::min(next, st.arrivals[st.nextArrival]);
+    }
+    return next;
+}
+
+void
+ServeEngine::shed(size_t s, size_t k, double atNs)
+{
+    ServeRequest &req = out_.streams[s].requests[k];
+    req.rejected = true;
+    req.cause = RejectCause::DeadlineShed;
+    ++out_.stats.rejected;
+    ++out_.stats.shedDeadline;
+    recordServeSpan(streams_[s].runId, "Shed", "Shed", atNs, 0.0);
+}
+
+/** True when dispatching request k of stream s at `startNs` cannot
+ *  meet its deadline even on the estimator's clean-device price — a
+ *  guaranteed SLO violation, so execute() time would be wasted. */
+bool
+ServeEngine::wouldMissDeadline(size_t s, size_t k, double startNs) const
+{
+    if (!estimator_)
+        return false;
+    const ServeRequest &req = out_.streams[s].requests[k];
+    if (!std::isfinite(req.deadlineNs))
+        return false;
+    const double earliest = std::max(startNs, req.arrivalNs) +
+                            estimator_->estimate(s).totalNs;
+    return earliest > req.deadlineNs;
+}
+
+// Fill empty run slots from the queues; closed-loop streams release
+// their next request the moment the slot frees up. A rejected or shed
+// release immediately falls through to the next candidate, so one bad
+// request can never wedge its stream (pinned by
+// Serve.ClosedLoopRejectionReleasesNext).
+void
+ServeEngine::activate()
+{
+    for (size_t s = 0; s < streams_.size(); ++s) {
+        StreamState &st = streams_[s];
+        while (!st.active) {
+            if (st.queue.empty()) {
+                // A closed-loop stream releases its next request the
+                // moment the slot is free — including when the
+                // previous release was rejected or shed, so one bad
+                // request never strands the rest of the stream.
+                if (serve_.arrival != ArrivalKind::Closed ||
+                    st.nextArrival >= serve_.requestsPerStream)
+                    break;
+                const size_t k = st.nextArrival++;
+                release(s, k, std::max(now_, st.lastEndNs));
+                continue;
+            }
+            const size_t k = st.queue.front();
+            st.queue.pop_front();
+            if (wouldMissDeadline(s, k, now_)) {
+                shed(s, k, now_);
+                continue;
+            }
+            st.activeIndex = k;
+            st.activeStarted = false;
+            ++out_.stats.admitted;
+            st.active = std::make_unique<RunContext>(
+                fw_, *st.trace, requestSalt(s, k));
+        }
+    }
+}
+
+/** Re-check every queued (not yet admitted to a slot) request against
+ *  the re-priced estimates: what fit the healthy device may be a
+ *  guaranteed miss on the degraded one. */
+void
+ServeEngine::shedQueuedMisses()
+{
+    for (size_t s = 0; s < streams_.size(); ++s) {
+        StreamState &st = streams_[s];
+        std::deque<size_t> keep;
+        for (const size_t k : st.queue) {
+            if (wouldMissDeadline(s, k, now_))
+                shed(s, k, now_);
+            else
+                keep.push_back(k);
+        }
+        st.queue.swap(keep);
+    }
+}
+
+/** Degradation awareness: a quarantine (or capacity-floor trip)
+ *  observed in ANY run shrinks the scheduler's device view — permanent
+ *  damage is a device property shared by every tenant, so all queued
+ *  work is re-priced on the degraded geometry and re-checked against
+ *  its deadline. */
+void
+ServeEngine::observeHealth(const RunContext &ctx)
+{
+    const double cap = ctx.capacityFraction();
+    const bool offline = ctx.pimOfflineNow();
+    if (cap >= worstCapacity_ && (deviceOffline_ || !offline))
+        return;
+    worstCapacity_ = std::min(worstCapacity_, cap);
+    deviceOffline_ = deviceOffline_ || offline;
+    ++out_.stats.repriceEvents;
+    if (estimator_) {
+        const ResourceMap *resources = ctx.healthResources();
+        if (resources != nullptr)
+            estimator_->reprice(*resources, deviceOffline_);
+        shedQueuedMisses();
+    }
+}
+
+double
+ServeEngine::requestReadyNs(size_t s) const
+{
+    const StreamState &st = streams_[s];
+    const ServeRequest &req = out_.streams[s].requests[st.activeIndex];
+    return std::max(st.active->clock(), req.arrivalNs);
+}
+
+// One step of stream s dispatched at `startNs`; returns the step's end
+// time and finalizes the request when the run completed.
+double
+ServeEngine::stepStream(size_t s, double startNs, bool suppressTransition)
+{
+    StreamState &st = streams_[s];
+    ServeStats &stats = out_.stats;
+    ServeRequest &req = out_.streams[s].requests[st.activeIndex];
+    st.active->advanceClockTo(startNs);
+    if (!st.activeStarted) {
+        st.activeStarted = true;
+        req.startNs = startNs;
+    }
+    st.active->step(suppressTransition);
+    const double end = st.active->clock();
+    observeHealth(*st.active);
+    if (st.active->done()) {
+        req.endNs = end;
+        req.result = st.active->finish();
+        st.active.reset();
+        st.preempted = false; // nothing left to restore
+        st.lastEndNs = end;
+        ++stats.completed;
+        req.deadlineMet = end <= req.deadlineNs;
+        if (req.deadlineMet)
+            ++stats.deadlineMet;
+        stats.latenciesNs.push_back(end - req.arrivalNs);
+        ServeStreamResult &sr = out_.streams[s];
+        sr.pimRetries += req.result.resilience.pimRetries;
+        sr.rollbacks += req.result.resilience.rollbacks;
+        sr.gpuFallbacks += req.result.resilience.gpuFallbacks;
+        sr.migrations += req.result.resilience.migrations;
+        sr.unrecovered += req.result.resilience.unrecovered;
+        if (tracing_) {
+            obs::recordRunTimeline(st.runId, req.result);
+            obs::publishRunMetrics(req.result, st.runId);
+        } else {
+            obs::publishRunMetrics(req.result);
+        }
+    }
+    stats.makespanNs = std::max(stats.makespanNs, end);
+    return end;
+}
+
+/**
+ * Preemption bookkeeping at the moment `winner` takes device `dev` at
+ * `startNs`: if a started lower-priority run was the device's last
+ * occupant, this dispatch preempts it — its live footprint is
+ * snapshotted out (checkpoint-priced: 2x footprint over the external
+ * bus) before the winner's step, and the victim pays the matching
+ * restore pass when it next dispatches. Both passes occupy the device
+ * but never touch either run's own result, so a preempted run resumes
+ * bitwise-identically (pinned by Serve.PreemptedRunResultsIdentical).
+ * Returns the overhead to insert before the winner's step.
+ */
+double
+ServeEngine::preemptionOverheadNs(size_t winner, int dev, double startNs)
+{
+    if (!serve_.preemption)
+        return 0.0;
+    ServeStats &stats = out_.stats;
+    double overhead = 0.0;
+    const size_t last = devLast_[serve_.overlap ? dev : 0];
+    if (last != kNoStream && last != winner) {
+        StreamState &victim = streams_[last];
+        // A run whose only remaining step is a cost-free boundary has
+        // no device-resident work left to save — not a preemption.
+        if (victim.active && victim.activeStarted && !victim.preempted &&
+            victim.priority > streams_[winner].priority &&
+            !victim.active->nextCostFree()) {
+            const double saveNs =
+                2.0 * victim.active->liveSnapshotBytes() /
+                victim.active->externalBwBytesPerNs();
+            ++stats.preemptions;
+            victim.preempted = true;
+            recordServeSpan(victim.runId, "Save", "Preempt",
+                            startNs + overhead, saveNs);
+            overhead += saveNs;
+        }
+    }
+    StreamState &st = streams_[winner];
+    if (st.preempted) {
+        const double restoreNs = 2.0 *
+                                 st.active->liveSnapshotBytes() /
+                                 st.active->externalBwBytesPerNs();
+        ++stats.preemptionResumes;
+        st.preempted = false;
+        recordServeSpan(st.runId, "Restore", "Preempt",
+                        startNs + overhead, restoreNs);
+        overhead += restoreNs;
+    }
+    stats.preemptionOverheadNs += overhead;
+    return overhead;
+}
+
+/** Per-stream fault bill under the stream's Perfetto run id. */
+void
+ServeEngine::publishStreamTotals() const
+{
+    if (!tracing_)
+        return;
+    obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+    for (size_t s = 0; s < streams_.size(); ++s) {
+        const ServeStreamResult &sr = out_.streams[s];
+        const std::string prefix =
+            "run." + std::to_string(streams_[s].runId);
+        reg.gauge(prefix + ".serve.retries")
+            .set(static_cast<double>(sr.pimRetries));
+        reg.gauge(prefix + ".serve.rollbacks")
+            .set(static_cast<double>(sr.rollbacks));
+        reg.gauge(prefix + ".serve.gpu_fallbacks")
+            .set(static_cast<double>(sr.gpuFallbacks));
+        reg.gauge(prefix + ".serve.migrations")
+            .set(static_cast<double>(sr.migrations));
+        reg.gauge(prefix + ".serve.unrecovered")
+            .set(static_cast<double>(sr.unrecovered));
+    }
+}
+
+ServeResult
+ServeEngine::run()
+{
+    OBS_SPAN("serve/run");
+    ANAHEIM_ASSERT(!traces_.empty(), "serving needs at least one trace");
+    tracing_ = fw_.config().obs.trace || obs::tracingEnabled();
+
+    out_.streams.resize(serve_.streams);
+    streams_.resize(serve_.streams);
+    const auto arrivals = buildArrivals(serve_);
+    for (size_t s = 0; s < serve_.streams; ++s) {
+        StreamState &st = streams_[s];
+        st.trace = &traces_[s % traces_.size()];
+        st.priority = s % serve_.priorityClasses;
+        st.deadlineRelNs = deadlineFor(s);
+        st.arrivals = arrivals[s];
+        if (serve_.rateLimitRps > 0.0)
+            st.bucket.emplace(serve_.rateLimitRps,
+                              serve_.rateLimitBurst);
+        ServeStreamResult &res = out_.streams[s];
+        res.name = "serve/" + std::to_string(s) + "/" + st.trace->name;
+        res.priority = st.priority;
+        res.requests.resize(serve_.requestsPerStream);
+        for (size_t k = 0; k < serve_.requestsPerStream; ++k) {
+            res.requests[k].stream = s;
+            res.requests[k].index = k;
+        }
+        if (tracing_)
+            st.runId = obs::TraceCollector::global().beginRun(res.name);
+    }
+    // Deadline admission needs service prices; without deadlines the
+    // estimator (one clean-device execution per trace) is never built
+    // and the PR-8 fast path is untouched.
+    if (deadlinesEnabled())
+        estimator_ = std::make_unique<ServiceEstimator>(fw_.config(),
+                                                        traces_);
+
+    ServeStats &stats = out_.stats;
+    // Device occupancy horizons. With overlap off both point at the
+    // same slot, which serializes every dispatch system-wide — the
+    // back-to-back baseline bench_serving measures speedup against.
+    const auto deviceOf = [](const RunContext &ctx) {
+        return ctx.nextOnPim() ? 1 : 0;
+    };
+    const auto freeAt = [&](int dev) -> double & {
+        return freeNs_[serve_.overlap ? dev : 0];
+    };
+
+    while (true) {
+        admitUpTo(now_);
+        activate();
+
+        // Candidate = earliest dispatch across streams with a live
+        // run; with preemption on, priority outranks start time, so
+        // ready high-priority work interleaves ahead of low-priority
+        // runs at their next step boundary.
+        size_t best = streams_.size();
+        double bestStart = 0.0;
+        for (size_t s = 0; s < streams_.size(); ++s) {
+            if (!streams_[s].active)
+                continue;
+            // A cost-free boundary (end-of-trace, checksums off)
+            // claims no resource: it completes at the run's own clock.
+            const int dev = deviceOf(*streams_[s].active);
+            const double start =
+                streams_[s].active->nextCostFree()
+                    ? requestReadyNs(s)
+                    : std::max(requestReadyNs(s), freeAt(dev));
+            bool wins;
+            if (best == streams_.size()) {
+                wins = true;
+            } else if (serve_.preemption) {
+                wins = streams_[s].priority < streams_[best].priority ||
+                       (streams_[s].priority == streams_[best].priority &&
+                        (start < bestStart ||
+                         (start == bestStart && s < best)));
+            } else {
+                wins = start < bestStart ||
+                       (start == bestStart &&
+                        (streams_[s].priority < streams_[best].priority ||
+                         (streams_[s].priority ==
+                              streams_[best].priority &&
+                          s < best)));
+            }
+            if (wins) {
+                best = s;
+                bestStart = start;
+            }
+        }
+        if (best == streams_.size()) {
+            const double next = nextArrivalNs();
+            if (!std::isfinite(next))
+                break; // no runs, no queues, no future arrivals
+            now_ = next;
+            continue;
+        }
+        // A request arriving before the winner's dispatch may belong
+        // in this very decision — admit it and re-evaluate.
+        const double pending = nextArrivalNs();
+        if (pending <= bestStart) {
+            now_ = pending;
+            continue;
+        }
+
+        StreamState &leader = streams_[best];
+        // Deadline shedding at dispatch: the request is only now
+        // paying for a device, and even its clean-device estimate from
+        // here misses the deadline — drop it instead of burning the
+        // device on a guaranteed violation. (Started runs always
+        // finish; their partial work would be wasted twice over.)
+        if (!leader.activeStarted &&
+            wouldMissDeadline(best, leader.activeIndex, bestStart)) {
+            shed(best, leader.activeIndex, bestStart);
+            --stats.admitted; // never held the slot for real
+            leader.active.reset();
+            now_ = std::max(now_, bestStart);
+            continue;
+        }
+        const int dev = deviceOf(*leader.active);
+        double end;
+        if (leader.active->nextCostFree()) {
+            stepStream(best, bestStart, false);
+            now_ = std::max(now_, bestStart);
+            continue;
+        }
+        const double overhead =
+            preemptionOverheadNs(best, dev, bestStart);
+        const double stepStart = bestStart + overhead;
+        if (dev == 1 && serve_.batching) {
+            // Fuse compatible PIM steps from other streams into the
+            // leader's dispatch: followers run back-to-back inside one
+            // launch and skip the GPU<->PIM transition charge.
+            const KernelOp &key = *leader.active->nextOp();
+            std::vector<size_t> followers;
+            for (size_t s = 0; s < streams_.size(); ++s) {
+                if (s == best || !streams_[s].active ||
+                    !streams_[s].active->nextOnPim())
+                    continue;
+                if (requestReadyNs(s) <= bestStart &&
+                    sameBatchKey(*streams_[s].active->nextOp(), key))
+                    followers.push_back(s);
+            }
+            std::sort(followers.begin(), followers.end(),
+                      [&](size_t a, size_t b) {
+                          if (streams_[a].priority !=
+                              streams_[b].priority)
+                              return streams_[a].priority <
+                                     streams_[b].priority;
+                          return a < b;
+                      });
+            if (followers.size() > serve_.maxBatch - 1)
+                followers.resize(serve_.maxBatch - 1);
+            end = stepStream(best, stepStart, false);
+            for (const size_t s : followers)
+                end = stepStream(s, end, true);
+            if (!followers.empty()) {
+                ++stats.batches;
+                stats.batchedOps += followers.size() + 1;
+            }
+            stats.pimBusyNs += end - stepStart;
+        } else {
+            end = stepStream(best, stepStart, false);
+            (dev == 1 ? stats.pimBusyNs : stats.gpuBusyNs) +=
+                end - stepStart;
+        }
+        freeAt(dev) = end;
+        devLast_[serve_.overlap ? dev : 0] = best;
+        now_ = std::max(now_, bestStart);
+    }
+
+    publishServeMetrics(stats);
+    publishStreamTotals();
+    return std::move(out_);
+}
+
 } // namespace
 
 ServeScheduler::ServeScheduler(const AnaheimFramework &fw,
@@ -100,241 +687,15 @@ ServeScheduler::ServeScheduler(const AnaheimFramework &fw,
     ANAHEIM_ASSERT(serve_.maxBatch > 0, "maxBatch must be >= 1");
     ANAHEIM_ASSERT(serve_.priorityClasses > 0,
                    "priorityClasses must be >= 1");
+    ANAHEIM_ASSERT(serve_.rateLimitRps == 0.0 ||
+                       serve_.rateLimitBurst >= 1.0,
+                   "rate limiter burst must be >= 1");
 }
 
 ServeResult
 ServeScheduler::run(const std::vector<OpSequence> &traces) const
 {
-    OBS_SPAN("serve/run");
-    ANAHEIM_ASSERT(!traces.empty(), "serving needs at least one trace");
-    const bool tracing =
-        fw_.config().obs.trace || obs::tracingEnabled();
-
-    ServeResult out;
-    out.streams.resize(serve_.streams);
-    std::vector<StreamState> streams(serve_.streams);
-    const auto arrivals = buildArrivals(serve_);
-    for (size_t s = 0; s < serve_.streams; ++s) {
-        StreamState &st = streams[s];
-        st.trace = &traces[s % traces.size()];
-        st.priority = s % serve_.priorityClasses;
-        st.arrivals = arrivals[s];
-        ServeStreamResult &res = out.streams[s];
-        res.name = "serve/" + std::to_string(s) + "/" + st.trace->name;
-        res.priority = st.priority;
-        res.requests.resize(serve_.requestsPerStream);
-        for (size_t k = 0; k < serve_.requestsPerStream; ++k) {
-            res.requests[k].stream = s;
-            res.requests[k].index = k;
-        }
-        if (tracing)
-            st.runId = obs::TraceCollector::global().beginRun(res.name);
-    }
-
-    ServeStats &stats = out.stats;
-    // Device occupancy horizons. With overlap off both point at the
-    // same slot, which serializes every dispatch system-wide — the
-    // back-to-back baseline bench_serving measures speedup against.
-    double freeNs[2] = {0.0, 0.0}; // [0]=GPU, [1]=PIM
-    const auto deviceOf = [](const RunContext &ctx) {
-        return ctx.nextOnPim() ? 1 : 0;
-    };
-    const auto freeAt = [&](int dev) -> double & {
-        return serve_.overlap ? freeNs[dev] : freeNs[0];
-    };
-
-    double now = 0.0;
-    const auto release = [&](size_t s, size_t k, double arrivalNs) {
-        StreamState &st = streams[s];
-        ServeRequest &req = out.streams[s].requests[k];
-        req.arrivalNs = arrivalNs;
-        if (st.queue.size() >= serve_.maxQueuedPerStream) {
-            req.rejected = true;
-            ++stats.rejected;
-            return;
-        }
-        ++stats.admitted;
-        st.queue.push_back(k);
-    };
-
-    // Release every open-loop arrival with a timestamp <= `upTo`.
-    const auto admitUpTo = [&](double upTo) {
-        if (serve_.arrival != ArrivalKind::OpenPoisson)
-            return;
-        for (size_t s = 0; s < streams.size(); ++s) {
-            StreamState &st = streams[s];
-            while (st.nextArrival < st.arrivals.size() &&
-                   st.arrivals[st.nextArrival] <= upTo) {
-                const size_t k = st.nextArrival++;
-                release(s, k, st.arrivals[k]);
-            }
-        }
-    };
-
-    // Earliest unreleased open-loop arrival, or +inf.
-    const auto nextArrivalNs = [&]() {
-        double next = std::numeric_limits<double>::infinity();
-        if (serve_.arrival != ArrivalKind::OpenPoisson)
-            return next;
-        for (const StreamState &st : streams) {
-            if (st.nextArrival < st.arrivals.size())
-                next = std::min(next, st.arrivals[st.nextArrival]);
-        }
-        return next;
-    };
-
-    // Fill empty run slots from the queues; closed-loop streams
-    // release their next request the moment the slot frees up.
-    const auto activate = [&]() {
-        for (size_t s = 0; s < streams.size(); ++s) {
-            StreamState &st = streams[s];
-            if (serve_.arrival == ArrivalKind::Closed && !st.active &&
-                st.queue.empty() &&
-                st.nextArrival < serve_.requestsPerStream) {
-                const size_t k = st.nextArrival++;
-                release(s, k, std::max(now, st.lastEndNs));
-            }
-            if (st.active || st.queue.empty())
-                continue;
-            st.activeIndex = st.queue.front();
-            st.queue.pop_front();
-            st.activeStarted = false;
-            st.active = std::make_unique<RunContext>(
-                fw_, *st.trace, requestSalt(s, st.activeIndex));
-        }
-    };
-
-    const auto requestReadyNs = [&](size_t s) {
-        const StreamState &st = streams[s];
-        const ServeRequest &req = out.streams[s].requests[st.activeIndex];
-        return std::max(st.active->clock(), req.arrivalNs);
-    };
-
-    // One step of stream s dispatched at `startNs` on device `dev`;
-    // returns the step's end time and finalizes the request when the
-    // run completed.
-    const auto stepStream = [&](size_t s, double startNs,
-                                bool suppressTransition) {
-        StreamState &st = streams[s];
-        ServeRequest &req = out.streams[s].requests[st.activeIndex];
-        st.active->advanceClockTo(startNs);
-        if (!st.activeStarted) {
-            st.activeStarted = true;
-            req.startNs = startNs;
-        }
-        st.active->step(suppressTransition);
-        const double end = st.active->clock();
-        if (st.active->done()) {
-            req.endNs = end;
-            req.result = st.active->finish();
-            st.active.reset();
-            st.lastEndNs = end;
-            ++stats.completed;
-            stats.latenciesNs.push_back(end - req.arrivalNs);
-            if (tracing) {
-                obs::recordRunTimeline(st.runId, req.result);
-                obs::publishRunMetrics(req.result, st.runId);
-            } else {
-                obs::publishRunMetrics(req.result);
-            }
-        }
-        stats.makespanNs = std::max(stats.makespanNs, end);
-        return end;
-    };
-
-    while (true) {
-        admitUpTo(now);
-        activate();
-
-        // Candidate = earliest dispatch across streams with a live run.
-        size_t best = streams.size();
-        double bestStart = 0.0;
-        for (size_t s = 0; s < streams.size(); ++s) {
-            if (!streams[s].active)
-                continue;
-            // A cost-free boundary (end-of-trace, checksums off)
-            // claims no resource: it completes at the run's own clock.
-            const int dev = deviceOf(*streams[s].active);
-            const double start =
-                streams[s].active->nextCostFree()
-                    ? requestReadyNs(s)
-                    : std::max(requestReadyNs(s), freeAt(dev));
-            const bool wins =
-                best == streams.size() || start < bestStart ||
-                (start == bestStart &&
-                 (streams[s].priority < streams[best].priority ||
-                  (streams[s].priority == streams[best].priority &&
-                   s < best)));
-            if (wins) {
-                best = s;
-                bestStart = start;
-            }
-        }
-        if (best == streams.size()) {
-            const double next = nextArrivalNs();
-            if (!std::isfinite(next))
-                break; // no runs, no queues, no future arrivals
-            now = next;
-            continue;
-        }
-        // A request arriving before the winner's dispatch may belong
-        // in this very decision — admit it and re-evaluate.
-        const double pending = nextArrivalNs();
-        if (pending <= bestStart) {
-            now = pending;
-            continue;
-        }
-
-        StreamState &leader = streams[best];
-        const int dev = deviceOf(*leader.active);
-        double end;
-        if (leader.active->nextCostFree()) {
-            stepStream(best, bestStart, false);
-            now = std::max(now, bestStart);
-            continue;
-        }
-        if (dev == 1 && serve_.batching) {
-            // Fuse compatible PIM steps from other streams into the
-            // leader's dispatch: followers run back-to-back inside one
-            // launch and skip the GPU<->PIM transition charge.
-            const KernelOp &key = *leader.active->nextOp();
-            std::vector<size_t> followers;
-            for (size_t s = 0; s < streams.size(); ++s) {
-                if (s == best || !streams[s].active ||
-                    !streams[s].active->nextOnPim())
-                    continue;
-                if (requestReadyNs(s) <= bestStart &&
-                    sameBatchKey(*streams[s].active->nextOp(), key))
-                    followers.push_back(s);
-            }
-            std::sort(followers.begin(), followers.end(),
-                      [&](size_t a, size_t b) {
-                          if (streams[a].priority != streams[b].priority)
-                              return streams[a].priority <
-                                     streams[b].priority;
-                          return a < b;
-                      });
-            if (followers.size() > serve_.maxBatch - 1)
-                followers.resize(serve_.maxBatch - 1);
-            end = stepStream(best, bestStart, false);
-            for (const size_t s : followers)
-                end = stepStream(s, end, true);
-            if (!followers.empty()) {
-                ++stats.batches;
-                stats.batchedOps += followers.size() + 1;
-            }
-            stats.pimBusyNs += end - bestStart;
-        } else {
-            end = stepStream(best, bestStart, false);
-            (dev == 1 ? stats.pimBusyNs : stats.gpuBusyNs) +=
-                end - bestStart;
-        }
-        freeAt(dev) = end;
-        now = std::max(now, bestStart);
-    }
-
-    publishServeMetrics(stats);
-    return out;
+    return ServeEngine(fw_, serve_, traces).run();
 }
 
 void
@@ -344,12 +705,25 @@ publishServeMetrics(const ServeStats &stats)
     reg.counter("serve.requests_admitted").add(stats.admitted);
     reg.counter("serve.requests_rejected").add(stats.rejected);
     reg.counter("serve.requests_completed").add(stats.completed);
+    reg.counter("serve.rejected_queue_full")
+        .add(stats.rejectedQueueFull);
+    reg.counter("serve.rejected_rate_limited")
+        .add(stats.rejectedRateLimited);
+    reg.counter("serve.shed_deadline").add(stats.shedDeadline);
+    reg.counter("serve.deadline_met").add(stats.deadlineMet);
+    reg.counter("serve.preemptions").add(stats.preemptions);
+    reg.counter("serve.preemption_resumes")
+        .add(stats.preemptionResumes);
+    reg.counter("serve.reprice_events").add(stats.repriceEvents);
     reg.counter("serve.batches").add(stats.batches);
     reg.counter("serve.batched_ops").add(stats.batchedOps);
     reg.gauge("serve.makespan_ns").set(stats.makespanNs);
     reg.gauge("serve.gpu_util").set(stats.gpuUtil());
     reg.gauge("serve.pim_util").set(stats.pimUtil());
     reg.gauge("serve.throughput_rps").set(stats.throughputRps());
+    reg.gauge("serve.goodput_rps").set(stats.goodputRps());
+    reg.gauge("serve.preemption_overhead_ns")
+        .set(stats.preemptionOverheadNs);
     reg.gauge("serve.latency_p50_ns").set(stats.percentileNs(50.0));
     reg.gauge("serve.latency_p99_ns").set(stats.percentileNs(99.0));
 }

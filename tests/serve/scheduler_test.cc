@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <vector>
 
@@ -85,17 +86,32 @@ digest(const serve::ServeResult &result)
     out.push_back(result.stats.admitted);
     out.push_back(result.stats.rejected);
     out.push_back(result.stats.completed);
+    out.push_back(result.stats.rejectedQueueFull);
+    out.push_back(result.stats.rejectedRateLimited);
+    out.push_back(result.stats.shedDeadline);
+    out.push_back(result.stats.deadlineMet);
+    out.push_back(result.stats.preemptions);
+    out.push_back(result.stats.preemptionResumes);
+    foldDouble(out, result.stats.preemptionOverheadNs);
+    out.push_back(result.stats.repriceEvents);
     out.push_back(result.stats.batches);
     out.push_back(result.stats.batchedOps);
     for (const double l : result.stats.latenciesNs)
         foldDouble(out, l);
     for (const serve::ServeStreamResult &stream : result.streams) {
         out.push_back(stream.priority);
+        out.push_back(stream.pimRetries);
+        out.push_back(stream.rollbacks);
+        out.push_back(stream.gpuFallbacks);
+        out.push_back(stream.migrations);
+        out.push_back(stream.unrecovered);
         for (const serve::ServeRequest &req : stream.requests) {
             foldDouble(out, req.arrivalNs);
             foldDouble(out, req.startNs);
             foldDouble(out, req.endNs);
             out.push_back(req.rejected ? 1 : 0);
+            out.push_back(static_cast<uint64_t>(req.cause));
+            out.push_back(req.deadlineMet ? 1 : 0);
             foldDouble(out, req.result.totalNs);
             foldDouble(out, req.result.energyPj);
             for (const GanttEntry &entry : req.result.timeline) {
@@ -267,13 +283,289 @@ TEST(Serve, AdmissionRejectsBeyondQueueLimit)
               static_cast<uint64_t>(serve.streams) *
                   serve.requestsPerStream);
     EXPECT_EQ(stats.completed, stats.admitted);
-    // Rejected requests carry no run result.
+    // Every rejection here is a queue overflow, and the cause split
+    // must say so exactly.
+    EXPECT_EQ(stats.rejectedQueueFull, stats.rejected);
+    EXPECT_EQ(stats.rejectedRateLimited, 0u);
+    EXPECT_EQ(stats.shedDeadline, 0u);
+    // Rejected requests carry no run result and the queue-full cause.
     for (const auto &stream : result.streams) {
         for (const auto &req : stream.requests) {
-            if (req.rejected)
+            if (req.rejected) {
                 EXPECT_TRUE(req.result.timeline.empty());
+                EXPECT_EQ(req.cause, serve::RejectCause::QueueFull);
+            } else {
+                EXPECT_EQ(req.cause, serve::RejectCause::None);
+            }
         }
     }
+}
+
+/** Sums per-request reject causes and checks they partition the
+ *  aggregate counters exactly — no double counting, nothing dropped. */
+void
+expectCausePartition(const serve::ServeResult &result,
+                     const ServeConfig &serve)
+{
+    const serve::ServeStats &stats = result.stats;
+    EXPECT_EQ(stats.rejected, stats.rejectedQueueFull +
+                                  stats.rejectedRateLimited +
+                                  stats.shedDeadline);
+    EXPECT_EQ(stats.admitted + stats.rejected,
+              static_cast<uint64_t>(serve.streams) *
+                  serve.requestsPerStream);
+    EXPECT_EQ(stats.completed, stats.admitted);
+    uint64_t queueFull = 0;
+    uint64_t rateLimited = 0;
+    uint64_t shed = 0;
+    for (const auto &stream : result.streams) {
+        for (const auto &req : stream.requests) {
+            EXPECT_EQ(req.rejected,
+                      req.cause != serve::RejectCause::None);
+            queueFull += req.cause == serve::RejectCause::QueueFull;
+            rateLimited += req.cause == serve::RejectCause::RateLimited;
+            shed += req.cause == serve::RejectCause::DeadlineShed;
+        }
+    }
+    EXPECT_EQ(queueFull, stats.rejectedQueueFull);
+    EXPECT_EQ(rateLimited, stats.rejectedRateLimited);
+    EXPECT_EQ(shed, stats.shedDeadline);
+}
+
+TEST(Serve, PercentileHandlesEdgeCases)
+{
+    serve::ServeStats stats;
+    // Empty sample: every percentile is 0, including the boundaries.
+    EXPECT_EQ(stats.percentileNs(50.0), 0.0);
+    EXPECT_EQ(stats.percentileNs(0.0), 0.0);
+    EXPECT_EQ(stats.percentileNs(100.0), 0.0);
+
+    stats.latenciesNs = {5.0};
+    EXPECT_EQ(stats.percentileNs(0.0), 5.0);
+    EXPECT_EQ(stats.percentileNs(50.0), 5.0);
+    EXPECT_EQ(stats.percentileNs(100.0), 5.0);
+
+    stats.latenciesNs = {5.0, 1.0, 3.0};
+    EXPECT_EQ(stats.percentileNs(0.0), 1.0);   // minimum
+    EXPECT_EQ(stats.percentileNs(100.0), 5.0); // maximum
+    EXPECT_EQ(stats.percentileNs(34.0), 3.0);  // nearest rank 2 of 3
+    EXPECT_EQ(stats.percentileNs(50.0), 3.0);
+    EXPECT_EQ(stats.percentileNs(99.0), 5.0);
+    // Out-of-range p clamps instead of indexing out of bounds.
+    EXPECT_EQ(stats.percentileNs(-10.0), 1.0);
+    EXPECT_EQ(stats.percentileNs(250.0), 5.0);
+}
+
+TEST(Serve, RateLimiterRejectsWithDedicatedCause)
+{
+    const AnaheimFramework fw(AnaheimConfig::a100NearBank());
+    const auto traces = mixedTraces();
+    ServeConfig serve = servingConfig(50000.0); // well past the limit
+    serve.requestsPerStream = 6;
+    serve.rateLimitRps = 2000.0; // per stream; offered is ~6250/stream
+    serve.rateLimitBurst = 1.0;
+    const auto result = serve::ServeScheduler(fw, serve).run(traces);
+
+    EXPECT_GT(result.stats.rejectedRateLimited, 0u);
+    EXPECT_EQ(result.stats.rejectedQueueFull, 0u);
+    EXPECT_EQ(result.stats.shedDeadline, 0u);
+    expectCausePartition(result, serve);
+}
+
+TEST(Serve, DeadlineSheddingDropsGuaranteedMisses)
+{
+    const AnaheimFramework fw(AnaheimConfig::a100NearBank());
+    const auto traces = mixedTraces();
+    // Everyone arrives at once; the deadline covers a couple of
+    // service times, so the back of each queue is a guaranteed miss
+    // and must be shed instead of executed.
+    const double serviceNs =
+        std::max(fw.execute(traces[0]).totalNs,
+                 fw.execute(traces[1]).totalNs);
+    ServeConfig serve = servingConfig(5e6);
+    serve.requestsPerStream = 8;
+    // Two deadline classes exercise the per-class round-robin.
+    serve.deadlineClassNs = {2.0 * serviceNs, 3.0 * serviceNs};
+    const auto result = serve::ServeScheduler(fw, serve).run(traces);
+
+    EXPECT_GT(result.stats.shedDeadline, 0u);
+    EXPECT_GT(result.stats.deadlineMet, 0u);
+    EXPECT_EQ(result.stats.rejectedRateLimited, 0u);
+    expectCausePartition(result, serve);
+    // Goodput only counts deadline-met completions.
+    EXPECT_LE(result.stats.goodputRps(), result.stats.throughputRps());
+    EXPECT_LE(result.stats.deadlineMet, result.stats.completed);
+    for (const auto &stream : result.streams) {
+        for (const auto &req : stream.requests) {
+            if (req.cause == serve::RejectCause::DeadlineShed)
+                EXPECT_TRUE(req.result.timeline.empty());
+            if (req.deadlineMet) {
+                EXPECT_FALSE(req.rejected);
+                EXPECT_LE(req.endNs, req.deadlineNs);
+            }
+        }
+    }
+}
+
+TEST(Serve, ClosedLoopRejectionReleasesNext)
+{
+    // A rate-limited closed-loop stream must keep draining: each
+    // rejection immediately releases the stream's next request, so
+    // every request resolves (the pre-fix scheduler stranded the
+    // remainder of the stream and under-reported totals).
+    const AnaheimFramework fw(AnaheimConfig::a100NearBank());
+    const auto traces = mixedTraces();
+    ServeConfig serve;
+    serve.streams = 2;
+    serve.requestsPerStream = 5;
+    serve.arrival = ArrivalKind::Closed;
+    serve.rateLimitRps = 1000.0; // slower than the service rate
+    serve.rateLimitBurst = 1.0;
+    const auto result = serve::ServeScheduler(fw, serve).run(traces);
+
+    EXPECT_EQ(result.stats.completed + result.stats.rejected,
+              static_cast<uint64_t>(serve.streams) *
+                  serve.requestsPerStream);
+    EXPECT_GT(result.stats.rejectedRateLimited, 0u);
+    // The bucket starts full, so every stream serves at least one.
+    for (const auto &stream : result.streams) {
+        uint64_t done = 0;
+        for (const auto &req : stream.requests) {
+            done += !req.rejected;
+            // Resolved one way or the other — nothing stranded.
+            EXPECT_TRUE(req.rejected || req.endNs > 0.0);
+        }
+        EXPECT_GE(done, 1u);
+    }
+    expectCausePartition(result, serve);
+}
+
+TEST(Serve, PreemptionLeavesRunResultsIdentical)
+{
+    // Preemption changes WHO waits, never WHAT any run computes: the
+    // save/restore passes bill the device horizon and ServeStats, so a
+    // preempted run's RunResult must match the no-preemption schedule
+    // bit for bit (the "resumes bitwise-identically" guarantee).
+    const AnaheimFramework fw(AnaheimConfig::a100NearBank());
+    const auto traces = mixedTraces();
+    ServeConfig on = servingConfig(12000.0);
+    on.preemption = true;
+    // Batching off: fused followers skip transition charges, and the
+    // two schedules batch differently — keep the comparison exact.
+    on.batching = false;
+    ServeConfig off = on;
+    off.preemption = false;
+
+    const auto withPreempt = serve::ServeScheduler(fw, on).run(traces);
+    const auto without = serve::ServeScheduler(fw, off).run(traces);
+
+    ASSERT_GT(withPreempt.stats.preemptions, 0u);
+    // Every preempted run has costed work left, so it always comes
+    // back and pays its restore.
+    EXPECT_EQ(withPreempt.stats.preemptionResumes,
+              withPreempt.stats.preemptions);
+    EXPECT_GT(withPreempt.stats.preemptionOverheadNs, 0.0);
+    EXPECT_EQ(without.stats.preemptions, 0u);
+    EXPECT_EQ(without.stats.preemptionOverheadNs, 0.0);
+    ASSERT_EQ(withPreempt.streams.size(), without.streams.size());
+    for (size_t s = 0; s < withPreempt.streams.size(); ++s) {
+        const auto &a = withPreempt.streams[s].requests;
+        const auto &b = without.streams[s].requests;
+        ASSERT_EQ(a.size(), b.size());
+        for (size_t k = 0; k < a.size(); ++k) {
+            const RunResult &ra = a[k].result;
+            const RunResult &rb = b[k].result;
+            EXPECT_EQ(ra.energyPj, rb.energyPj);
+            EXPECT_EQ(ra.gpuDramBytes, rb.gpuDramBytes);
+            EXPECT_EQ(ra.pimInternalBytes, rb.pimInternalBytes);
+            ASSERT_EQ(ra.timeline.size(), rb.timeline.size());
+            for (size_t e = 0; e < ra.timeline.size(); ++e) {
+                EXPECT_EQ(ra.timeline[e].phase, rb.timeline[e].phase);
+                EXPECT_EQ(ra.timeline[e].device,
+                          rb.timeline[e].device);
+                // Durations are differences of absolute timestamps,
+                // and the two schedules embed the run at different
+                // offsets — allow the resulting last-bit float noise,
+                // nothing more.
+                EXPECT_NEAR(ra.timeline[e].endNs -
+                                ra.timeline[e].startNs,
+                            rb.timeline[e].endNs -
+                                rb.timeline[e].startNs,
+                            1e-6);
+                EXPECT_EQ(ra.timeline[e].energyPj,
+                          rb.timeline[e].energyPj);
+            }
+        }
+    }
+}
+
+/** The full SLO + resilience stack in one config: faults, recovery,
+ *  health quarantine, deadlines, rate limits and preemption. */
+ServeConfig
+resilientServeConfig()
+{
+    ServeConfig serve = servingConfig(10000.0);
+    serve.requestsPerStream = 4;
+    serve.deadlineNs = 1e9; // generous: estimator on, shedding rare
+    serve.rateLimitRps = 5000.0;
+    serve.rateLimitBurst = 2.0;
+    serve.preemption = true;
+    return serve;
+}
+
+AnaheimConfig
+faultyDeviceConfig()
+{
+    AnaheimConfig config = AnaheimConfig::a100NearBank();
+    ResilienceConfig &rc = config.resilience;
+    rc.ber = 1e-6;
+    rc.checksumEnabled = true;
+    rc.checkpoint.enabled = true;
+    rc.checkpoint.intervalSegments = 8;
+    rc.checkpoint.maxRollbacks = 32;
+    rc.health.enabled = true;
+    rc.health.permanentThreshold = 2;
+    rc.permanentBanks.push_back({2, 17});
+    return config;
+}
+
+TEST(Serve, ServeUnderFaultsIsDeterministic)
+{
+    // Satellite of the §16 determinism story: with every new policy ON
+    // and a faulty device, a serve run is still a pure function of
+    // (config, traces, seeds). The serve_determinism_threads4 ctest
+    // entry reruns this under ANAHEIM_THREADS=4.
+    const AnaheimFramework fw(faultyDeviceConfig());
+    const auto traces = mixedTraces();
+    const serve::ServeScheduler sched(fw, resilientServeConfig());
+    EXPECT_EQ(digest(sched.run(traces)), digest(sched.run(traces)));
+}
+
+TEST(Serve, DegradationRepricesWithoutStallingTenants)
+{
+    // One permanently dead bank trips quarantine mid-serve: the
+    // scheduler must re-price queued work on the degraded geometry
+    // (repriceEvents > 0), surface per-tenant fault bills, and keep
+    // every tenant serving — one stream's fault storm cannot starve
+    // the rest.
+    const AnaheimFramework fw(faultyDeviceConfig());
+    const auto traces = mixedTraces();
+    const ServeConfig serve = resilientServeConfig();
+    const auto result = serve::ServeScheduler(fw, serve).run(traces);
+
+    EXPECT_GT(result.stats.repriceEvents, 0u);
+    expectCausePartition(result, serve);
+    uint64_t totalRetries = 0;
+    for (const auto &stream : result.streams) {
+        uint64_t done = 0;
+        for (const auto &req : stream.requests)
+            done += !req.rejected;
+        EXPECT_GE(done, 1u); // every tenant kept serving
+        totalRetries += stream.pimRetries + stream.rollbacks +
+                        stream.gpuFallbacks + stream.migrations;
+    }
+    // The fault storm must actually be visible in the per-tenant bill.
+    EXPECT_GT(totalRetries, 0u);
 }
 
 TEST(Serve, RunContextMatchesExecute)

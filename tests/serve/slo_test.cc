@@ -1,0 +1,124 @@
+/**
+ * @file
+ * SLO-machinery unit tests: the simulated-time token bucket must
+ * refill/clamp deterministically, and the service estimator must price
+ * traces fault-free, inflate PIM-heavy estimates on a degraded
+ * geometry, and fall back to GPU-only pricing when PIM is offline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "anaheim/framework.h"
+#include "serve/slo.h"
+#include "sim/health.h"
+#include "trace/builders.h"
+
+namespace anaheim {
+namespace {
+
+OpSequence
+pimHeavyTrace()
+{
+    const TraceParams params;
+    OpSequence seq = buildHAdd(params);
+    const OpSequence add = seq;
+    const OpSequence mult = buildPMult(params);
+    seq.append(mult);
+    for (size_t r = 1; r < 20; ++r) {
+        seq.append(add);
+        seq.append(mult);
+    }
+    seq.name = "ew";
+    return seq;
+}
+
+TEST(TokenBucket, ConsumesAndRefillsOverSimulatedTime)
+{
+    // 5e8 requests/second = 0.5 tokens per simulated ns.
+    serve::TokenBucket bucket(5e8, 2.0);
+    EXPECT_EQ(bucket.tokens(), 2.0); // starts full: bursts admit
+
+    EXPECT_TRUE(bucket.tryAcquire(0.0));
+    EXPECT_TRUE(bucket.tryAcquire(0.0));
+    EXPECT_FALSE(bucket.tryAcquire(0.0)); // burst spent
+    EXPECT_FALSE(bucket.tryAcquire(1.0)); // only 0.5 accrued
+    EXPECT_TRUE(bucket.tryAcquire(2.0));  // 1.0 accrued
+    EXPECT_FALSE(bucket.tryAcquire(2.0));
+}
+
+TEST(TokenBucket, RefillClampsAtBurst)
+{
+    serve::TokenBucket bucket(5e8, 2.0);
+    EXPECT_TRUE(bucket.tryAcquire(0.0));
+    // A long idle gap accrues far more than burst; the clamp caps the
+    // backlog a tenant can bank.
+    EXPECT_TRUE(bucket.tryAcquire(1e9));
+    EXPECT_TRUE(bucket.tryAcquire(1e9));
+    EXPECT_FALSE(bucket.tryAcquire(1e9));
+}
+
+TEST(ServiceEstimator, PricesTracesFaultFree)
+{
+    // Estimates must be identical with and without resilience knobs:
+    // they answer "how long on a clean device".
+    AnaheimConfig faulty = AnaheimConfig::a100NearBank();
+    faulty.resilience.ber = 1e-5;
+    faulty.resilience.checksumEnabled = true;
+    const std::vector<OpSequence> traces = {pimHeavyTrace()};
+
+    const serve::ServiceEstimator clean(AnaheimConfig::a100NearBank(),
+                                        traces);
+    const serve::ServiceEstimator stripped(faulty, traces);
+    EXPECT_GT(clean.estimate(0).totalNs, 0.0);
+    EXPECT_EQ(clean.estimate(0).totalNs, stripped.estimate(0).totalNs);
+    // PIM-heavy trace: most of the price is PIM time.
+    EXPECT_GT(clean.estimate(0).pimNs, clean.estimate(0).gpuNs);
+    // Indexing cycles like stream->trace assignment does.
+    EXPECT_EQ(clean.estimate(7).totalNs, clean.estimate(0).totalNs);
+    EXPECT_FALSE(clean.degraded());
+}
+
+TEST(ServiceEstimator, RepricesOnDegradedGeometry)
+{
+    const AnaheimConfig config = AnaheimConfig::a100NearBank();
+    const std::vector<OpSequence> traces = {pimHeavyTrace()};
+    serve::ServiceEstimator estimator(config, traces);
+    const double healthyNs = estimator.estimate(0).totalNs;
+
+    // Quarantine a sizeable slice of one die group: the lockstep
+    // device follows its worst group, so PIM work must slow down.
+    ResourceMap resources;
+    resources.dieGroups = config.pim.dieGroups;
+    resources.banksPerDieGroup = config.pim.banksPerDieGroup;
+    resources.lanesPerUnit = config.pim.lanes;
+    for (size_t b = 0; b < config.pim.banksPerDieGroup / 4; ++b)
+        resources.quarantined.push_back(
+            {FaultSiteId::Kind::Bank, 0, b});
+    estimator.reprice(resources, false);
+
+    EXPECT_TRUE(estimator.degraded());
+    EXPECT_GT(estimator.estimate(0).totalNs, healthyNs);
+}
+
+TEST(ServiceEstimator, PimOfflineFallsBackToGpuPricing)
+{
+    AnaheimConfig config = AnaheimConfig::a100NearBank();
+    const std::vector<OpSequence> traces = {pimHeavyTrace()};
+    serve::ServiceEstimator estimator(config, traces);
+
+    estimator.reprice(ResourceMap{}, true);
+    EXPECT_TRUE(estimator.degraded());
+    // Everything runs on the GPU now; the estimate must say so.
+    EXPECT_EQ(estimator.estimate(0).pimNs, 0.0);
+    EXPECT_GT(estimator.estimate(0).totalNs, 0.0);
+
+    // And it must equal a from-scratch GPU-only pricing.
+    AnaheimConfig gpuOnly = config;
+    gpuOnly.pimEnabled = false;
+    const serve::ServiceEstimator reference(gpuOnly, traces);
+    EXPECT_EQ(estimator.estimate(0).totalNs,
+              reference.estimate(0).totalNs);
+}
+
+} // namespace
+} // namespace anaheim
