@@ -25,7 +25,9 @@
  *   --json <path>    machine-readable curve
  *   --trace/--metrics <path>   Perfetto / metrics export (the trace
  *                    shows one track per stream; GPU spans of one
- *                    stream overlap PIM spans of others)
+ *                    stream overlap PIM spans of others; the metrics
+ *                    JSON carries a per-run timeseries section)
+ *   --prom <path>    Prometheus text exposition of the same metrics
  */
 
 #include <cstdint>
@@ -74,7 +76,7 @@ parseOptions(int argc, char **argv)
         } else if (arg.rfind("--repeats=", 0) == 0) {
             opts.repeats = std::strtoull(arg.c_str() + 10, nullptr, 0);
         } else if ((arg == "--json" || arg == "--trace" ||
-                    arg == "--metrics") &&
+                    arg == "--metrics" || arg == "--prom") &&
                    i + 1 < argc) {
             ++i; // handled by bench::JsonScope
         } else {
@@ -185,6 +187,11 @@ run(int argc, char **argv)
         // PIM dispatch ties, so their short element-wise segments jump
         // ahead of the long ew chains and the GPU never starves.
         serveCfg.priorityClasses = 2;
+        // One telemetry window per mean service time: queue depth,
+        // busy fractions and latency evolve over a handful of windows
+        // even at smoke scale (--metrics gets a timeseries section,
+        // --prom the text exposition).
+        serveCfg.telemetry.tickNs = meanServiceNs;
 
         ServeConfig serialCfg = serveCfg;
         serialCfg.overlap = false;

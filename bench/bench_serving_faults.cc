@@ -31,7 +31,9 @@
  *   --smoke          two load points for ctest
  *   --json <path>    machine-readable sweep
  *   --trace/--metrics <path>  Perfetto / metrics export (per-stream
- *                    tracks plus Shed/Preempt event lanes)
+ *                    tracks plus Shed/Preempt/Alert event lanes; the
+ *                    metrics JSON carries a per-run timeseries section)
+ *   --prom <path>    Prometheus text exposition of the same metrics
  */
 
 #include <algorithm>
@@ -78,7 +80,7 @@ parseOptions(int argc, char **argv)
         } else if (arg.rfind("--seed=", 0) == 0) {
             opts.seed = std::strtoull(arg.c_str() + 7, nullptr, 0);
         } else if ((arg == "--json" || arg == "--trace" ||
-                    arg == "--metrics") &&
+                    arg == "--metrics" || arg == "--prom") &&
                    i + 1 < argc) {
             ++i; // handled by bench::JsonScope
         } else {
@@ -237,6 +239,15 @@ run(int argc, char **argv)
         // causes show up in the sweep.
         serve.rateLimitBurst = 3.0;
         serve.preemption = true;
+        // Telemetry tick ~= one mean service time, with a tight SLO and
+        // a short fast/slow pair: sized so the degraded scenario's
+        // deadline misses burn the error budget visibly within a smoke
+        // run, firing the Alert lane (gated by validate_serving_faults).
+        serve.telemetry.tickNs = meanServiceNs;
+        serve.telemetry.sloTarget = 0.9;
+        serve.telemetry.fastWindowTicks = 2;
+        serve.telemetry.slowWindowTicks = 6;
+        serve.telemetry.burnThreshold = 1.0;
         return serve;
     };
 
@@ -265,6 +276,8 @@ run(int argc, char **argv)
     uint64_t sweepQueueFull = 0;
     uint64_t sweepRateLimited = 0;
     uint64_t sweepShed = 0;
+    uint64_t sweepAlertsFired = 0;
+    uint64_t sweepAlertTicks = 0;
     bool partitionOk = true;
 
     for (const Scenario &scenario : scenarios) {
@@ -295,6 +308,8 @@ run(int argc, char **argv)
             sweepQueueFull += st.rejectedQueueFull;
             sweepRateLimited += st.rejectedRateLimited;
             sweepShed += st.shedDeadline;
+            sweepAlertsFired += st.alertsFired;
+            sweepAlertTicks += st.alertTicksFiring;
 
             uint64_t tenantRetries = 0;
             uint64_t tenantFallbacks = 0;
@@ -352,6 +367,10 @@ run(int argc, char **argv)
                              st.preemptionOverheadNs);
             report.rowMetric("reprice_events",
                              static_cast<double>(st.repriceEvents));
+            report.rowMetric("alerts_fired",
+                             static_cast<double>(st.alertsFired));
+            report.rowMetric("alert_ticks_firing",
+                             static_cast<double>(st.alertTicksFiring));
             report.rowMetric("tenant_retries",
                              static_cast<double>(tenantRetries));
             report.rowMetric("tenant_gpu_fallbacks",
@@ -392,13 +411,19 @@ run(int argc, char **argv)
                          static_cast<double>(sweepRateLimited));
     json.report().metric("sweep_shed_deadline",
                          static_cast<double>(sweepShed));
+    json.report().metric("sweep_alerts_fired",
+                         static_cast<double>(sweepAlertsFired));
+    json.report().metric("sweep_alert_ticks_firing",
+                         static_cast<double>(sweepAlertTicks));
 
     std::printf("\n  preemption identity: %s (%llu preemptions); "
-                "degraded goodput floor %.3f of healthy\n",
+                "degraded goodput floor %.3f of healthy; "
+                "%llu SLO burn alerts over the sweep\n",
                 identical ? "BIT-IDENTICAL" : "DIVERGED",
                 static_cast<unsigned long long>(
                     preempted.stats.preemptions),
-                std::isfinite(floorRatio) ? floorRatio : 0.0);
+                std::isfinite(floorRatio) ? floorRatio : 0.0,
+                static_cast<unsigned long long>(sweepAlertsFired));
     bench::note("goodput = deadline-met completions/s; availability = "
                 "completed/offered. rejected splits exactly into "
                 "queue-full + rate-limited + deadline-shed. The "

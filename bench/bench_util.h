@@ -14,6 +14,8 @@
  *                     merging host spans with every simulated timeline
  *   --metrics <path>  dump the global metrics registry on exit
  *                     (JSON, or CSV when the path ends in .csv)
+ *   --prom <path>     dump the metrics registry plus every recorded
+ *                     time series as Prometheus text exposition
  * and each --json document opens with a self-describing header block
  * (schema version, git SHA, build type, thread count).
  */
@@ -209,6 +211,7 @@ class JsonScope
           path_(jsonPathFromArgs(argc, argv)),
           tracePath_(pathFromArgs(argc, argv, "--trace")),
           metricsPath_(pathFromArgs(argc, argv, "--metrics")),
+          promPath_(pathFromArgs(argc, argv, "--prom")),
           start_(std::chrono::steady_clock::now())
     {
         if (!tracePath_.empty())
@@ -225,6 +228,11 @@ class JsonScope
             if (obs::writeMetrics(metricsPath_))
                 std::printf("  metrics written to %s\n",
                             metricsPath_.c_str());
+        }
+        if (!promPath_.empty()) {
+            if (obs::writePrometheus(promPath_))
+                std::printf("  prometheus text written to %s\n",
+                            promPath_.c_str());
         }
         if (path_.empty())
             return;
@@ -246,6 +254,7 @@ class JsonScope
     std::string path_;
     std::string tracePath_;
     std::string metricsPath_;
+    std::string promPath_;
     std::chrono::steady_clock::time_point start_;
 };
 

@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Cross-run perf-regression gate over two self-describing bench JSONs.
+
+Compares a current bench --json document against a committed baseline
+(e.g. BENCH_serving.json) metric by metric, with a per-metric
+direction and noise tolerance:
+
+  - higher-is-better metrics (throughput, goodput, speedups,
+    transforms/s, availability, goodput floor) regress when current
+    falls more than the tolerance below baseline;
+  - lower-is-better metrics (latency percentiles/means, ns-per-
+    butterfly costs) regress when current rises more than the
+    tolerance above it;
+  - everything else (counts, seeds, config echoes, wall-clock
+    total_ms — the only machine-dependent value in an otherwise
+    simulated document) is informational only.
+
+Rows are matched by index and must agree in count; the two documents
+must come from the same bench. Improvements and informational drift
+are reported but never gate. The default tolerance is 5% — the
+simulated metrics are deterministic, so the budget only absorbs
+intentional model recalibrations, not machine noise.
+
+Usage:
+    perf_diff.py BASELINE.json CURRENT.json [--tolerance 0.05]
+    perf_diff.py --self-test
+
+Exits 0 when nothing regressed, 1 with one message per regression (or
+on schema mismatch), 2 on usage errors.
+"""
+
+import argparse
+import copy
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from bench_common import load_doc
+
+# First matching pattern wins. Direction "up" = higher is better.
+METRIC_POLICY = (
+    (r"(^|_)(throughput|goodput)_rps$", "up"),
+    (r"speedup", "up"),
+    (r"transforms_per_sec$", "up"),
+    (r"^availability$", "up"),
+    (r"^goodput_floor_ratio$", "up"),
+    (r"^(p\d+|mean)_ms$", "down"),
+    (r"_ns_per_butterfly$", "down"),
+    (r"^preemption_overhead_ns$", "down"),
+)
+
+DEFAULT_TOLERANCE = 0.05
+
+
+def direction_of(key):
+    for pattern, direction in METRIC_POLICY:
+        if re.search(pattern, key):
+            return direction
+    return None
+
+
+def compare_value(key, base, cur, tolerance, where, regressions, infos):
+    direction = direction_of(key)
+    if direction is None:
+        return
+    if not isinstance(base, (int, float)) or isinstance(base, bool):
+        return
+    if not isinstance(cur, (int, float)) or isinstance(cur, bool):
+        regressions.append(f"{where}: '{key}' is no longer numeric")
+        return
+    if base == 0:
+        return  # no meaningful relative delta
+    rel = (cur - base) / abs(base)
+    regressed = (rel < -tolerance if direction == "up"
+                 else rel > tolerance)
+    if regressed:
+        regressions.append(
+            f"{where}: {key} {base:.6g} -> {cur:.6g} ({rel:+.1%}), "
+            f"{'fell' if direction == 'up' else 'rose'} past the "
+            f"{tolerance:.0%} budget")
+    elif abs(rel) > tolerance:
+        infos.append(f"{where}: {key} improved {base:.6g} -> "
+                     f"{cur:.6g} ({rel:+.1%})")
+
+
+def diff(baseline, current, tolerance):
+    """Returns (regressions, infos): gating and informational lines."""
+    regressions = []
+    infos = []
+    if baseline.get("bench") != current.get("bench"):
+        regressions.append(
+            f"bench mismatch: baseline '{baseline.get('bench')}' vs "
+            f"current '{current.get('bench')}'")
+        return regressions, infos
+
+    for key, base in baseline.items():
+        if key == "rows":
+            continue
+        compare_value(key, base, current.get(key), tolerance,
+                      "top-level", regressions, infos)
+
+    base_rows = baseline.get("rows", [])
+    cur_rows = current.get("rows", [])
+    if len(base_rows) != len(cur_rows):
+        regressions.append(f"row count changed: {len(base_rows)} -> "
+                           f"{len(cur_rows)}")
+        return regressions, infos
+    for i, (brow, crow) in enumerate(zip(base_rows, cur_rows)):
+        for key, base in brow.items():
+            compare_value(key, base, crow.get(key), tolerance,
+                          f"rows[{i}]", regressions, infos)
+    return regressions, infos
+
+
+def self_test():
+    """Build a synthetic baseline and a regressed copy; the diff must
+    accept the identity pair and reject the regressed one."""
+    baseline = {
+        "bench": "serving_smoke",
+        "total_ms": 1000.0,
+        "peak_speedup_vs_serial": 2.0,
+        "rows": [
+            {"offered_rps": 100.0, "throughput_rps": 90.0,
+             "p99_ms": 12.0, "completed": 32},
+            {"offered_rps": 400.0, "throughput_rps": 300.0,
+             "p99_ms": 40.0, "completed": 30},
+        ],
+    }
+    same, _ = diff(baseline, copy.deepcopy(baseline), DEFAULT_TOLERANCE)
+    assert not same, f"identical docs flagged: {same}"
+
+    slower = copy.deepcopy(baseline)
+    slower["rows"][1]["throughput_rps"] = 200.0  # -33% throughput
+    slower["rows"][0]["p99_ms"] = 24.0           # 2x tail latency
+    slower["total_ms"] = 9000.0                  # wall clock: ignored
+    slower["rows"][1]["completed"] = 10          # count: ignored
+    regressions, _ = diff(baseline, slower, DEFAULT_TOLERANCE)
+    assert len(regressions) == 2, f"expected 2 regressions: {regressions}"
+    assert any("throughput_rps" in r for r in regressions), regressions
+    assert any("p99_ms" in r for r in regressions), regressions
+
+    mismatched = copy.deepcopy(baseline)
+    mismatched["rows"].pop()
+    regressions, _ = diff(baseline, mismatched, DEFAULT_TOLERANCE)
+    assert regressions, "dropped row not flagged"
+
+    print("perf_diff: self-test OK")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", nargs="?",
+                        help="committed baseline bench JSON")
+    parser.add_argument("current", nargs="?",
+                        help="freshly produced bench JSON")
+    parser.add_argument("--tolerance", type=float,
+                        default=DEFAULT_TOLERANCE,
+                        help="relative regression budget "
+                             "(default 0.05 = 5%%)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in synthetic check and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.current:
+        parser.print_usage(sys.stderr)
+        return 2
+
+    baseline = load_doc(args.baseline, "perf_diff")
+    current = load_doc(args.current, "perf_diff")
+    if baseline is None or current is None:
+        return 1
+
+    regressions, infos = diff(baseline, current, args.tolerance)
+    for line in infos:
+        print(f"perf_diff: note: {line}")
+    if regressions:
+        for line in regressions:
+            print(f"perf_diff: REGRESSION: {line}", file=sys.stderr)
+        return 1
+    print(f"perf_diff: OK: {args.current} vs {args.baseline} "
+          f"(bench '{baseline['bench']}', {len(baseline.get('rows', []))}"
+          f" rows, tolerance {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

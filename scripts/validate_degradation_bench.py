@@ -14,14 +14,17 @@ Usage: validate_degradation_bench.py [path]  (default: BENCH_degradation.json)
 Exits 0 when the document conforms, 1 with a message per violation.
 """
 
-import json
+import os
 import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from bench_common import NUMBER, check_bench_name, check_required, run
 
 TOP_LEVEL_REQUIRED = {
     "bench": str,
-    "trials": (int, float),
-    "repeats": (int, float),
-    "fault_seed": (int, float),
+    "trials": NUMBER,
+    "repeats": NUMBER,
+    "fault_seed": NUMBER,
     "config.health_enabled": str,
     "config.checkpoint_enabled": str,
     "config.checksum_enabled": str,
@@ -29,36 +32,27 @@ TOP_LEVEL_REQUIRED = {
 }
 
 ROW_REQUIRED = {
-    "permanent_bank_rate": (int, float),
-    "failed_banks": (int, float),
-    "quarantined_banks": (int, float),
-    "migrations": (int, float),
-    "rollbacks": (int, float),
-    "availability": (int, float),
-    "capacity_fraction": (int, float),
-    "throughput_vs_healthy": (int, float),
-    "pim_offline_rate": (int, float),
-    "gpu_fallbacks_retry_exhausted": (int, float),
-    "gpu_fallbacks_uncheckpointed": (int, float),
-    "gpu_fallbacks_capacity_floor": (int, float),
+    "permanent_bank_rate": NUMBER,
+    "failed_banks": NUMBER,
+    "quarantined_banks": NUMBER,
+    "migrations": NUMBER,
+    "rollbacks": NUMBER,
+    "availability": NUMBER,
+    "capacity_fraction": NUMBER,
+    "throughput_vs_healthy": NUMBER,
+    "pim_offline_rate": NUMBER,
+    "gpu_fallbacks_retry_exhausted": NUMBER,
+    "gpu_fallbacks_uncheckpointed": NUMBER,
+    "gpu_fallbacks_capacity_floor": NUMBER,
 }
 
 
 def validate(doc):
     errors = []
-
-    for key, want in TOP_LEVEL_REQUIRED.items():
-        if key not in doc:
-            errors.append(f"missing top-level key '{key}'")
-        elif not isinstance(doc[key], want):
-            errors.append(
-                f"top-level '{key}' has type {type(doc[key]).__name__}")
-    if errors:
+    if not check_required(doc, TOP_LEVEL_REQUIRED, errors):
         return errors
 
-    if doc["bench"] not in ("degradation", "degradation_smoke"):
-        errors.append(f"bench is '{doc['bench']}', want 'degradation' "
-                      "or 'degradation_smoke'")
+    check_bench_name(doc, ("degradation", "degradation_smoke"), errors)
     # The campaign is meaningless with the escalation ladder off.
     for key in ("config.health_enabled", "config.checkpoint_enabled",
                 "config.checksum_enabled"):
@@ -70,13 +64,7 @@ def validate(doc):
 
     rates = []
     for i, row in enumerate(doc["rows"]):
-        for key, want in ROW_REQUIRED.items():
-            if key not in row:
-                errors.append(f"row {i}: missing key '{key}'")
-            elif not isinstance(row[key], want):
-                errors.append(f"row {i}: '{key}' has type "
-                              f"{type(row[key]).__name__}")
-        if any(f"row {i}:" in e for e in errors):
+        if not check_required(row, ROW_REQUIRED, errors, f"row {i}"):
             continue
         rates.append(row["permanent_bank_rate"])
 
@@ -127,29 +115,14 @@ def validate(doc):
     return errors
 
 
-def main(argv):
-    path = argv[1] if len(argv) > 1 else "BENCH_degradation.json"
-    try:
-        with open(path) as f:
-            doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        print(f"validate_degradation_bench: cannot read {path}: {e}",
-              file=sys.stderr)
-        return 1
-
-    errors = validate(doc)
-    for e in errors:
-        print(f"validate_degradation_bench: {path}: {e}",
-              file=sys.stderr)
-    if not errors:
-        worst = doc["rows"][-1]
-        print(f"validate_degradation_bench: {path}: OK "
-              f"({len(doc['rows'])} rows, worst cell rate "
-              f"{worst['permanent_bank_rate']} -> availability "
-              f"{worst['availability']:.2f}, capacity "
-              f"{worst['capacity_fraction']:.3f})")
-    return 1 if errors else 0
+def summary(doc):
+    worst = doc["rows"][-1]
+    return (f"{len(doc['rows'])} rows, worst cell rate "
+            f"{worst['permanent_bank_rate']} -> availability "
+            f"{worst['availability']:.2f}, capacity "
+            f"{worst['capacity_fraction']:.3f}")
 
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv))
+    sys.exit(run("validate_degradation_bench", "BENCH_degradation.json",
+                 validate, summary))

@@ -12,46 +12,41 @@ Usage: validate_ntt_bench.py [path-to-json]   (default: BENCH_ntt.json)
 Exits 0 when the document conforms, 1 with a message per violation.
 """
 
-import json
+import os
 import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from bench_common import NUMBER, check_bench_name, check_required, run
 
 KNOWN_BACKENDS = ("reference", "scalar", "avx2", "avx512")
 
 TOP_LEVEL_REQUIRED = {
     "bench": str,
-    "prime_bits": (int, float),
+    "prime_bits": NUMBER,
     "bitwise_identical": str,
-    "fwd_speedup_at_2e16": (int, float),
+    "fwd_speedup_at_2e16": NUMBER,
     "best_backend": str,
     "rows": list,
 }
 
 ROW_REQUIRED = {
-    "logn": (int, float),
-    "n": (int, float),
-    "q": (int, float),
+    "logn": NUMBER,
+    "n": NUMBER,
+    "q": NUMBER,
     "backend": str,
-    "fwd_ns_per_butterfly": (int, float),
-    "inv_ns_per_butterfly": (int, float),
-    "fwd_transforms_per_sec": (int, float),
-    "fwd_speedup": (int, float),
+    "fwd_ns_per_butterfly": NUMBER,
+    "inv_ns_per_butterfly": NUMBER,
+    "fwd_transforms_per_sec": NUMBER,
+    "fwd_speedup": NUMBER,
 }
 
 
 def validate(doc):
     errors = []
-
-    for key, want in TOP_LEVEL_REQUIRED.items():
-        if key not in doc:
-            errors.append(f"missing top-level key '{key}'")
-        elif not isinstance(doc[key], want):
-            errors.append(
-                f"top-level '{key}' has type {type(doc[key]).__name__}")
-    if errors:
+    if not check_required(doc, TOP_LEVEL_REQUIRED, errors):
         return errors
 
-    if doc["bench"] != "ntt_kernels":
-        errors.append(f"bench is '{doc['bench']}', want 'ntt_kernels'")
+    check_bench_name(doc, ("ntt_kernels",), errors)
     if doc["bitwise_identical"] != "yes":
         errors.append("bitwise_identical is not 'yes' — a kernel "
                       "backend diverged from the reference oracle")
@@ -63,13 +58,7 @@ def validate(doc):
 
     groups = {}
     for i, row in enumerate(doc["rows"]):
-        for key, want in ROW_REQUIRED.items():
-            if key not in row:
-                errors.append(f"row {i}: missing key '{key}'")
-            elif not isinstance(row[key], want):
-                errors.append(f"row {i}: '{key}' has type "
-                              f"{type(row[key]).__name__}")
-        if any(f"row {i}:" in e for e in errors):
+        if not check_required(row, ROW_REQUIRED, errors, f"row {i}"):
             continue
         if row["backend"] not in KNOWN_BACKENDS:
             errors.append(f"row {i}: unknown backend "
@@ -95,26 +84,12 @@ def validate(doc):
     return errors
 
 
-def main(argv):
-    path = argv[1] if len(argv) > 1 else "BENCH_ntt.json"
-    try:
-        with open(path) as f:
-            doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        print(f"validate_ntt_bench: cannot read {path}: {e}",
-              file=sys.stderr)
-        return 1
-
-    errors = validate(doc)
-    for e in errors:
-        print(f"validate_ntt_bench: {path}: {e}", file=sys.stderr)
-    if not errors:
-        nrows = len(doc["rows"])
-        print(f"validate_ntt_bench: {path}: OK ({nrows} rows, best "
-              f"backend {doc['best_backend']}, "
-              f"{doc['fwd_speedup_at_2e16']:.2f}x at 2^16)")
-    return 1 if errors else 0
+def summary(doc):
+    return (f"{len(doc['rows'])} rows, best backend "
+            f"{doc['best_backend']}, "
+            f"{doc['fwd_speedup_at_2e16']:.2f}x at 2^16")
 
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv))
+    sys.exit(run("validate_ntt_bench", "BENCH_ntt.json", validate,
+                 summary))

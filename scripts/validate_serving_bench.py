@@ -14,69 +14,60 @@ Usage: validate_serving_bench.py [path]  (default: BENCH_serving.json)
 Exits 0 when the document conforms, 1 with a message per violation.
 """
 
-import json
+import os
 import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from bench_common import NUMBER, check_bench_name, check_required, run
 
 MIN_TOP_LOAD_SPEEDUP = 1.5
 
 TOP_LEVEL_REQUIRED = {
     "bench": str,
-    "streams": (int, float),
-    "requests_per_stream": (int, float),
-    "arrival_seed": (int, float),
-    "serial_capacity_rps": (int, float),
-    "peak_speedup_vs_serial": (int, float),
+    "streams": NUMBER,
+    "requests_per_stream": NUMBER,
+    "arrival_seed": NUMBER,
+    "serial_capacity_rps": NUMBER,
+    "peak_speedup_vs_serial": NUMBER,
     "config.serve_arrival": str,
     "rows": list,
 }
 
 ROW_REQUIRED = {
-    "offered_rps": (int, float),
-    "throughput_rps": (int, float),
-    "serial_throughput_rps": (int, float),
-    "speedup_vs_serial": (int, float),
-    "p50_ms": (int, float),
-    "p99_ms": (int, float),
-    "mean_ms": (int, float),
-    "gpu_util": (int, float),
-    "pim_util": (int, float),
-    "batches": (int, float),
-    "batched_ops": (int, float),
-    "admitted": (int, float),
-    "rejected": (int, float),
-    "completed": (int, float),
+    "offered_rps": NUMBER,
+    "throughput_rps": NUMBER,
+    "serial_throughput_rps": NUMBER,
+    "speedup_vs_serial": NUMBER,
+    "p50_ms": NUMBER,
+    "p99_ms": NUMBER,
+    "mean_ms": NUMBER,
+    "gpu_util": NUMBER,
+    "pim_util": NUMBER,
+    "batches": NUMBER,
+    "batched_ops": NUMBER,
+    "admitted": NUMBER,
+    "rejected": NUMBER,
+    "completed": NUMBER,
 }
 
 
 def validate(doc):
     errors = []
-
-    for key, want in TOP_LEVEL_REQUIRED.items():
-        if key not in doc:
-            errors.append(f"missing top-level key '{key}'")
-        elif not isinstance(doc[key], want):
-            errors.append(
-                f"top-level '{key}' has type {type(doc[key]).__name__}")
-    if errors:
+    if not check_required(doc, TOP_LEVEL_REQUIRED, errors):
         return errors
 
-    if doc["bench"] not in ("serving", "serving_smoke"):
-        errors.append(f"bench is '{doc['bench']}', want 'serving' or "
-                      "'serving_smoke'")
+    check_bench_name(doc, ("serving", "serving_smoke"), errors)
     if doc["serial_capacity_rps"] <= 0:
         errors.append("serial_capacity_rps must be positive")
     if not doc["rows"]:
         errors.append("no load points")
 
     offered = []
+    last_row_clean = False
     for i, row in enumerate(doc["rows"]):
-        for key, want in ROW_REQUIRED.items():
-            if key not in row:
-                errors.append(f"row {i}: missing key '{key}'")
-            elif not isinstance(row[key], want):
-                errors.append(f"row {i}: '{key}' has type "
-                              f"{type(row[key]).__name__}")
-        if any(f"row {i}:" in e for e in errors):
+        last_row_clean = check_required(row, ROW_REQUIRED, errors,
+                                        f"row {i}")
+        if not last_row_clean:
             continue
         offered.append(row["offered_rps"])
 
@@ -108,8 +99,7 @@ def validate(doc):
 
     # The headline claim: at the saturating top load point, cross-trace
     # overlap + batching must beat the serial baseline by >= 1.5x.
-    if doc["rows"] and not any(f"row {len(doc['rows'])-1}:" in e
-                               for e in errors):
+    if doc["rows"] and last_row_clean:
         top = doc["rows"][-1]
         if top["speedup_vs_serial"] < MIN_TOP_LOAD_SPEEDUP:
             errors.append(
@@ -119,26 +109,11 @@ def validate(doc):
     return errors
 
 
-def main(argv):
-    path = argv[1] if len(argv) > 1 else "BENCH_serving.json"
-    try:
-        with open(path) as f:
-            doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        print(f"validate_serving_bench: cannot read {path}: {e}",
-              file=sys.stderr)
-        return 1
-
-    errors = validate(doc)
-    if errors:
-        for err in errors:
-            print(f"validate_serving_bench: {err}", file=sys.stderr)
-        return 1
-    rows = doc["rows"]
-    print(f"validate_serving_bench: OK: {path} ({len(rows)} load "
-          f"points, peak speedup {doc['peak_speedup_vs_serial']:.2f}x)")
-    return 0
+def summary(doc):
+    return (f"{len(doc['rows'])} load points, peak speedup "
+            f"{doc['peak_speedup_vs_serial']:.2f}x")
 
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv))
+    sys.exit(run("validate_serving_bench", "BENCH_serving.json",
+                 validate, summary))

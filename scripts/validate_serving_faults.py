@@ -4,7 +4,7 @@
 The chaos bench sweeps fault scenarios x offered load with the full
 SLO stack (deadline classes, per-tenant rate limiting, priority
 preemption, mid-serve degradation re-pricing). CI runs this after the
---smoke sweep to gate the three §16 acceptance criteria:
+--smoke sweep to gate the §16/§17 acceptance criteria:
 
   1. goodput_floor_ratio >= 0.8 — goodput with BER + one quarantined
      bank stays within 20% of the healthy baseline at moderate load;
@@ -13,58 +13,67 @@ preemption, mid-serve degradation re-pricing). CI runs this after the
      unpreempted schedule exactly;
   3. every row's rejected splits exactly into queue-full +
      rate-limited + deadline-shed, and the sweep exercises all three
-     causes at least once.
+     causes at least once;
+  4. sweep_alerts_fired >= 1 — the SLO burn-rate monitor sees the
+     degraded sweep burn its deadline-met error budget and fires.
 
 Usage: validate_serving_faults.py [path]
        (default: BENCH_serving_faults.json)
 Exits 0 when the document conforms, 1 with a message per violation.
 """
 
-import json
+import os
 import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from bench_common import NUMBER, check_bench_name, check_required, run
 
 MIN_GOODPUT_FLOOR = 0.8
 
 TOP_LEVEL_REQUIRED = {
     "bench": str,
-    "streams": (int, float),
-    "requests_per_stream": (int, float),
-    "arrival_seed": (int, float),
-    "serial_capacity_rps": (int, float),
-    "goodput_floor_ratio": (int, float),
-    "preempt_identical": (int, float),
-    "preemptions_observed": (int, float),
-    "causes_partition_ok": (int, float),
-    "sweep_rejected_queue_full": (int, float),
-    "sweep_rejected_rate_limited": (int, float),
-    "sweep_shed_deadline": (int, float),
+    "streams": NUMBER,
+    "requests_per_stream": NUMBER,
+    "arrival_seed": NUMBER,
+    "serial_capacity_rps": NUMBER,
+    "goodput_floor_ratio": NUMBER,
+    "preempt_identical": NUMBER,
+    "preemptions_observed": NUMBER,
+    "causes_partition_ok": NUMBER,
+    "sweep_rejected_queue_full": NUMBER,
+    "sweep_rejected_rate_limited": NUMBER,
+    "sweep_shed_deadline": NUMBER,
+    "sweep_alerts_fired": NUMBER,
+    "sweep_alert_ticks_firing": NUMBER,
     "config.serve_arrival": str,
     "rows": list,
 }
 
 ROW_REQUIRED = {
     "scenario": str,
-    "ber": (int, float),
-    "permanent_banks": (int, float),
-    "load_multiplier": (int, float),
-    "offered_rps": (int, float),
-    "availability": (int, float),
-    "goodput_rps": (int, float),
-    "throughput_rps": (int, float),
-    "p50_ms": (int, float),
-    "p99_ms": (int, float),
-    "deadline_met": (int, float),
-    "admitted": (int, float),
-    "completed": (int, float),
-    "rejected": (int, float),
-    "rejected_queue_full": (int, float),
-    "rejected_rate_limited": (int, float),
-    "shed_deadline": (int, float),
-    "preemptions": (int, float),
-    "preemption_overhead_ns": (int, float),
-    "reprice_events": (int, float),
-    "tenant_retries": (int, float),
-    "tenant_gpu_fallbacks": (int, float),
+    "ber": NUMBER,
+    "permanent_banks": NUMBER,
+    "load_multiplier": NUMBER,
+    "offered_rps": NUMBER,
+    "availability": NUMBER,
+    "goodput_rps": NUMBER,
+    "throughput_rps": NUMBER,
+    "p50_ms": NUMBER,
+    "p99_ms": NUMBER,
+    "deadline_met": NUMBER,
+    "admitted": NUMBER,
+    "completed": NUMBER,
+    "rejected": NUMBER,
+    "rejected_queue_full": NUMBER,
+    "rejected_rate_limited": NUMBER,
+    "shed_deadline": NUMBER,
+    "preemptions": NUMBER,
+    "preemption_overhead_ns": NUMBER,
+    "reprice_events": NUMBER,
+    "alerts_fired": NUMBER,
+    "alert_ticks_firing": NUMBER,
+    "tenant_retries": NUMBER,
+    "tenant_gpu_fallbacks": NUMBER,
 }
 
 SCENARIOS = ("healthy", "transient", "degraded")
@@ -72,19 +81,11 @@ SCENARIOS = ("healthy", "transient", "degraded")
 
 def validate(doc):
     errors = []
-
-    for key, want in TOP_LEVEL_REQUIRED.items():
-        if key not in doc:
-            errors.append(f"missing top-level key '{key}'")
-        elif not isinstance(doc[key], want):
-            errors.append(
-                f"top-level '{key}' has type {type(doc[key]).__name__}")
-    if errors:
+    if not check_required(doc, TOP_LEVEL_REQUIRED, errors):
         return errors
 
-    if doc["bench"] not in ("serving_faults", "serving_faults_smoke"):
-        errors.append(f"bench is '{doc['bench']}', want 'serving_faults'"
-                      " or 'serving_faults_smoke'")
+    check_bench_name(doc, ("serving_faults", "serving_faults_smoke"),
+                     errors)
     if doc["serial_capacity_rps"] <= 0:
         errors.append("serial_capacity_rps must be positive")
     if not doc["rows"]:
@@ -93,13 +94,7 @@ def validate(doc):
     total = doc["streams"] * doc["requests_per_stream"]
     seen_scenarios = set()
     for i, row in enumerate(doc["rows"]):
-        for key, want in ROW_REQUIRED.items():
-            if key not in row:
-                errors.append(f"row {i}: missing key '{key}'")
-            elif not isinstance(row[key], want):
-                errors.append(f"row {i}: '{key}' has type "
-                              f"{type(row[key]).__name__}")
-        if any(f"row {i}:" in e for e in errors):
+        if not check_required(row, ROW_REQUIRED, errors, f"row {i}"):
             continue
         seen_scenarios.add(row["scenario"])
 
@@ -115,6 +110,10 @@ def validate(doc):
         if row["p99_ms"] < row["p50_ms"]:
             errors.append(f"row {i}: p99_ms={row['p99_ms']} below "
                           f"p50_ms={row['p50_ms']}")
+        # An alert needs at least one tick in the firing state.
+        if row["alerts_fired"] > 0 and row["alert_ticks_firing"] < 1:
+            errors.append(f"row {i}: alerts fired without any tick in "
+                          "the firing state")
         # Acceptance criterion 3: the causes partition `rejected`.
         split = (row["rejected_queue_full"] +
                  row["rejected_rate_limited"] + row["shed_deadline"])
@@ -148,6 +147,13 @@ def validate(doc):
             errors.append(f"{key} is {doc[key]}; the sweep never "
                           "exercised this rejection cause")
 
+    # Acceptance criterion 4: the burn-rate monitor must fire at least
+    # once across the sweep (the overloaded and degraded cells burn
+    # error budget far above the 1x threshold).
+    if doc["sweep_alerts_fired"] < 1:
+        errors.append("sweep_alerts_fired is 0; the SLO burn-rate "
+                      "monitor never fired")
+
     # Acceptance criterion 2: preemption never perturbs any tenant's
     # computation.
     if doc["preemptions_observed"] < 1:
@@ -165,27 +171,13 @@ def validate(doc):
     return errors
 
 
-def main(argv):
-    path = argv[1] if len(argv) > 1 else "BENCH_serving_faults.json"
-    try:
-        with open(path) as f:
-            doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        print(f"validate_serving_faults: cannot read {path}: {e}",
-              file=sys.stderr)
-        return 1
-
-    errors = validate(doc)
-    if errors:
-        for err in errors:
-            print(f"validate_serving_faults: {err}", file=sys.stderr)
-        return 1
-    print(f"validate_serving_faults: OK: {path} "
-          f"({len(doc['rows'])} rows, goodput floor "
-          f"{doc['goodput_floor_ratio']:.3f}, "
-          f"{int(doc['preemptions_observed'])} preemptions identical)")
-    return 0
+def summary(doc):
+    return (f"{len(doc['rows'])} rows, goodput floor "
+            f"{doc['goodput_floor_ratio']:.3f}, "
+            f"{int(doc['preemptions_observed'])} preemptions identical, "
+            f"{int(doc['sweep_alerts_fired'])} alerts fired")
 
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv))
+    sys.exit(run("validate_serving_faults", "BENCH_serving_faults.json",
+                 validate, summary))

@@ -16,6 +16,10 @@ and, when given, the --metrics JSON dump:
   - carries the self-describing header (schema_version, git_sha,
     build_type, threads)
   - every entry has name/kind/value with a known kind
+  - when a "timeseries" section is present (serving runs with a
+    telemetry tick), every series has a name, a positive tick_ns, and
+    points with numeric stats in start_ns order, non-negative counts,
+    and p99 >= p50 (mirrors obs::validateMetricsJson)
 
 Exits non-zero with a message on the first violation.
 """
@@ -30,7 +34,7 @@ def fail(msg):
     sys.exit(1)
 
 
-def validate_trace(path):
+def validate_trace(path, require_lanes=()):
     try:
         with open(path) as f:
             doc = json.load(f)
@@ -76,7 +80,7 @@ def validate_trace(path):
         if event.get("ph") != "M" and event["pid"] not in named_pids:
             fail(f"{path}: event {i} references unnamed pid "
                  f"{event['pid']}")
-    for lane in ("GPU", "PIM"):
+    for lane in ("GPU", "PIM") + tuple(require_lanes):
         if lane not in lanes:
             fail(f"{path}: no '{lane}' lane in the simulated timeline "
                  f"(saw: {sorted(lanes)})")
@@ -104,7 +108,38 @@ def validate_metrics(path):
         if entry["kind"] not in ("counter", "gauge", "histogram"):
             fail(f"{path}: metric {i} has unknown kind "
                  f"'{entry['kind']}'")
-    print(f"validate_trace: OK: {path} ({len(metrics)} metrics)")
+
+    series = doc.get("timeseries", [])
+    if not isinstance(series, list):
+        fail(f"{path}: 'timeseries' is not an array")
+    points = 0
+    for i, entry in enumerate(series):
+        if not isinstance(entry.get("name"), str):
+            fail(f"{path}: series {i} missing string 'name'")
+        tick = entry.get("tick_ns")
+        if not isinstance(tick, (int, float)) or tick <= 0:
+            fail(f"{path}: series {i} missing positive 'tick_ns'")
+        if not isinstance(entry.get("points"), list):
+            fail(f"{path}: series {i} missing 'points' array")
+        last_start = float("-inf")
+        for j, point in enumerate(entry["points"]):
+            where = f"{path}: series {i} point {j}"
+            for key in ("start_ns", "count", "sum", "min", "max",
+                        "p50", "p99", "rate_per_s"):
+                if not isinstance(point.get(key), (int, float)):
+                    fail(f"{where} missing numeric '{key}'")
+            if point["start_ns"] <= last_start:
+                fail(f"{where} not in start_ns order")
+            last_start = point["start_ns"]
+            if point["count"] < 0:
+                fail(f"{where} has negative count")
+            if point["count"] > 0 and point["p99"] < point["p50"]:
+                fail(f"{where} has p99 below p50")
+            points += 1
+
+    suffix = (f", {len(series)} series / {points} window points"
+              if series else "")
+    print(f"validate_trace: OK: {path} ({len(metrics)} metrics{suffix})")
 
 
 def main():
@@ -113,8 +148,12 @@ def main():
                         help="Chrome trace-event JSON to validate")
     parser.add_argument("--metrics",
                         help="metrics JSON dump to validate (optional)")
+    parser.add_argument("--require-lane", action="append", default=[],
+                        help="additional lane that must appear in the "
+                             "simulated timeline (e.g. Alert); may "
+                             "repeat")
     args = parser.parse_args()
-    validate_trace(args.trace)
+    validate_trace(args.trace, args.require_lane)
     if args.metrics:
         validate_metrics(args.metrics)
 

@@ -115,6 +115,25 @@ enum class ArrivalKind {
     OpenPoisson, ///< open-loop Poisson arrivals at offeredRps
 };
 
+/** Streaming time-series telemetry for a serving run (DESIGN.md §17):
+ *  the scheduler samples per-device and per-tenant series on a fixed
+ *  simulated-time tick and feeds a fast/slow-window SLO burn-rate
+ *  evaluator whose alert episodes land on the trace's `Alert` lane. */
+struct ServeTelemetryConfig {
+    /** Sampling tick, ns of simulated time; 0 disables telemetry
+     *  entirely (the scheduler never touches the series registry). */
+    double tickNs = 0.0;
+    /** Deadline-met ratio objective the burn-rate alert guards. */
+    double sloTarget = 0.95;
+    /** Fast window, in ticks (catches sharp burns). */
+    size_t fastWindowTicks = 3;
+    /** Slow window, in ticks (filters single-tick blips). */
+    size_t slowWindowTicks = 12;
+    /** Burn rate BOTH windows must reach to fire (1.0 = burning the
+     *  error budget exactly at the objective rate). */
+    double burnThreshold = 1.0;
+};
+
 /** Multi-tenant serving knobs (src/serve, DESIGN.md §15/§16): how many
  *  client streams the scheduler admits, how requests arrive, and the
  *  batching / overlap / admission / SLO policies. */
@@ -175,6 +194,9 @@ struct ServeConfig {
      *  (priority, dispatch time) instead of (dispatch time,
      *  priority). */
     bool preemption = false;
+
+    /** Time-series telemetry + burn-rate alerting (DESIGN.md §17). */
+    ServeTelemetryConfig telemetry;
 };
 
 struct AnaheimConfig {

@@ -302,7 +302,8 @@ validateChromeTraceFile(const std::string &path)
 }
 
 std::string
-metricsJson(const MetricsSnapshot &snapshot, const std::string &source)
+metricsJson(const MetricsSnapshot &snapshot, const std::string &source,
+            const std::vector<SeriesSnapshot> &series)
 {
     std::ostringstream out;
     out << "{\n  \"source\": \"" << jsonEscape(source) << "\"";
@@ -332,8 +333,117 @@ metricsJson(const MetricsSnapshot &snapshot, const std::string &source)
         out << "}";
         first = false;
     }
-    out << "\n  ]\n}\n";
+    out << "\n  ]";
+    if (!series.empty()) {
+        out << ",\n  \"timeseries\": [";
+        bool firstSeries = true;
+        for (const SeriesSnapshot &snap : series) {
+            out << (firstSeries ? "\n    {" : ",\n    {")
+                << "\"name\": \"" << jsonEscape(snap.name)
+                << "\", \"tick_ns\": " << formatDouble(snap.tickNs)
+                << ", \"dropped_late\": " << snap.droppedLate
+                << ", \"evicted_windows\": " << snap.evictedWindows
+                << ", \"points\": [";
+            for (size_t i = 0; i < snap.points.size(); ++i) {
+                const SeriesPoint &p = snap.points[i];
+                out << (i == 0 ? "\n      {" : ",\n      {")
+                    << "\"start_ns\": " << formatDouble(p.startNs)
+                    << ", \"count\": " << p.count
+                    << ", \"sum\": " << formatDouble(p.sum)
+                    << ", \"min\": " << formatDouble(p.min)
+                    << ", \"max\": " << formatDouble(p.max)
+                    << ", \"p50\": " << formatDouble(p.p50)
+                    << ", \"p99\": " << formatDouble(p.p99)
+                    << ", \"rate_per_s\": "
+                    << formatDouble(p.ratePerSec()) << "}";
+            }
+            out << (snap.points.empty() ? "]" : "\n    ]") << "}";
+            firstSeries = false;
+        }
+        out << "\n  ]";
+    }
+    out << "\n}\n";
     return out.str();
+}
+
+Status
+validateMetricsJson(const std::string &json)
+{
+    std::string error;
+    const auto doc = parseJson(json, &error);
+    if (doc == nullptr)
+        return invalid("metrics document is not valid JSON: " + error);
+    if (!doc->isObject())
+        return invalid("metrics document is not an object");
+    for (const char *key :
+         {"schema_version", "git_sha", "build_type", "threads"}) {
+        const JsonValue *field = doc->find(key);
+        if (field == nullptr || !field->isString())
+            return invalid(std::string("missing header field \"") +
+                           key + "\"");
+    }
+    const JsonValue *metrics = doc->find("metrics");
+    if (metrics == nullptr || !metrics->isArray())
+        return invalid("missing \"metrics\" array");
+    for (size_t i = 0; i < metrics->array().size(); ++i) {
+        const JsonValue &entry = metrics->array()[i];
+        const std::string at = " (metric " + std::to_string(i) + ")";
+        const JsonValue *name = entry.find("name");
+        const JsonValue *kind = entry.find("kind");
+        const JsonValue *value = entry.find("value");
+        if (name == nullptr || !name->isString())
+            return invalid("metric missing string \"name\"" + at);
+        if (kind == nullptr || !kind->isString() ||
+            (kind->string() != "counter" && kind->string() != "gauge" &&
+             kind->string() != "histogram"))
+            return invalid("metric missing known \"kind\"" + at);
+        if (value == nullptr || !value->isNumber())
+            return invalid("metric missing numeric \"value\"" + at);
+    }
+    const JsonValue *series = doc->find("timeseries");
+    if (series == nullptr)
+        return Status::okStatus(); // section is optional
+    if (!series->isArray())
+        return invalid("\"timeseries\" is not an array");
+    for (size_t i = 0; i < series->array().size(); ++i) {
+        const JsonValue &entry = series->array()[i];
+        const std::string at = " (series " + std::to_string(i) + ")";
+        const JsonValue *name = entry.find("name");
+        const JsonValue *tick = entry.find("tick_ns");
+        const JsonValue *points = entry.find("points");
+        if (name == nullptr || !name->isString())
+            return invalid("series missing string \"name\"" + at);
+        if (tick == nullptr || !tick->isNumber() ||
+            tick->number() <= 0.0)
+            return invalid("series missing positive \"tick_ns\"" + at);
+        if (points == nullptr || !points->isArray())
+            return invalid("series missing \"points\" array" + at);
+        double lastStart = -1.0;
+        for (size_t j = 0; j < points->array().size(); ++j) {
+            const JsonValue &point = points->array()[j];
+            const std::string where = " (series " + std::to_string(i) +
+                                      ", point " + std::to_string(j) +
+                                      ")";
+            for (const char *key : {"start_ns", "count", "sum", "min",
+                                    "max", "p50", "p99", "rate_per_s"}) {
+                const JsonValue *field = point.find(key);
+                if (field == nullptr || !field->isNumber())
+                    return invalid(std::string("point missing numeric "
+                                               "\"") +
+                                   key + "\"" + where);
+            }
+            if (point.find("start_ns")->number() <= lastStart)
+                return invalid("points not in start_ns order" + where);
+            lastStart = point.find("start_ns")->number();
+            if (point.find("count")->number() < 0.0)
+                return invalid("negative count" + where);
+            if (point.find("count")->number() > 0.0 &&
+                point.find("p99")->number() <
+                    point.find("p50")->number())
+                return invalid("p99 below p50" + where);
+        }
+    }
+    return Status::okStatus();
 }
 
 std::string
@@ -362,7 +472,131 @@ writeMetrics(const std::string &path, MetricsRegistry &registry)
     const MetricsSnapshot snapshot = registry.snapshot();
     const bool csv =
         path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
-    file << (csv ? metricsCsv(snapshot) : metricsJson(snapshot));
+    if (csv) {
+        file << metricsCsv(snapshot);
+    } else {
+        file << metricsJson(snapshot, "anaheim",
+                            TimeSeriesRegistry::global().snapshotAll());
+    }
+    return static_cast<bool>(file);
+}
+
+namespace {
+
+/** Prometheus metric name: `anaheim_` prefix, [a-zA-Z0-9_] body. */
+std::string
+promName(const std::string &name)
+{
+    std::string out = "anaheim_";
+    out.reserve(out.size() + name.size());
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_';
+        out.push_back(ok ? c : '_');
+    }
+    return out;
+}
+
+/** Prometheus label value: escape backslash, quote and newline. */
+std::string
+promLabelValue(const std::string &value)
+{
+    std::string out;
+    out.reserve(value.size());
+    for (const char c : value) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '"')
+            out += "\\\"";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out.push_back(c);
+    }
+    return out;
+}
+
+std::string
+promNumber(double value)
+{
+    if (std::isinf(value))
+        return value > 0 ? "+Inf" : "-Inf";
+    return formatDouble(value);
+}
+
+} // namespace
+
+std::string
+prometheusText(const MetricsSnapshot &snapshot,
+               const std::vector<SeriesSnapshot> &series)
+{
+    std::ostringstream out;
+    for (const MetricsSnapshot::Entry &entry : snapshot.entries) {
+        const std::string name = promName(entry.name);
+        if (entry.kind == "counter") {
+            out << "# TYPE " << name << " counter\n"
+                << name << " " << entry.count << "\n";
+        } else if (entry.kind == "gauge") {
+            out << "# TYPE " << name << " gauge\n"
+                << name << " " << promNumber(entry.value) << "\n";
+        } else if (entry.kind == "histogram") {
+            out << "# TYPE " << name << " histogram\n";
+            uint64_t cumulative = 0;
+            for (const auto &[bound, count] : entry.buckets) {
+                cumulative += count;
+                out << name << "_bucket{le=\"" << promNumber(bound)
+                    << "\"} " << cumulative << "\n";
+            }
+            out << name << "_sum " << promNumber(entry.sum) << "\n"
+                << name << "_count " << entry.count << "\n";
+        }
+    }
+    // Each series exposes its most recent window as one sample in five
+    // gauge families, so a scrape (or a finished run's dump) reads as
+    // current state. All samples of a family stay contiguous under one
+    // TYPE line, as the exposition format requires.
+    const auto statOf = [](const SeriesPoint &p, size_t stat) {
+        switch (stat) {
+        case 0: return p.ratePerSec();
+        case 1: return p.p50;
+        case 2: return p.p99;
+        case 3: return static_cast<double>(p.count);
+        default: return p.mean();
+        }
+    };
+    const char *statNames[] = {"rate", "p50", "p99", "count", "mean"};
+    for (size_t stat = 0; stat < 5; ++stat) {
+        bool typed = false;
+        for (const SeriesSnapshot &snap : series) {
+            if (snap.points.empty())
+                continue;
+            if (!typed) {
+                out << "# TYPE anaheim_series_" << statNames[stat]
+                    << " gauge\n";
+                typed = true;
+            }
+            out << "anaheim_series_" << statNames[stat] << "{series=\""
+                << promLabelValue(snap.name) << "\"} "
+                << promNumber(statOf(snap.points.back(), stat)) << "\n";
+        }
+    }
+    return out.str();
+}
+
+bool
+writePrometheus(const std::string &path, MetricsRegistry &registry,
+                TimeSeriesRegistry &seriesRegistry)
+{
+    if (path.empty())
+        return false;
+    std::ofstream file(path);
+    if (!file) {
+        ANAHEIM_WARN("cannot write prometheus text to ", path);
+        return false;
+    }
+    file << prometheusText(registry.snapshot(),
+                           seriesRegistry.snapshotAll());
     return static_cast<bool>(file);
 }
 

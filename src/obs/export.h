@@ -23,6 +23,7 @@
 
 #include "common/status.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 
 namespace anaheim::obs {
@@ -49,19 +50,54 @@ Status validateChromeTrace(const std::string &json);
 /** validateChromeTrace() over a file's contents. */
 Status validateChromeTraceFile(const std::string &path);
 
-/** The metrics document for a registry snapshot. */
+/** The metrics document for a registry snapshot; when `series` is
+ *  non-empty a "timeseries" section follows the flat metrics array
+ *  (one entry per series: name, tick, per-window
+ *  count/sum/min/max/p50/p99/rate points). */
 std::string metricsJson(
     const MetricsSnapshot &snapshot,
-    const std::string &source = "anaheim");
+    const std::string &source = "anaheim",
+    const std::vector<SeriesSnapshot> &series = {});
+
+/**
+ * Schema-check a metrics JSON document: self-describing header,
+ * metrics entries with known kinds, and — when a "timeseries" section
+ * is present — per-series tick/points invariants (non-negative
+ * counts, windows in start order, p99 >= p50). Returns Ok or
+ * InvalidArgument with the first violation. Mirrored by
+ * scripts/validate_trace.py for CI artifacts.
+ */
+Status validateMetricsJson(const std::string &json);
 
 /** Write the global registry's snapshot to `path`: CSV when the path
- *  ends in ".csv", JSON otherwise. Empty path: no-op, returns false. */
+ *  ends in ".csv", JSON otherwise (with the timeseries section when
+ *  any series is registered). Empty path: no-op, returns false. */
 bool writeMetrics(
     const std::string &path,
     MetricsRegistry &registry = MetricsRegistry::global());
 
 /** name,kind,value,count,sum CSV for a snapshot. */
 std::string metricsCsv(const MetricsSnapshot &snapshot);
+
+/**
+ * Prometheus text exposition (version 0.0.4) of a metrics snapshot
+ * plus the registered time series: counters/gauges as flat samples,
+ * histograms as cumulative `_bucket{le=...}` + `_sum`/`_count`
+ * families, and every series' most recent window as
+ * `anaheim_series_{rate,p50,p99,count,mean}{series="<name>"}` gauges —
+ * so a finished (or scraped) run diffs with standard PromQL tooling.
+ * Metric names are sanitized ([a-zA-Z0-9_], `anaheim_` prefix).
+ */
+std::string prometheusText(
+    const MetricsSnapshot &snapshot,
+    const std::vector<SeriesSnapshot> &series = {});
+
+/** Write prometheusText() of the global registries to `path`; false on
+ *  I/O failure (with a warning) or when `path` is empty (silently). */
+bool writePrometheus(
+    const std::string &path,
+    MetricsRegistry &registry = MetricsRegistry::global(),
+    TimeSeriesRegistry &seriesRegistry = TimeSeriesRegistry::global());
 
 /** JSON string escaping shared by the exporters. */
 std::string jsonEscape(const std::string &value);

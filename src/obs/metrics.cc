@@ -1,11 +1,27 @@
 #include "metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "common/status.h"
 
 namespace anaheim::obs {
+
+namespace {
+
+/** Shared drop counter for non-finite observations, also fed by the
+ *  time-series layer (obs/timeseries.cc). Function-local so plain
+ *  Histogram construction never touches the registry. */
+Counter &
+droppedSamples()
+{
+    static Counter &counter =
+        MetricsRegistry::global().counter("obs.dropped_samples");
+    return counter;
+}
+
+} // namespace
 
 Histogram::Histogram(std::vector<double> upperBounds)
     : bounds_(std::move(upperBounds)), buckets_(bounds_.size() + 1)
@@ -18,15 +34,30 @@ Histogram::Histogram(std::vector<double> upperBounds)
 void
 Histogram::observe(double value)
 {
+    // NaN compares false against every bound (lower_bound would pick
+    // an arbitrary bucket) and ±inf poisons the running sum: drop
+    // non-finite samples instead of silently mis-bucketing them.
+    if (!std::isfinite(value)) {
+        droppedSamples().add();
+        return;
+    }
     const auto it =
         std::lower_bound(bounds_.begin(), bounds_.end(), value);
     const size_t bucket = static_cast<size_t>(it - bounds_.begin());
     buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
-    count_.fetch_add(1, std::memory_order_relaxed);
     double current = sum_.load(std::memory_order_relaxed);
     while (!sum_.compare_exchange_weak(current, current + value,
                                        std::memory_order_relaxed)) {
     }
+}
+
+uint64_t
+Histogram::count() const
+{
+    uint64_t total = 0;
+    for (const auto &bucket : buckets_)
+        total += bucket.load(std::memory_order_relaxed);
+    return total;
 }
 
 std::vector<uint64_t>
@@ -49,7 +80,6 @@ Histogram::reset()
 {
     for (auto &bucket : buckets_)
         bucket.store(0, std::memory_order_relaxed);
-    count_.store(0, std::memory_order_relaxed);
     sum_.store(0.0, std::memory_order_relaxed);
 }
 
@@ -150,13 +180,17 @@ MetricsRegistry::snapshot() const
             entry.value = instrument->gauge->value();
         } else if (instrument->histogram) {
             const Histogram &h = *instrument->histogram;
-            entry.count = h.count();
+            // One bucket read serves both the count and the bucket
+            // list, so the entry can never report a count its own
+            // buckets disagree with (even mid-reset).
+            const auto counts = h.bucketCounts();
+            for (const uint64_t c : counts)
+                entry.count += c;
             entry.sum = h.sum();
             entry.value =
-                h.count() > 0
-                    ? h.sum() / static_cast<double>(h.count())
+                entry.count > 0
+                    ? entry.sum / static_cast<double>(entry.count)
                     : 0.0;
-            const auto counts = h.bucketCounts();
             const auto &bounds = h.bounds();
             for (size_t i = 0; i < counts.size(); ++i) {
                 const double bound =

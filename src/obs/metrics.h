@@ -81,7 +81,17 @@ class Gauge
 };
 
 /** Fixed-bound histogram: counts per bucket (<= bound), plus an
- *  overflow bucket, a running sum and a sample count. */
+ *  overflow bucket and a running sum. Non-finite observations are
+ *  dropped (NaN has no bucket; ±inf would corrupt the sum) and counted
+ *  in the process-wide `obs.dropped_samples` counter.
+ *
+ *  Consistency under concurrent observers: the sample count IS the sum
+ *  of the bucket counts — there is no separate count cell to tear
+ *  against — so any snapshot satisfies count() == Σ bucketCounts()
+ *  even while observers race with reset(). The running sum is a
+ *  separate relaxed cell: a mean derived from a mid-reset snapshot may
+ *  transiently mix pre- and post-reset samples, but counts never go
+ *  negative and never disagree with the buckets. */
 class Histogram
 {
   public:
@@ -92,17 +102,14 @@ class Histogram
     const std::vector<double> &bounds() const { return bounds_; }
     /** Per-bucket counts; size() == bounds().size() + 1 (overflow). */
     std::vector<uint64_t> bucketCounts() const;
-    uint64_t count() const
-    {
-        return count_.load(std::memory_order_relaxed);
-    }
+    /** Total samples: Σ bucketCounts(), by construction. */
+    uint64_t count() const;
     double sum() const;
     void reset();
 
   private:
     std::vector<double> bounds_;
     std::vector<std::atomic<uint64_t>> buckets_;
-    std::atomic<uint64_t> count_{0};
     std::atomic<double> sum_{0.0};
 };
 

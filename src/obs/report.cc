@@ -298,6 +298,10 @@ configSummary(const AnaheimConfig &config)
                     formatDouble(config.serve.rateLimitRps));
     kv.emplace_back("serve_preemption",
                     config.serve.preemption ? "true" : "false");
+    kv.emplace_back("serve_telemetry_tick_ns",
+                    formatDouble(config.serve.telemetry.tickNs));
+    kv.emplace_back("serve_slo_target",
+                    formatDouble(config.serve.telemetry.sloTarget));
     return kv;
 }
 

@@ -12,6 +12,7 @@
 #include "common/logging.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "slo.h"
 
@@ -151,6 +152,11 @@ class ServeEngine
     void recordServeSpan(uint32_t runId, const char *name,
                          const char *lane, double startNs, double durNs);
     void publishStreamTotals() const;
+    void telemetryInit();
+    obs::TimeSeries &telemetrySeries(const std::string &suffix);
+    void telemetryTickTo(double simNs);
+    void telemetryCloseTick();
+    void telemetryFinish();
 
     const AnaheimFramework &fw_;
     const ServeConfig &serve_;
@@ -171,6 +177,46 @@ class ServeEngine
      *  scheduler's view of the shared device's degradation. */
     double worstCapacity_ = 1.0;
     bool deviceOffline_ = false;
+
+    // --- Time-series telemetry (DESIGN.md §17) ---
+    /** telemetry.tickNs > 0 and the process-wide sampling switch is
+     *  on; everything below is untouched otherwise. */
+    bool telemetry_ = false;
+    /** Per-run series name prefix ("serve.run<epoch>.ts.") so series
+     *  from successive runs in one process never collide. */
+    std::string tsPrefix_;
+    /** Event-style series, observed as the run progresses. */
+    obs::TimeSeries *tsLatency_ = nullptr;
+    obs::TimeSeries *tsDeadlineMet_ = nullptr;
+    obs::TimeSeries *tsGoodput_ = nullptr;
+    obs::TimeSeries *tsRejectQueueFull_ = nullptr;
+    obs::TimeSeries *tsRejectRateLimited_ = nullptr;
+    obs::TimeSeries *tsRejectShed_ = nullptr;
+    obs::TimeSeries *tsPreemptions_ = nullptr;
+    obs::TimeSeries *tsReprices_ = nullptr;
+    /** Gauge-style series, sampled once per closed tick. */
+    obs::TimeSeries *tsQueueDepth_ = nullptr;
+    obs::TimeSeries *tsGpuBusy_ = nullptr;
+    obs::TimeSeries *tsPimBusy_ = nullptr;
+    obs::TimeSeries *tsFastBurn_ = nullptr;
+    obs::TimeSeries *tsSlowBurn_ = nullptr;
+    /** Per-tenant queue-depth series for the first
+     *  kMaxTenantSeries streams (bounded export size). */
+    static constexpr size_t kMaxTenantSeries = 8;
+    std::vector<obs::TimeSeries *> tsTenantQueue_;
+    std::unique_ptr<obs::BurnRateEvaluator> burn_;
+    /** Next tick boundary not yet closed, as a tick index. */
+    uint64_t nextTick_ = 0;
+    /** Cumulative counters at the last closed tick (deltas feed the
+     *  per-tick burn windows and busy fractions). */
+    uint64_t lastDeadlineMet_ = 0;
+    uint64_t lastResolved_ = 0;
+    double lastGpuBusyNs_ = 0.0;
+    double lastPimBusyNs_ = 0.0;
+    /** Perfetto run id for the engine-global Alert lane (tracing). */
+    uint32_t alertRunId_ = 0;
+    /** Simulated start of the in-flight alert episode (< 0 = none). */
+    double alertStartNs_ = -1.0;
 };
 
 double
@@ -226,6 +272,8 @@ ServeEngine::release(size_t s, size_t k, double arrivalNs)
         req.cause = RejectCause::RateLimited;
         ++stats.rejected;
         ++stats.rejectedRateLimited;
+        if (telemetry_)
+            tsRejectRateLimited_->observe(arrivalNs, 1.0);
         return;
     }
     if (st.queue.size() >= serve_.maxQueuedPerStream) {
@@ -233,6 +281,8 @@ ServeEngine::release(size_t s, size_t k, double arrivalNs)
         req.cause = RejectCause::QueueFull;
         ++stats.rejected;
         ++stats.rejectedQueueFull;
+        if (telemetry_)
+            tsRejectQueueFull_->observe(arrivalNs, 1.0);
         return;
     }
     st.queue.push_back(k);
@@ -276,6 +326,8 @@ ServeEngine::shed(size_t s, size_t k, double atNs)
     req.cause = RejectCause::DeadlineShed;
     ++out_.stats.rejected;
     ++out_.stats.shedDeadline;
+    if (telemetry_)
+        tsRejectShed_->observe(atNs, 1.0);
     recordServeSpan(streams_[s].runId, "Shed", "Shed", atNs, 0.0);
 }
 
@@ -367,6 +419,8 @@ ServeEngine::observeHealth(const RunContext &ctx)
     worstCapacity_ = std::min(worstCapacity_, cap);
     deviceOffline_ = deviceOffline_ || offline;
     ++out_.stats.repriceEvents;
+    if (telemetry_)
+        tsReprices_->observe(now_, 1.0);
     if (estimator_) {
         const ResourceMap *resources = ctx.healthResources();
         if (resources != nullptr)
@@ -410,6 +464,12 @@ ServeEngine::stepStream(size_t s, double startNs, bool suppressTransition)
         if (req.deadlineMet)
             ++stats.deadlineMet;
         stats.latenciesNs.push_back(end - req.arrivalNs);
+        if (telemetry_) {
+            tsLatency_->observe(end, end - req.arrivalNs);
+            tsDeadlineMet_->observe(end, req.deadlineMet ? 1.0 : 0.0);
+            if (req.deadlineMet)
+                tsGoodput_->observe(end, 1.0);
+        }
         ServeStreamResult &sr = out_.streams[s];
         sr.pimRetries += req.result.resilience.pimRetries;
         sr.rollbacks += req.result.resilience.rollbacks;
@@ -458,6 +518,8 @@ ServeEngine::preemptionOverheadNs(size_t winner, int dev, double startNs)
                 victim.active->externalBwBytesPerNs();
             ++stats.preemptions;
             victim.preempted = true;
+            if (telemetry_)
+                tsPreemptions_->observe(startNs + overhead, saveNs);
             recordServeSpan(victim.runId, "Save", "Preempt",
                             startNs + overhead, saveNs);
             overhead += saveNs;
@@ -502,6 +564,149 @@ ServeEngine::publishStreamTotals() const
     }
 }
 
+obs::TimeSeries &
+ServeEngine::telemetrySeries(const std::string &suffix)
+{
+    return obs::TimeSeriesRegistry::global().series(
+        tsPrefix_ + suffix, serve_.telemetry.tickNs);
+}
+
+void
+ServeEngine::telemetryInit()
+{
+    telemetry_ =
+        serve_.telemetry.tickNs > 0.0 && obs::seriesSamplingEnabled();
+    if (!telemetry_)
+        return;
+    // Per-run namespace: successive runs in one process (a bench
+    // sweep) each get their own serve.run<epoch>.ts.* series.
+    const uint64_t epoch =
+        obs::TimeSeriesRegistry::global().beginEpoch();
+    tsPrefix_ = "serve.run" + std::to_string(epoch) + ".ts.";
+    tsLatency_ = &telemetrySeries("latency_ns");
+    tsDeadlineMet_ = &telemetrySeries("deadline_met");
+    tsGoodput_ = &telemetrySeries("goodput");
+    tsRejectQueueFull_ = &telemetrySeries("reject.queue_full");
+    tsRejectRateLimited_ = &telemetrySeries("reject.rate_limited");
+    tsRejectShed_ = &telemetrySeries("reject.shed");
+    tsPreemptions_ = &telemetrySeries("preempt.save_ns");
+    tsReprices_ = &telemetrySeries("reprice");
+    tsQueueDepth_ = &telemetrySeries("queue_depth");
+    tsGpuBusy_ = &telemetrySeries("gpu_busy_frac");
+    tsPimBusy_ = &telemetrySeries("pim_busy_frac");
+    tsFastBurn_ = &telemetrySeries("slo_fast_burn");
+    tsSlowBurn_ = &telemetrySeries("slo_slow_burn");
+    const size_t tenants =
+        std::min(streams_.size(), kMaxTenantSeries);
+    for (size_t s = 0; s < tenants; ++s) {
+        tsTenantQueue_.push_back(&telemetrySeries(
+            "tenant" + std::to_string(s) + ".queue_depth"));
+    }
+    obs::BurnRateConfig bc;
+    bc.sloTarget = serve_.telemetry.sloTarget;
+    bc.fastWindowTicks = serve_.telemetry.fastWindowTicks;
+    bc.slowWindowTicks = serve_.telemetry.slowWindowTicks;
+    bc.burnThreshold = serve_.telemetry.burnThreshold;
+    burn_ = std::make_unique<obs::BurnRateEvaluator>(bc);
+    if (tracing_) {
+        alertRunId_ =
+            obs::TraceCollector::global().beginRun("serve/alerts");
+    }
+}
+
+/** Close tick `nextTick_`: sample the gauge-style series and feed the
+ *  burn-rate evaluator with this tick's (deadline-met, resolved)
+ *  deltas. Sampled state is whatever is current when the event loop
+ *  crosses the boundary — deterministic, since the loop itself is. */
+void
+ServeEngine::telemetryCloseTick()
+{
+    const double tick = serve_.telemetry.tickNs;
+    const double windowStart = static_cast<double>(nextTick_) * tick;
+    // Observe at the window midpoint so the sample can never land in a
+    // neighboring window through floating-point division.
+    const double mid = windowStart + 0.5 * tick;
+    const ServeStats &stats = out_.stats;
+
+    size_t depth = 0;
+    for (size_t s = 0; s < streams_.size(); ++s) {
+        depth += streams_[s].queue.size();
+        if (s < tsTenantQueue_.size()) {
+            tsTenantQueue_[s]->observe(
+                mid, static_cast<double>(streams_[s].queue.size()));
+        }
+    }
+    tsQueueDepth_->observe(mid, static_cast<double>(depth));
+    tsGpuBusy_->observe(mid,
+                        (stats.gpuBusyNs - lastGpuBusyNs_) / tick);
+    tsPimBusy_->observe(mid,
+                        (stats.pimBusyNs - lastPimBusyNs_) / tick);
+    lastGpuBusyNs_ = stats.gpuBusyNs;
+    lastPimBusyNs_ = stats.pimBusyNs;
+
+    // SLO view of the tick: deadline-met completions over everything
+    // that resolved (completions + deadline sheds — a shed IS a missed
+    // deadline from the client's seat). Queue-full / rate-limit
+    // rejections are admission policy, not SLO failures.
+    const uint64_t resolved = stats.completed + stats.shedDeadline;
+    const uint64_t good = stats.deadlineMet - lastDeadlineMet_;
+    const uint64_t total = resolved - lastResolved_;
+    lastDeadlineMet_ = stats.deadlineMet;
+    lastResolved_ = resolved;
+    const auto eval = burn_->update(good, total);
+    tsFastBurn_->observe(mid, eval.fastBurn);
+    tsSlowBurn_->observe(mid, eval.slowBurn);
+    if (eval.fired)
+        alertStartNs_ = windowStart;
+    if (eval.resolved && alertStartNs_ >= 0.0) {
+        recordServeSpan(alertRunId_, "SLOBurn", "Alert", alertStartNs_,
+                        windowStart + tick - alertStartNs_);
+        alertStartNs_ = -1.0;
+    }
+    ++nextTick_;
+}
+
+/** Close every tick that ends at or before `simNs`. */
+void
+ServeEngine::telemetryTickTo(double simNs)
+{
+    if (!telemetry_)
+        return;
+    const double tick = serve_.telemetry.tickNs;
+    while ((static_cast<double>(nextTick_) + 1.0) * tick <= simNs)
+        telemetryCloseTick();
+}
+
+void
+ServeEngine::telemetryFinish()
+{
+    if (!telemetry_)
+        return;
+    ServeStats &stats = out_.stats;
+    const double tick = serve_.telemetry.tickNs;
+    telemetryTickTo(stats.makespanNs);
+    // The run rarely ends on a boundary: close the final partial tick
+    // so trailing completions still reach the burn windows.
+    if (stats.makespanNs > static_cast<double>(nextTick_) * tick)
+        telemetryCloseTick();
+    if (burn_->firing() && alertStartNs_ >= 0.0) {
+        recordServeSpan(alertRunId_, "SLOBurn", "Alert", alertStartNs_,
+                        std::max(stats.makespanNs - alertStartNs_,
+                                 0.0));
+        alertStartNs_ = -1.0;
+    }
+    // Materialize trailing idle windows on the event-style series so
+    // every series of the run spans the same [0, makespan] range.
+    for (obs::TimeSeries *series :
+         {tsLatency_, tsDeadlineMet_, tsGoodput_, tsRejectQueueFull_,
+          tsRejectRateLimited_, tsRejectShed_, tsPreemptions_,
+          tsReprices_})
+        series->advanceTo(stats.makespanNs);
+    stats.alertsFired = burn_->alertsFired();
+    stats.alertsResolved = burn_->alertsResolved();
+    stats.alertTicksFiring = burn_->ticksFiring();
+}
+
 ServeResult
 ServeEngine::run()
 {
@@ -538,6 +743,7 @@ ServeEngine::run()
     if (deadlinesEnabled())
         estimator_ = std::make_unique<ServiceEstimator>(fw_.config(),
                                                         traces_);
+    telemetryInit();
 
     ServeStats &stats = out_.stats;
     // Device occupancy horizons. With overlap off both point at the
@@ -551,6 +757,7 @@ ServeEngine::run()
     };
 
     while (true) {
+        telemetryTickTo(now_);
         admitUpTo(now_);
         activate();
 
@@ -672,6 +879,7 @@ ServeEngine::run()
         now_ = std::max(now_, bestStart);
     }
 
+    telemetryFinish();
     publishServeMetrics(stats);
     publishStreamTotals();
     return std::move(out_);
@@ -715,6 +923,9 @@ publishServeMetrics(const ServeStats &stats)
     reg.counter("serve.preemption_resumes")
         .add(stats.preemptionResumes);
     reg.counter("serve.reprice_events").add(stats.repriceEvents);
+    reg.counter("serve.alert.fired").add(stats.alertsFired);
+    reg.counter("serve.alert.resolved").add(stats.alertsResolved);
+    reg.counter("serve.alert.ticks_firing").add(stats.alertTicksFiring);
     reg.counter("serve.batches").add(stats.batches);
     reg.counter("serve.batched_ops").add(stats.batchedOps);
     reg.gauge("serve.makespan_ns").set(stats.makespanNs);

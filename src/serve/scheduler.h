@@ -110,6 +110,11 @@ struct ServeStats {
     /** Degradation re-pricing passes (a run's quarantine reduced the
      *  device view; queued work re-admitted against it). */
     uint64_t repriceEvents = 0;
+    /** SLO burn-rate alerting (telemetry.tickNs > 0): fire/resolve
+     *  edges and ticks spent in the firing state (DESIGN.md §17). */
+    uint64_t alertsFired = 0;
+    uint64_t alertsResolved = 0;
+    uint64_t alertTicksFiring = 0;
     /** Fused PIM dispatches covering >= 2 streams. */
     uint64_t batches = 0;
     /** Ops that rode inside those fused dispatches. */

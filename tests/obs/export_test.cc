@@ -12,6 +12,7 @@
 
 #include <cstdio>
 #include <set>
+#include <sstream>
 #include <string>
 
 #include "anaheim/framework.h"
@@ -250,6 +251,100 @@ TEST_F(ExportTest, MetricsJsonCarriesHeaderAndEntries)
         }
     }
     EXPECT_TRUE(sawCounter);
+}
+
+TEST_F(ExportTest, MetricsJsonTimeseriesSectionValidates)
+{
+    TimeSeries series("test.export.ts", 1000.0, 8);
+    series.observe(100.0, 4.0);
+    series.observe(1500.0, 8.0);
+    const std::string json =
+        metricsJson(MetricsRegistry::global().snapshot(), "test",
+                    {series.snapshot()});
+    ASSERT_TRUE(validateMetricsJson(json).ok())
+        << validateMetricsJson(json).message();
+
+    std::string error;
+    const auto doc = parseJson(json, &error);
+    ASSERT_NE(doc, nullptr) << error;
+    const JsonValue *ts = doc->find("timeseries");
+    ASSERT_NE(ts, nullptr);
+    ASSERT_TRUE(ts->isArray());
+    ASSERT_EQ(ts->array().size(), 1u);
+    const JsonValue &entry = ts->array()[0];
+    EXPECT_EQ(entry.find("name")->string(), "test.export.ts");
+    EXPECT_DOUBLE_EQ(entry.find("tick_ns")->number(), 1000.0);
+    const JsonValue *points = entry.find("points");
+    ASSERT_NE(points, nullptr);
+    ASSERT_EQ(points->array().size(), 2u);
+    EXPECT_DOUBLE_EQ(points->array()[0].find("sum")->number(), 4.0);
+    EXPECT_DOUBLE_EQ(points->array()[1].find("start_ns")->number(),
+                     1000.0);
+}
+
+TEST_F(ExportTest, ValidatorRejectsBrokenTimeseries)
+{
+    // Out-of-order windows are the invariant a buggy exporter would
+    // break first; the validator must catch them, and a plain document
+    // with no timeseries section must stay valid.
+    const std::string good =
+        metricsJson(MetricsRegistry::global().snapshot(), "test");
+    EXPECT_TRUE(validateMetricsJson(good).ok());
+
+    const std::string bad =
+        "{\"schema_version\":\"1\",\"git_sha\":\"x\","
+        "\"build_type\":\"t\",\"threads\":\"1\",\"source\":\"test\","
+        "\"metrics\":[{\"name\":\"a\",\"kind\":\"counter\","
+        "\"value\":1,\"count\":1,\"sum\":1}],"
+        "\"timeseries\":[{\"name\":\"s\",\"tick_ns\":1000.0,"
+        "\"dropped_late\":0,\"evicted_windows\":0,\"points\":["
+        "{\"start_ns\":1000.0,\"count\":1,\"sum\":1,\"min\":1,"
+        "\"max\":1,\"p50\":1,\"p99\":1,\"rate_per_s\":1},"
+        "{\"start_ns\":0.0,\"count\":1,\"sum\":1,\"min\":1,"
+        "\"max\":1,\"p50\":1,\"p99\":1,\"rate_per_s\":1}]}]}";
+    const Status status = validateMetricsJson(bad);
+    EXPECT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("order"), std::string::npos)
+        << status.message();
+}
+
+TEST_F(ExportTest, PrometheusTextExposesFamiliesContiguously)
+{
+    MetricsRegistry::global().counter("test.export.prom").add(7);
+    TimeSeries series("test.export.prom_ts", 1000.0, 8);
+    series.observe(500.0, 2.0);
+    const std::string text =
+        prometheusText(MetricsRegistry::global().snapshot(),
+                       {series.snapshot()});
+
+    EXPECT_NE(text.find("# TYPE anaheim_test_export_prom counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("anaheim_test_export_prom 7"),
+              std::string::npos);
+    EXPECT_NE(text.find("anaheim_series_rate{series=\"test.export."
+                        "prom_ts\"}"),
+              std::string::npos);
+    // Exposition format: every sample of a family must sit under that
+    // family's single TYPE line — a sample line naming family F after
+    // a TYPE line for a different family is a format violation.
+    std::istringstream lines(text);
+    std::string line, family;
+    for (; std::getline(lines, line);) {
+        if (line.rfind("# TYPE ", 0) == 0) {
+            const size_t space = line.find(' ', 7);
+            family = line.substr(7, space - 7);
+            continue;
+        }
+        if (line.empty() || line[0] == '#')
+            continue;
+        const size_t nameEnd = line.find_first_of("{ ");
+        ASSERT_NE(nameEnd, std::string::npos) << line;
+        const std::string name = line.substr(0, nameEnd);
+        EXPECT_TRUE(name == family ||
+                    name.rfind(family + "_", 0) == 0)
+            << "sample '" << name << "' outside its family '" << family
+            << "'";
+    }
 }
 
 TEST_F(ExportTest, MetricsCsvHasHeaderAndRows)

